@@ -1,0 +1,169 @@
+// Command earthsim runs one of the paper's applications on a configurable
+// simulated EARTH machine and reports runtime statistics.
+//
+// Usage:
+//
+//	earthsim -app eigen|groebner|nn [-nodes N] [-costs earth|mp300|mp500|mp1000]
+//	         [-seed S] [-input Lazard|Katsura-4|Katsura-5] [-units U] [-train]
+//	         [-balancer steal|random|roundrobin|none] [-distributed] [-live]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/earth/simrt"
+	"earth/internal/eigen"
+	"earth/internal/groebner"
+	"earth/internal/harness"
+	"earth/internal/neural"
+	"earth/internal/rewrite"
+	"earth/internal/search"
+	"earth/internal/sim"
+	"earth/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "eigen", "application: eigen, groebner, nn, kb, tsp, polymer")
+	nodes := flag.Int("nodes", 8, "machine size")
+	costsName := flag.String("costs", "earth", "cost model: earth, mp300, mp500, mp1000")
+	seed := flag.Int64("seed", 1, "random seed")
+	input := flag.String("input", "Lazard", "Gröbner input: Lazard, Katsura-4, Katsura-5")
+	units := flag.Int("units", 80, "neural network units per layer")
+	train := flag.Bool("train", false, "neural network: forward+backward")
+	balancer := flag.String("balancer", "steal", "token balancer: steal, random, roundrobin, none")
+	distributed := flag.Bool("distributed", false, "Gröbner: decentralised pair queues")
+	live := flag.Bool("live", false, "run on the goroutine engine instead of the simulator")
+	showTrace := flag.Bool("trace", false, "print per-node utilisation bars")
+	flag.Parse()
+
+	var costs earth.CostModel
+	switch *costsName {
+	case "earth":
+		costs = earth.EARTHCosts()
+	case "mp300":
+		costs = earth.MessagePassingCosts(300 * sim.Microsecond)
+	case "mp500":
+		costs = earth.MessagePassingCosts(500 * sim.Microsecond)
+	case "mp1000":
+		costs = earth.MessagePassingCosts(1000 * sim.Microsecond)
+	default:
+		fail("unknown cost model %q", *costsName)
+	}
+	var bal earth.Balancer
+	switch *balancer {
+	case "steal":
+		bal = earth.BalanceSteal
+	case "random":
+		bal = earth.BalanceRandomPlace
+	case "roundrobin":
+		bal = earth.BalanceRoundRobin
+	case "none":
+		bal = earth.BalanceNone
+	default:
+		fail("unknown balancer %q", *balancer)
+	}
+	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal}
+	var rt earth.Runtime
+	if *live {
+		rt = livert.New(cfg)
+	} else {
+		rt = simrt.New(cfg)
+	}
+
+	switch *app {
+	case "eigen":
+		m, tol := harness.EigenWorkload(*seed)
+		res := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol})
+		fmt.Printf("eigenvalues=%d tasks=%d depth=[%d,%d]\n",
+			len(res.Eigenvalues), res.Tasks, res.MinDepth, res.MaxDepth)
+		fmt.Println(res.Stats)
+		if *showTrace {
+			fmt.Print(trace.RenderStats(res.Stats))
+		}
+	case "groebner":
+		in := groebner.InputByName(*input)
+		if in == nil {
+			fail("unknown input %q", *input)
+		}
+		seq, err := groebner.Buchberger(in.F, in.Opt)
+		if err != nil {
+			fail("sequential baseline: %v", err)
+		}
+		sc := groebner.Calibrate(seq.Trace, in.PaperSeqMS)
+		res, err := groebner.ParallelBuchberger(rt, in.F, groebner.ParallelConfig{
+			Opt: in.Opt, StepCost: sc, DistributedQueues: *distributed,
+		})
+		if err != nil {
+			fail("parallel run: %v", err)
+		}
+		base := groebner.SeqVirtualTime(seq.Trace, sc)
+		fmt.Printf("basis=%d pairs=%d added=%d speedup=%.2f\n",
+			len(res.Basis.Polys), res.PairsProcessed, res.Added,
+			float64(base)/float64(res.Stats.Elapsed))
+		fmt.Println(res.Stats)
+		if *showTrace {
+			fmt.Print(trace.RenderStats(res.Stats))
+		}
+	case "nn":
+		xs := make([][]float32, 4)
+		ts := make([][]float32, 4)
+		for s := range xs {
+			xs[s] = make([]float32, *units)
+			ts[s] = make([]float32, *units)
+			for i := range xs[s] {
+				xs[s][i] = float32((i+s)%17) / 17
+				ts[s][i] = float32((i*3+s)%13) / 13
+			}
+		}
+		res := neural.ParallelRun(rt, neural.Square(*units, *seed), xs, ts,
+			neural.ParallelConfig{Train: *train, Tree: true, LR: 0.1})
+		fmt.Printf("samples=%d per-sample=%v\n", len(res.Outputs),
+			res.Stats.Elapsed/sim.Time(len(res.Outputs)))
+		fmt.Println(res.Stats)
+		if *showTrace {
+			fmt.Print(trace.RenderStats(res.Stats))
+		}
+	case "kb":
+		sys, err := rewrite.NewSystem([][2]string{{"aa", ""}, {"bb", ""}, {"ababab", ""}})
+		if err != nil {
+			fail("%v", err)
+		}
+		res, err := rewrite.ParallelComplete(rt, sys, rewrite.ParallelConfig{})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("rules=%d pairs=%d added=%d conflicts=%d\n",
+			len(res.System.Rules), res.PairsProcessed, res.RulesAdded, res.Rejected)
+		fmt.Println(res.Stats)
+		if *showTrace {
+			fmt.Print(trace.RenderStats(res.Stats))
+		}
+	case "tsp":
+		tsp := search.RandomTSP(11, *seed)
+		res := search.BranchAndBound(rt, tsp, search.BBConfig{})
+		fmt.Printf("optimum=%.4f expanded=%d improvements=%d\n",
+			res.Best, res.Expanded, res.Improvements)
+		fmt.Println(res.Stats)
+		if *showTrace {
+			fmt.Print(trace.RenderStats(res.Stats))
+		}
+	case "polymer":
+		res := search.Count(rt, &search.Polymer{Steps: 8}, search.CountConfig{SpawnDepth: 3})
+		fmt.Printf("walks=%d visited=%d\n", res.Total, res.Visited)
+		fmt.Println(res.Stats)
+		if *showTrace {
+			fmt.Print(trace.RenderStats(res.Stats))
+		}
+	default:
+		fail("unknown app %q", *app)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "earthsim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,63 @@
+// Command nnsim trains a feed-forward network and reports accuracy, or
+// benchmarks the unit-parallel version on the simulated EARTH machine.
+//
+// Usage:
+//
+//	nnsim -units 80 -samples 64 -epochs 20 [-nodes 16] [-tree=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"earth/internal/earth"
+	"earth/internal/earth/simrt"
+	"earth/internal/neural"
+	"earth/internal/sim"
+)
+
+func main() {
+	units := flag.Int("units", 80, "units per layer")
+	samples := flag.Int("samples", 16, "training samples")
+	epochs := flag.Int("epochs", 10, "sequential training epochs")
+	nodes := flag.Int("nodes", 16, "simulated machine size")
+	tree := flag.Bool("tree", true, "tree-organised communication")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	xs := make([][]float32, *samples)
+	ts := make([][]float32, *samples)
+	for s := range xs {
+		xs[s] = make([]float32, *units)
+		ts[s] = make([]float32, *units)
+		for i := range xs[s] {
+			xs[s][i] = float32(rng.Float64())
+			ts[s][i] = xs[s][(i+1)%*units]
+		}
+	}
+
+	// Sequential training.
+	net := neural.Square(*units, *seed)
+	var last float64
+	for e := 0; e < *epochs; e++ {
+		last = 0
+		for s := range xs {
+			last += net.TrainSample(xs[s], ts[s], 0.3)
+		}
+	}
+	fmt.Printf("sequential training: %d epochs, final epoch loss %.4f\n", *epochs, last)
+
+	// Unit-parallel timing on the simulated machine.
+	one := simrt.New(earth.Config{Nodes: 1, Seed: *seed})
+	r1 := neural.ParallelRun(one, neural.Square(*units, *seed), xs, ts,
+		neural.ParallelConfig{Train: true, Tree: *tree, LR: 0.3})
+	rp := simrt.New(earth.Config{Nodes: *nodes, Seed: *seed})
+	rn := neural.ParallelRun(rp, neural.Square(*units, *seed), xs, ts,
+		neural.ParallelConfig{Train: true, Tree: *tree, LR: 0.3})
+	per1 := r1.Stats.Elapsed / sim.Time(len(xs))
+	perN := rn.Stats.Elapsed / sim.Time(len(xs))
+	fmt.Printf("unit parallelism: %v/sample on 1 node, %v/sample on %d nodes (speedup %.1f)\n",
+		per1, perN, *nodes, float64(per1)/float64(perN))
+}

@@ -1,0 +1,84 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations]
+//	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S]
+//
+// The paper used 20 runs per Gröbner configuration; -runs 20 reproduces
+// that (slower). The default of 5 gives stable means in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"earth/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	runs := flag.Int("runs", 5, "repeated runs per Gröbner configuration")
+	nodes := flag.String("nodes", "", "comma-separated node counts (default paper sweep)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	cfg := harness.Config{Runs: *runs, Seed: *seed}
+	if *nodes != "" {
+		for _, part := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: bad -nodes entry %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			cfg.Nodes = append(cfg.Nodes, n)
+		}
+	}
+
+	var reports []*harness.Report
+	switch *exp {
+	case "all":
+		reports = harness.All(cfg)
+	case "table1":
+		reports = []*harness.Report{harness.Table1(cfg)}
+	case "figure2":
+		r, _ := harness.Figure2(cfg)
+		reports = []*harness.Report{r}
+	case "table2":
+		reports = []*harness.Report{harness.Table2(cfg)}
+	case "figure4":
+		r, _ := harness.Figure4(cfg)
+		reports = []*harness.Report{r}
+	case "figure5":
+		r, _ := harness.Figure5(cfg)
+		reports = []*harness.Report{r}
+	case "table3":
+		reports = []*harness.Report{harness.Table3(cfg)}
+	case "figure7":
+		r, _ := harness.Figure7(cfg)
+		reports = []*harness.Report{r}
+	case "figure8":
+		r, _ := harness.Figure8(cfg)
+		reports = []*harness.Report{r}
+	case "ablations":
+		reports = []*harness.Report{
+			harness.AblationNNTree(cfg),
+			harness.AblationEigenPlacement(cfg),
+			harness.AblationGroebnerScheduling(cfg),
+			harness.AblationNNModes(cfg),
+			harness.AblationSearchApps(cfg),
+			harness.AblationKnuthBendix(cfg),
+			harness.AblationPortedMachines(cfg),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+}

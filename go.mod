@@ -1,0 +1,3 @@
+module earth
+
+go 1.22

@@ -1,0 +1,131 @@
+package earth
+
+import "fmt"
+
+// Frame is the activation record of a threaded function: it owns the
+// function's numbered threads and sync slots and is pinned to one node.
+//
+// Frames are passive data; engines mutate them only from the owning node's
+// execution context (the simulator's single event loop, or the owning
+// node's executor goroutine under livert), so no locking is required. The
+// Dec/Add/ThreadBody accessors exist for engine use; applications interact
+// with frames through SetThread/InitSync and the Ctx operations.
+type Frame struct {
+	// Home is the node the frame lives on.
+	Home NodeID
+
+	threads []ThreadBody
+	slots   []slot
+}
+
+type slot struct {
+	count  int
+	reset  int
+	thread int
+	inited bool
+}
+
+// NewFrame allocates a frame on node home with nthreads thread entries and
+// nslots sync slots.
+func NewFrame(home NodeID, nthreads, nslots int) *Frame {
+	if nthreads < 0 || nslots < 0 {
+		panic("earth: negative frame dimensions")
+	}
+	return &Frame{
+		Home:    home,
+		threads: make([]ThreadBody, nthreads),
+		slots:   make([]slot, nslots),
+	}
+}
+
+// SetThread installs body as thread id (EARTH: THREAD_id label).
+func (f *Frame) SetThread(id int, body ThreadBody) *Frame {
+	if id < 0 || id >= len(f.threads) {
+		panic(fmt.Sprintf("earth: thread id %d out of range [0,%d)", id, len(f.threads)))
+	}
+	f.threads[id] = body
+	return f
+}
+
+// InitSync initialises sync slot s with an initial count, a reset count and
+// the thread the slot enables (EARTH: INIT_SYNC). count must be >= 1: a
+// slot that starts enabled is a Spawn, not a sync. reset == 0 makes the
+// slot one-shot.
+//
+// InitSync must run on the frame's home node (typically in the thread that
+// created the frame, before any Sync can race with it).
+func (f *Frame) InitSync(s, count, reset, thread int) *Frame {
+	if s < 0 || s >= len(f.slots) {
+		panic(fmt.Sprintf("earth: slot %d out of range [0,%d)", s, len(f.slots)))
+	}
+	if count < 1 {
+		panic(fmt.Sprintf("earth: InitSync slot %d with count %d < 1", s, count))
+	}
+	if reset < 0 {
+		panic(fmt.Sprintf("earth: InitSync slot %d with negative reset %d", s, reset))
+	}
+	if thread < 0 || thread >= len(f.threads) {
+		panic(fmt.Sprintf("earth: InitSync slot %d names thread %d out of range", s, thread))
+	}
+	f.slots[s] = slot{count: count, reset: reset, thread: thread, inited: true}
+	return f
+}
+
+// NumThreads returns the frame's thread-table size.
+func (f *Frame) NumThreads() int { return len(f.threads) }
+
+// NumSlots returns the frame's sync-slot count.
+func (f *Frame) NumSlots() int { return len(f.slots) }
+
+// SlotCount returns the current counter value of slot s (for tests and
+// debugging).
+func (f *Frame) SlotCount(s int) int { return f.slots[s].count }
+
+// Dec decrements slot s and reports whether it fired; if so, thread is the
+// thread to enqueue and the counter has been reset. Engine use only; must
+// be called from the frame's home node context.
+func (f *Frame) Dec(s int) (fired bool, thread int) {
+	if s < 0 || s >= len(f.slots) {
+		panic(fmt.Sprintf("earth: sync on slot %d out of range [0,%d)", s, len(f.slots)))
+	}
+	sl := &f.slots[s]
+	if !sl.inited {
+		panic(fmt.Sprintf("earth: sync on uninitialised slot %d", s))
+	}
+	if sl.count <= 0 {
+		panic(fmt.Sprintf("earth: sync on exhausted one-shot slot %d", s))
+	}
+	sl.count--
+	if sl.count > 0 {
+		return false, 0
+	}
+	sl.count = sl.reset // 0 leaves the slot exhausted (one-shot)
+	return true, sl.thread
+}
+
+// Add adjusts slot s's counter by delta (EARTH: INCR_SYNC), for
+// applications whose synchronisation arity is only known dynamically. Must
+// run on the frame's home node context; the usual pattern is to Add from
+// the thread that will later cause the matching Syncs.
+func (f *Frame) Add(s, delta int) {
+	if s < 0 || s >= len(f.slots) {
+		panic(fmt.Sprintf("earth: Add on slot %d out of range", s))
+	}
+	sl := &f.slots[s]
+	if !sl.inited {
+		panic(fmt.Sprintf("earth: Add on uninitialised slot %d", s))
+	}
+	sl.count += delta
+	if sl.count <= 0 {
+		panic(fmt.Sprintf("earth: Add(%d) drove slot %d to %d; use Sync to fire slots", delta, s, sl.count))
+	}
+}
+
+// ThreadBody returns the installed body of thread id. Engine use.
+func (f *Frame) ThreadBody(id int) ThreadBody {
+	b := f.threads[id]
+	if b == nil {
+		panic(fmt.Sprintf("earth: thread %d enabled but not set", id))
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package earth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func body(Ctx) {}
+
+func TestNewFrameDimensions(t *testing.T) {
+	f := NewFrame(3, 4, 2)
+	if f.Home != 3 || f.NumThreads() != 4 || f.NumSlots() != 2 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestNewFramePanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFrame(0, -1, 0)
+}
+
+func TestSetThreadRange(t *testing.T) {
+	f := NewFrame(0, 2, 0)
+	f.SetThread(0, body).SetThread(1, body)
+	for _, id := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetThread(%d) did not panic", id)
+				}
+			}()
+			f.SetThread(id, body)
+		}()
+	}
+}
+
+func TestSyncSlotFiresAtZero(t *testing.T) {
+	f := NewFrame(0, 2, 1)
+	f.SetThread(1, body)
+	f.InitSync(0, 3, 3, 1)
+	for i := 0; i < 2; i++ {
+		if fired, _ := f.Dec(0); fired {
+			t.Fatalf("slot fired after %d of 3 syncs", i+1)
+		}
+	}
+	fired, th := f.Dec(0)
+	if !fired || th != 1 {
+		t.Fatalf("fired=%v thread=%d, want true,1", fired, th)
+	}
+	// Reset semantics: counter is back at 3.
+	if f.SlotCount(0) != 3 {
+		t.Fatalf("count after fire = %d, want 3 (reset)", f.SlotCount(0))
+	}
+}
+
+func TestOneShotSlotExhausts(t *testing.T) {
+	f := NewFrame(0, 1, 1)
+	f.SetThread(0, body)
+	f.InitSync(0, 1, 0, 0)
+	if fired, _ := f.Dec(0); !fired {
+		t.Fatal("one-shot did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dec on exhausted one-shot did not panic")
+		}
+	}()
+	f.Dec(0)
+}
+
+func TestDecUninitialisedPanics(t *testing.T) {
+	f := NewFrame(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.Dec(0)
+}
+
+func TestInitSyncValidation(t *testing.T) {
+	f := NewFrame(0, 1, 1)
+	f.SetThread(0, body)
+	bad := []struct{ s, c, r, th int }{
+		{-1, 1, 0, 0}, {1, 1, 0, 0}, // slot range
+		{0, 0, 0, 0},  // count < 1
+		{0, 1, -1, 0}, // negative reset
+		{0, 1, 0, 1},  // thread out of range
+	}
+	for i, b := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f.InitSync(b.s, b.c, b.r, b.th)
+		}()
+	}
+}
+
+func TestAddAdjustsCounter(t *testing.T) {
+	f := NewFrame(0, 1, 1)
+	f.SetThread(0, body)
+	f.InitSync(0, 1, 0, 0)
+	f.Add(0, 2) // now 3
+	n := 0
+	for {
+		fired, _ := f.Dec(0)
+		n++
+		if fired {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("fired after %d decs, want 3", n)
+	}
+}
+
+func TestAddCannotFire(t *testing.T) {
+	f := NewFrame(0, 1, 1)
+	f.SetThread(0, body)
+	f.InitSync(0, 1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add driving counter to zero did not panic")
+		}
+	}()
+	f.Add(0, -1)
+}
+
+func TestSlotFiresExactlyEveryCountProperty(t *testing.T) {
+	// Property: with init=count=reset=k, exactly every k-th Dec fires.
+	f := func(kRaw uint8, nRaw uint16) bool {
+		k := int(kRaw)%17 + 1
+		n := int(nRaw) % 500
+		fr := NewFrame(0, 1, 1)
+		fr.SetThread(0, body)
+		fr.InitSync(0, k, k, 0)
+		fires := 0
+		for i := 1; i <= n; i++ {
+			fired, _ := fr.Dec(0)
+			if fired != (i%k == 0) {
+				return false
+			}
+			if fired {
+				fires++
+			}
+		}
+		return fires == n/k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadBodyUnsetPanics(t *testing.T) {
+	f := NewFrame(0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.ThreadBody(0)
+}

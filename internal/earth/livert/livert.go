@@ -1,0 +1,384 @@
+// Package livert executes the EARTH model with real concurrency: one
+// executor goroutine per node, with message delivery and sync-slot
+// mutation always performed on the owning node's executor. It exists to
+// validate that programs written against earth.Ctx are genuinely correct
+// concurrent programs (they run race-detector clean and produce the same
+// results as the simulator), complementing simrt, which models time.
+//
+// Differences from simrt, by design:
+//
+//   - Compute is a no-op: real computation takes real time.
+//   - Cost models are ignored; Stats.Busy is measured wall time per node.
+//   - Work stealing is shared-memory style: an idle executor pops a token
+//     directly from a victim's pool under the victim's lock, rather than
+//     exchanging steal-request messages.
+//
+// Quiescence is detected with an outstanding-work counter covering queued
+// items, pooled tokens and in-flight messages: when it reaches zero the
+// run is complete.
+package livert
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"earth/internal/earth"
+	"earth/internal/sim"
+)
+
+// item is a unit of work executed by a node's executor goroutine.
+type item struct {
+	body    earth.ThreadBody
+	token   bool
+	stolen  bool
+	handler bool
+}
+
+type lnode struct {
+	id earth.NodeID
+	rt *Runtime
+
+	mu       sync.Mutex
+	handlers []earth.ThreadBody // runtime message handlers: highest priority
+	ready    []item             // ready threads
+	tokens   []earth.ThreadBody // stealable token pool
+
+	wake chan struct{}
+	rng  *rand.Rand // accessed only by this node's executor
+
+	threadsRun   uint64
+	tokensRun    uint64
+	tokensStolen uint64
+	syncs        uint64
+	busy         time.Duration
+}
+
+// Runtime is a real-concurrency EARTH machine.
+type Runtime struct {
+	cfg         earth.Config
+	nodes       []*lnode
+	outstanding atomic.Int64
+	rrNext      atomic.Int64
+	done        chan struct{}
+	doneOnce    sync.Once
+	start       time.Time
+	running     atomic.Bool
+}
+
+var _ earth.Runtime = (*Runtime)(nil)
+
+// New builds a live runtime from cfg. Cost and bandwidth fields are
+// accepted for interface compatibility but not charged.
+func New(cfg earth.Config) *Runtime {
+	cfg = cfg.WithDefaults()
+	rt := &Runtime{cfg: cfg}
+	rt.nodes = make([]*lnode, cfg.Nodes)
+	for i := range rt.nodes {
+		rt.nodes[i] = &lnode{
+			id:   earth.NodeID(i),
+			rt:   rt,
+			wake: make(chan struct{}, 1),
+			rng:  rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i))),
+		}
+	}
+	return rt
+}
+
+// P returns the node count.
+func (rt *Runtime) P() int { return len(rt.nodes) }
+
+// Run executes main on node 0 and blocks until the machine is quiescent.
+func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
+	if !rt.running.CompareAndSwap(false, true) {
+		panic("livert: Run called concurrently")
+	}
+	defer rt.running.Store(false)
+	rt.done = make(chan struct{})
+	rt.doneOnce = sync.Once{}
+	rt.start = time.Now()
+	for _, n := range rt.nodes {
+		n.handlers, n.ready, n.tokens = nil, nil, nil
+		n.threadsRun, n.tokensRun, n.tokensStolen, n.syncs = 0, 0, 0, 0
+		n.busy = 0
+	}
+	var wg sync.WaitGroup
+	for _, n := range rt.nodes {
+		wg.Add(1)
+		go func(n *lnode) {
+			defer wg.Done()
+			n.loop()
+		}(n)
+	}
+	rt.enqueue(rt.nodes[0], item{body: main})
+	<-rt.done
+	wg.Wait()
+
+	st := &earth.Stats{
+		Elapsed: sim.Time(time.Since(rt.start).Nanoseconds()),
+		Nodes:   make([]earth.NodeStats, len(rt.nodes)),
+	}
+	for i, n := range rt.nodes {
+		st.Nodes[i] = earth.NodeStats{
+			Busy:         sim.Time(n.busy.Nanoseconds()),
+			ThreadsRun:   n.threadsRun,
+			TokensRun:    n.tokensRun,
+			TokensStolen: n.tokensStolen,
+			Syncs:        n.syncs,
+		}
+	}
+	return st
+}
+
+func (rt *Runtime) finish() {
+	rt.doneOnce.Do(func() { close(rt.done) })
+}
+
+// add increments the outstanding-work counter.
+func (rt *Runtime) add() { rt.outstanding.Add(1) }
+
+// doneOne decrements the counter and finishes the run at zero.
+func (rt *Runtime) doneOne() {
+	if rt.outstanding.Add(-1) == 0 {
+		rt.finish()
+	}
+}
+
+// enqueue adds a ready item on n (counted as outstanding work).
+func (rt *Runtime) enqueue(n *lnode, it item) {
+	rt.add()
+	n.mu.Lock()
+	n.ready = append(n.ready, it)
+	n.mu.Unlock()
+	n.poke()
+}
+
+// enqueueHandler adds a runtime message handler on n.
+func (rt *Runtime) enqueueHandler(n *lnode, h earth.ThreadBody) {
+	rt.add()
+	n.mu.Lock()
+	n.handlers = append(n.handlers, h)
+	n.mu.Unlock()
+	n.poke()
+}
+
+func (n *lnode) poke() {
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// next pops the highest-priority available work: handlers, then ready
+// threads, then own tokens (newest first).
+func (n *lnode) next() (item, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.handlers) > 0 {
+		h := n.handlers[0]
+		n.handlers = n.handlers[1:]
+		return item{body: h, handler: true}, true
+	}
+	if len(n.ready) > 0 {
+		it := n.ready[0]
+		n.ready = n.ready[1:]
+		return it, true
+	}
+	if len(n.tokens) > 0 {
+		b := n.tokens[len(n.tokens)-1]
+		n.tokens = n.tokens[:len(n.tokens)-1]
+		return item{body: b, token: true}, true
+	}
+	return item{}, false
+}
+
+// steal pops the oldest token from a random victim's pool.
+func (n *lnode) steal() (item, bool) {
+	if n.rt.cfg.Balancer != earth.BalanceSteal {
+		return item{}, false
+	}
+	p := len(n.rt.nodes)
+	off := n.rng.Intn(p)
+	for i := 0; i < p; i++ {
+		v := n.rt.nodes[(off+i)%p]
+		if v == n {
+			continue
+		}
+		v.mu.Lock()
+		if len(v.tokens) > 0 {
+			b := v.tokens[0]
+			v.tokens = v.tokens[1:]
+			v.mu.Unlock()
+			return item{body: b, token: true, stolen: true}, true
+		}
+		v.mu.Unlock()
+	}
+	return item{}, false
+}
+
+// loop is the executor: it drains work until the runtime is quiescent.
+func (n *lnode) loop() {
+	for {
+		it, ok := n.next()
+		if !ok {
+			it, ok = n.steal()
+		}
+		if !ok {
+			select {
+			case <-n.rt.done:
+				return
+			case <-n.wake:
+				continue
+			case <-time.After(200 * time.Microsecond):
+				continue // re-scan pools: a victim may have deposited tokens
+			}
+		}
+		t0 := time.Now()
+		c := &ctx{rt: n.rt, n: n}
+		it.body(c)
+		c.dead = true
+		n.busy += time.Since(t0)
+		if !it.handler {
+			n.threadsRun++
+		}
+		if it.token {
+			n.tokensRun++
+			if it.stolen {
+				n.tokensStolen++
+			}
+		}
+		n.rt.doneOne()
+		select {
+		case <-n.rt.done:
+			return
+		default:
+		}
+	}
+}
+
+// decSlot must run on f's home executor.
+func (n *lnode) decSlot(f *earth.Frame, slot int) {
+	n.syncs++
+	if fired, th := f.Dec(slot); fired {
+		n.rt.enqueue(n, item{body: f.ThreadBody(th)})
+	}
+}
+
+// ctx implements earth.Ctx on the live engine.
+type ctx struct {
+	rt   *Runtime
+	n    *lnode
+	dead bool
+}
+
+var _ earth.Ctx = (*ctx)(nil)
+
+func (c *ctx) check() {
+	if c.dead {
+		panic("livert: Ctx used after its thread body returned")
+	}
+}
+
+func (c *ctx) Node() earth.NodeID { return c.n.id }
+func (c *ctx) P() int             { return len(c.rt.nodes) }
+func (c *ctx) Now() sim.Time      { return sim.Time(time.Since(c.rt.start).Nanoseconds()) }
+func (c *ctx) Rand() *rand.Rand   { return c.n.rng }
+
+// Compute is a no-op: under livert real computation takes real time.
+func (c *ctx) Compute(d sim.Time) {
+	c.check()
+	if d < 0 {
+		panic("livert: negative compute time")
+	}
+}
+
+func (c *ctx) Spawn(f *earth.Frame, thread int) {
+	c.check()
+	if f.Home != c.n.id {
+		panic(fmt.Sprintf("livert: Spawn of frame on node %d from node %d", f.Home, c.n.id))
+	}
+	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread)})
+}
+
+func (c *ctx) Sync(f *earth.Frame, slot int) {
+	c.check()
+	home := c.rt.nodes[f.Home]
+	if home == c.n {
+		home.decSlot(f, slot)
+		return
+	}
+	c.rt.enqueueHandler(home, func(earth.Ctx) { home.decSlot(f, slot) })
+}
+
+func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, slot int) {
+	c.check()
+	rt := c.rt
+	dst := rt.nodes[owner]
+	if dst == c.n {
+		write()
+		if f != nil {
+			c.Sync(f, slot)
+		}
+		return
+	}
+	rt.enqueueHandler(dst, func(hc earth.Ctx) {
+		write()
+		if f != nil {
+			hc.Sync(f, slot)
+		}
+	})
+}
+
+func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.Frame, slot int) {
+	c.check()
+	rt := c.rt
+	src := c.n
+	dst := rt.nodes[owner]
+	if dst == c.n {
+		read()()
+		if f != nil {
+			c.Sync(f, slot)
+		}
+		return
+	}
+	rt.enqueueHandler(dst, func(earth.Ctx) {
+		deliver := read()
+		rt.enqueueHandler(src, func(hc earth.Ctx) {
+			deliver()
+			if f != nil {
+				hc.Sync(f, slot)
+			}
+		})
+	})
+}
+
+func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
+	c.check()
+	c.rt.enqueue(c.rt.nodes[nodeID], item{body: body})
+}
+
+// Post delivers handler on the target's high-priority handler queue.
+func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) {
+	c.check()
+	c.rt.enqueueHandler(c.rt.nodes[nodeID], handler)
+}
+
+func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
+	c.check()
+	rt := c.rt
+	switch rt.cfg.Balancer {
+	case earth.BalanceRandomPlace:
+		rt.enqueue(rt.nodes[c.n.rng.Intn(len(rt.nodes))], item{body: body, token: true})
+	case earth.BalanceRoundRobin:
+		i := int(rt.rrNext.Add(1)-1) % len(rt.nodes)
+		rt.enqueue(rt.nodes[i], item{body: body, token: true})
+	default: // BalanceSteal, BalanceNone: pool locally
+		rt.add()
+		c.n.mu.Lock()
+		c.n.tokens = append(c.n.tokens, body)
+		c.n.mu.Unlock()
+		c.n.poke()
+	}
+}

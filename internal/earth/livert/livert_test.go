@@ -1,0 +1,198 @@
+package livert
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/sim"
+)
+
+func TestRunMainOnNodeZero(t *testing.T) {
+	rt := New(earth.Config{Nodes: 4, Seed: 1})
+	var ran atomic.Int64
+	ran.Store(-1)
+	st := rt.Run(func(c earth.Ctx) { ran.Store(int64(c.Node())) })
+	if ran.Load() != 0 {
+		t.Fatalf("main ran on node %d", ran.Load())
+	}
+	if st.TotalThreads() != 1 {
+		t.Fatalf("threads = %d", st.TotalThreads())
+	}
+}
+
+func TestTokensAllRunAcrossNodes(t *testing.T) {
+	rt := New(earth.Config{Nodes: 4, Seed: 2, Balancer: earth.BalanceSteal})
+	var n atomic.Int64
+	rt.Run(func(c earth.Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Token(8, func(c earth.Ctx) {
+				n.Add(1)
+				// A little real work so stealing has time to happen.
+				s := 0.0
+				for j := 0; j < 10000; j++ {
+					s += float64(j)
+				}
+				_ = s
+			})
+		}
+	})
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tokens, want 100", n.Load())
+	}
+}
+
+func TestNestedTokens(t *testing.T) {
+	rt := New(earth.Config{Nodes: 8, Seed: 3})
+	var count atomic.Int64
+	var spawn func(c earth.Ctx, depth int)
+	spawn = func(c earth.Ctx, depth int) {
+		count.Add(1)
+		if depth > 0 {
+			for i := 0; i < 2; i++ {
+				c.Token(8, func(c earth.Ctx) { spawn(c, depth-1) })
+			}
+		}
+	}
+	rt.Run(func(c earth.Ctx) { spawn(c, 9) })
+	if count.Load() != 1023 {
+		t.Fatalf("ran %d tasks, want 1023", count.Load())
+	}
+}
+
+func TestSyncSlotJoin(t *testing.T) {
+	rt := New(earth.Config{Nodes: 4, Seed: 1})
+	var joined atomic.Bool
+	var workers atomic.Int64
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(c.Node(), 2, 1)
+		f.InitSync(0, 8, 0, 1)
+		f.SetThread(1, func(c earth.Ctx) {
+			if workers.Load() != 8 {
+				t.Errorf("join before all workers: %d", workers.Load())
+			}
+			joined.Store(true)
+		})
+		for i := 0; i < 8; i++ {
+			c.Invoke(earth.NodeID(i%4), 0, func(c earth.Ctx) {
+				workers.Add(1)
+				c.Sync(f, 0)
+			})
+		}
+	})
+	if !joined.Load() {
+		t.Fatal("join thread never ran")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	rt := New(earth.Config{Nodes: 2, Seed: 1})
+	// cell is owned by node 1; only node 1's executor touches it.
+	var cell float64
+	var got atomic.Value
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(0, 2, 2)
+		f.InitSync(0, 1, 0, 0)
+		f.InitSync(1, 1, 0, 1)
+		var back float64
+		f.SetThread(0, func(c earth.Ctx) {
+			earth.GetSyncF64(c, 1, &cell, &back, f, 1)
+		})
+		f.SetThread(1, func(c earth.Ctx) { got.Store(back) })
+		earth.DataSyncF64(c, 1, 3.75, &cell, f, 0)
+	})
+	if v, _ := got.Load().(float64); v != 3.75 {
+		t.Fatalf("round trip = %v, want 3.75", got.Load())
+	}
+}
+
+func TestOwnerSerialisation(t *testing.T) {
+	// Many nodes Put-increment a counter owned by node 0; because all
+	// writes execute on node 0's executor, no increments are lost even
+	// without atomics. This is the ownership discipline the engines
+	// guarantee (and the race detector verifies).
+	rt := New(earth.Config{Nodes: 8, Seed: 1})
+	counter := 0
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, 200, 0, 0)
+		f.SetThread(0, func(earth.Ctx) {})
+		for i := 0; i < 200; i++ {
+			c.Invoke(earth.NodeID(i%8), 0, func(c earth.Ctx) {
+				c.Put(0, 8, func() { counter++ }, f, 0)
+			})
+		}
+	})
+	if counter != 200 {
+		t.Fatalf("counter = %d, want 200 (lost updates)", counter)
+	}
+}
+
+func TestBalancePolicies(t *testing.T) {
+	for _, b := range []earth.Balancer{earth.BalanceRandomPlace, earth.BalanceRoundRobin, earth.BalanceNone} {
+		rt := New(earth.Config{Nodes: 4, Seed: 9, Balancer: b})
+		var n atomic.Int64
+		rt.Run(func(c earth.Ctx) {
+			for i := 0; i < 40; i++ {
+				c.Token(8, func(earth.Ctx) { n.Add(1) })
+			}
+		})
+		if n.Load() != 40 {
+			t.Fatalf("balancer %v: ran %d, want 40", b, n.Load())
+		}
+	}
+}
+
+func TestComputeIsNoOp(t *testing.T) {
+	rt := New(earth.Config{Nodes: 1, Seed: 1})
+	st := rt.Run(func(c earth.Ctx) { c.Compute(10 * sim.Second) })
+	// 10 virtual seconds must not take 10 real seconds.
+	if st.Elapsed > 2*sim.Second {
+		t.Fatalf("Compute slept for real: %v", st.Elapsed)
+	}
+}
+
+func TestRunReusable(t *testing.T) {
+	rt := New(earth.Config{Nodes: 2, Seed: 1})
+	for i := 0; i < 3; i++ {
+		var n atomic.Int64
+		rt.Run(func(c earth.Ctx) {
+			for j := 0; j < 10; j++ {
+				c.Token(0, func(earth.Ctx) { n.Add(1) })
+			}
+		})
+		if n.Load() != 10 {
+			t.Fatalf("run %d: %d tokens", i, n.Load())
+		}
+	}
+}
+
+func TestCtxUseAfterReturnPanics(t *testing.T) {
+	rt := New(earth.Config{Nodes: 1, Seed: 1})
+	var leaked earth.Ctx
+	rt.Run(func(c earth.Ctx) { leaked = c })
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	leaked.Compute(1)
+}
+
+func TestDeepPipeline(t *testing.T) {
+	// A long chain of cross-node continuations exercises quiescence
+	// detection: the run must end exactly when the chain does.
+	rt := New(earth.Config{Nodes: 3, Seed: 1})
+	var hops atomic.Int64
+	var step func(c earth.Ctx, k int)
+	step = func(c earth.Ctx, k int) {
+		hops.Add(1)
+		if k > 0 {
+			c.Invoke(earth.NodeID(k%3), 8, func(c earth.Ctx) { step(c, k-1) })
+		}
+	}
+	rt.Run(func(c earth.Ctx) { step(c, 500) })
+	if hops.Load() != 501 {
+		t.Fatalf("hops = %d, want 501", hops.Load())
+	}
+}

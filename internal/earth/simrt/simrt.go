@@ -1,0 +1,543 @@
+// Package simrt is the discrete-event simulation engine for the EARTH
+// execution model. It executes application code for real (the eigenvalues,
+// Gröbner bases and neural-network weights it produces are genuine) while
+// accounting time in a virtual clock:
+//
+//   - application threads charge modelled compute time via Ctx.Compute,
+//   - runtime operations charge the configured earth.CostModel,
+//   - the network charges manna transfer times (NIC serialisation, hop
+//     latency, bandwidth).
+//
+// Each node is modelled as a processor with a ready queue of threads, a
+// token pool and a virtual availability time. Threads are non-preemptive:
+// a dispatched body runs to completion, advancing the node's clock.
+// Incoming messages are handled on the EARTH Synchronization-Unit /
+// polling-watchdog path: their effect occurs at arrival plus the
+// receiver-side cost; if the cost model declares that receiving consumes
+// the processor (the message-passing models of the paper's Section 3.2),
+// the node's next dispatch is additionally delayed by that cost.
+//
+// A run is fully deterministic for a given Config (including Seed).
+package simrt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"earth/internal/earth"
+	"earth/internal/manna"
+	"earth/internal/sim"
+)
+
+// msgHeader is the fixed per-message header size in bytes used for network
+// cost accounting.
+const msgHeader = 16
+
+// stealReqBytes is the size of a work-stealing request message.
+const stealReqBytes = 8
+
+// item is a unit of dispatchable work on a node.
+type item struct {
+	body     earth.ThreadBody
+	recvCost sim.Time // receiver-side software overhead charged at dispatch
+	token    bool     // counts as a token execution in stats
+	stolen   bool     // token obtained from another node
+}
+
+// token is a load-balanced invocation waiting in a node's pool.
+type token struct {
+	body     earth.ThreadBody
+	argBytes int
+}
+
+// node is the simulated per-node state.
+type node struct {
+	id      earth.NodeID
+	ready   []item  // FIFO ready queue of threads
+	tokens  []token // local token pool (LIFO for local execution, FIFO for steals)
+	running bool    // a dispatch chain is active
+	// cpuDebt accumulates receiver-side costs that must delay the next
+	// dispatch when the cost model consumes the processor on receive.
+	cpuDebt  sim.Time
+	stealing bool // a steal request is in flight
+	parked   bool // waiting on the thief list
+	rng      *rand.Rand
+	stats    earth.NodeStats
+}
+
+// Runtime is a simulated EARTH machine.
+type Runtime struct {
+	cfg     earth.Config
+	eng     *sim.Engine
+	mach    *manna.Machine
+	nodes   []*node
+	thieves []earth.NodeID // parked idle nodes, FIFO
+	rrNext  int            // round-robin placement cursor
+	// tokensInPools tracks the global token population, so idle nodes only
+	// hunt when there is something to find.
+	tokensInPools int
+}
+
+var _ earth.Runtime = (*Runtime)(nil)
+
+// New builds a simulated runtime from cfg.
+func New(cfg earth.Config) *Runtime {
+	cfg = cfg.WithDefaults()
+	var mc manna.Config
+	if cfg.Machine != nil {
+		mc = *cfg.Machine
+		mc.Nodes = cfg.Nodes
+	} else {
+		mc = manna.Default(cfg.Nodes)
+		mc.BandwidthBytesPerSec = cfg.Bandwidth
+	}
+	rt := &Runtime{
+		cfg:   cfg,
+		eng:   sim.New(),
+		mach:  manna.New(mc),
+		nodes: make([]*node, cfg.Nodes),
+	}
+	for i := range rt.nodes {
+		rt.nodes[i] = &node{
+			id:  earth.NodeID(i),
+			rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i))),
+		}
+	}
+	return rt
+}
+
+// P returns the node count.
+func (rt *Runtime) P() int { return len(rt.nodes) }
+
+// Run executes main as thread 0 of a frame on node 0 and drives the
+// simulation to quiescence. It may be called repeatedly; each call starts
+// from a fresh virtual clock but reuses node RNG streams (so consecutive
+// runs explore different schedules, as repeated real runs would).
+func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
+	rt.eng = sim.New()
+	rt.mach.Reset()
+	rt.thieves = rt.thieves[:0]
+	rt.tokensInPools = 0
+	for _, n := range rt.nodes {
+		n.ready = n.ready[:0]
+		n.tokens = n.tokens[:0]
+		n.running, n.stealing, n.parked = false, false, false
+		n.cpuDebt = 0
+		n.stats = earth.NodeStats{}
+	}
+	if rt.cfg.Balancer == earth.BalanceSteal {
+		// All nodes except node 0 start idle: park them as thieves so the
+		// first tokens flow out immediately (receiver-initiated balancing).
+		for _, n := range rt.nodes[1:] {
+			n.parked = true
+			rt.thieves = append(rt.thieves, n.id)
+		}
+	}
+	rt.enqueue(rt.nodes[0], item{body: main})
+	rt.eng.Run()
+	st := &earth.Stats{
+		Elapsed: rt.eng.Now(),
+		Nodes:   make([]earth.NodeStats, len(rt.nodes)),
+		Events:  rt.eng.Events,
+	}
+	for i, n := range rt.nodes {
+		st.Nodes[i] = n.stats
+	}
+	return st
+}
+
+// enqueue places it on n's ready queue and kicks the dispatch chain if the
+// node is idle. Must be called from an event context.
+func (rt *Runtime) enqueue(n *node, it item) {
+	n.ready = append(n.ready, it)
+	if !n.running {
+		n.running = true
+		rt.eng.After(0, func() { rt.dispatch(n) })
+	}
+}
+
+// dispatch pops and executes the next unit of work on n. It runs as a
+// simulator event at the node's availability time.
+func (rt *Runtime) dispatch(n *node) {
+	// Receiver-side CPU debt delays the node.
+	if n.cpuDebt > 0 {
+		d := n.cpuDebt
+		n.cpuDebt = 0
+		rt.eng.After(d, func() { rt.dispatch(n) })
+		return
+	}
+	var it item
+	switch {
+	case len(n.ready) > 0:
+		it = n.ready[0]
+		// Avoid holding references alive in the backing array.
+		copy(n.ready, n.ready[1:])
+		n.ready = n.ready[:len(n.ready)-1]
+	case len(n.tokens) > 0:
+		// Run own tokens newest-first (depth-first on task trees).
+		tk := n.tokens[len(n.tokens)-1]
+		n.tokens = n.tokens[:len(n.tokens)-1]
+		rt.tokensInPools--
+		it = item{body: tk.body, token: true}
+	default:
+		n.running = false
+		rt.trySteal(n)
+		return
+	}
+
+	start := rt.eng.Now()
+	c := &ctx{rt: rt, n: n, cursor: start + rt.cfg.Costs.ThreadSwitch + it.recvCost}
+	it.body(c)
+	c.dead = true
+	n.stats.Busy += c.cursor - start
+	n.stats.ThreadsRun++
+	if it.token {
+		n.stats.TokensRun++
+		if it.stolen {
+			n.stats.TokensStolen++
+		}
+	}
+	if c.cursor > start {
+		rt.eng.At(c.cursor, func() { rt.dispatch(n) })
+	} else {
+		rt.eng.After(0, func() { rt.dispatch(n) })
+	}
+}
+
+// runHandlerBody executes an active-message handler on n's handler path.
+func (rt *Runtime) runHandlerBody(n *node, recvCost sim.Time, body earth.ThreadBody) {
+	rt.handler(n, recvCost, func() {
+		hc := &ctx{rt: rt, n: n, cursor: rt.eng.Now()}
+		body(hc)
+		hc.dead = true
+		n.stats.Busy += hc.cursor - rt.eng.Now()
+	})
+}
+
+// handler runs a runtime message handler whose effect happens at the
+// current event time plus the receiver cost. If the cost model consumes
+// the CPU on receive, the node's next dispatch is delayed correspondingly.
+func (rt *Runtime) handler(n *node, recvCost sim.Time, effect func()) {
+	n.stats.Busy += recvCost
+	if rt.consumesCPUOnRecv() {
+		n.cpuDebt += recvCost
+	}
+	if recvCost > 0 {
+		rt.eng.After(recvCost, effect)
+	} else {
+		effect()
+	}
+}
+
+// consumesCPUOnRecv reports whether receiver-side overhead steals processor
+// time from application threads. EARTH's Synchronization Unit / polling
+// watchdog absorbs the microsecond-scale handling; the message-passing
+// models process messages on the application processor.
+func (rt *Runtime) consumesCPUOnRecv() bool {
+	return rt.cfg.Costs.SyncRecv >= 50*sim.Microsecond
+}
+
+// deliverSync routes a sync signal to f's home node; from must already have
+// paid the send-side cost. Called at the arrival event.
+func (rt *Runtime) deliverSync(f *earth.Frame, slot int) {
+	n := rt.nodes[f.Home]
+	rt.handler(n, rt.cfg.Costs.SpawnLocal, func() {
+		rt.decSlot(n, f, slot)
+	})
+}
+
+// decSlot decrements a slot on its home node and enqueues the enabled
+// thread when it fires.
+func (rt *Runtime) decSlot(n *node, f *earth.Frame, slot int) {
+	n.stats.Syncs++
+	if fired, th := f.Dec(slot); fired {
+		rt.enqueue(n, item{body: f.ThreadBody(th)})
+	}
+}
+
+// send charges the network for a message and returns its arrival time.
+// ready is the virtual time the sender-side software finished.
+func (rt *Runtime) send(ready sim.Time, src, dst earth.NodeID, payload int) sim.Time {
+	n := rt.nodes[src]
+	n.stats.MsgsSent++
+	n.stats.BytesSent += uint64(payload + msgHeader)
+	return rt.mach.Send(ready, int(src), int(dst), payload+msgHeader)
+}
+
+// depositToken adds a token to n's pool, or ships it straight to a parked
+// thief. cursor is the depositing thread's current virtual time; the
+// returned value includes any send-side cost charged to the depositor.
+func (rt *Runtime) depositToken(n *node, cursor sim.Time, tk token) sim.Time {
+	if len(rt.thieves) > 0 {
+		thiefID := rt.thieves[0]
+		rt.thieves = rt.thieves[1:]
+		thief := rt.nodes[thiefID]
+		thief.parked = false
+		cursor += rt.cfg.Costs.AsyncSend
+		arrival := rt.send(cursor, n.id, thiefID, tk.argBytes)
+		rt.eng.At(arrival, func() {
+			rt.handler(thief, rt.cfg.Costs.RecvCost(tk.argBytes, false), func() {
+				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true})
+			})
+		})
+		return cursor
+	}
+	n.tokens = append(n.tokens, tk)
+	rt.tokensInPools++
+	if !n.running {
+		n.running = true
+		rt.eng.After(0, func() { rt.dispatch(n) })
+	}
+	return cursor
+}
+
+// trySteal is called when node n runs dry. Under the steal balancer it
+// initiates a steal request; otherwise the node simply idles.
+func (rt *Runtime) trySteal(n *node) {
+	if rt.cfg.Balancer != earth.BalanceSteal || n.stealing || n.parked || n.running {
+		return
+	}
+	victim := rt.pickVictim(n)
+	if victim == nil {
+		if rt.tokensInPools == 0 {
+			// Nothing to steal anywhere: park until a deposit wakes us.
+			n.parked = true
+			rt.thieves = append(rt.thieves, n.id)
+		}
+		return
+	}
+	n.stealing = true
+	reqArrival := rt.send(rt.eng.Now()+rt.cfg.Costs.AsyncSend, n.id, victim.id, stealReqBytes)
+	rt.eng.At(reqArrival, func() { rt.serveSteal(victim, n) })
+}
+
+// pickVictim returns a random node with a non-empty token pool, or nil.
+func (rt *Runtime) pickVictim(thief *node) *node {
+	candidates := make([]*node, 0, len(rt.nodes))
+	for _, v := range rt.nodes {
+		if v != thief && len(v.tokens) > 0 {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[thief.rng.Intn(len(candidates))]
+}
+
+// serveSteal handles a steal request arriving at victim from thief: the
+// victim's oldest token (largest subtree, for tree-shaped workloads) is
+// shipped back; if the pool emptied in flight, the thief retries.
+func (rt *Runtime) serveSteal(victim, thief *node) {
+	rt.handler(victim, rt.cfg.Costs.AsyncRecv, func() {
+		thief.stealing = false
+		if len(victim.tokens) == 0 {
+			rt.trySteal(thief)
+			return
+		}
+		tk := victim.tokens[0]
+		copy(victim.tokens, victim.tokens[1:])
+		victim.tokens = victim.tokens[:len(victim.tokens)-1]
+		rt.tokensInPools--
+		arrival := rt.send(rt.eng.Now()+rt.cfg.Costs.AsyncSend, victim.id, thief.id, tk.argBytes)
+		rt.eng.At(arrival, func() {
+			rt.handler(thief, rt.cfg.Costs.RecvCost(tk.argBytes, false), func() {
+				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true})
+			})
+		})
+	})
+}
+
+// ctx implements earth.Ctx for one executing thread body.
+type ctx struct {
+	rt     *Runtime
+	n      *node
+	cursor sim.Time
+	dead   bool
+}
+
+var _ earth.Ctx = (*ctx)(nil)
+
+func (c *ctx) check() {
+	if c.dead {
+		panic("simrt: Ctx used after its thread body returned")
+	}
+}
+
+func (c *ctx) Node() earth.NodeID { return c.n.id }
+func (c *ctx) P() int             { return len(c.rt.nodes) }
+func (c *ctx) Now() sim.Time      { return c.cursor }
+func (c *ctx) Rand() *rand.Rand   { return c.n.rng }
+
+func (c *ctx) Compute(d sim.Time) {
+	c.check()
+	if d < 0 {
+		panic("simrt: negative compute time")
+	}
+	if j := c.rt.cfg.JitterPct; j > 0 {
+		f := 1 + (c.n.rng.Float64()*2-1)*j/100
+		d = sim.Time(float64(d) * f)
+	}
+	c.cursor += d
+}
+
+func (c *ctx) Spawn(f *earth.Frame, thread int) {
+	c.check()
+	if f.Home != c.n.id {
+		panic(fmt.Sprintf("simrt: Spawn of frame on node %d from node %d; use Invoke or Sync", f.Home, c.n.id))
+	}
+	c.cursor += c.rt.cfg.Costs.SpawnLocal
+	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread)})
+}
+
+func (c *ctx) Sync(f *earth.Frame, slot int) {
+	c.check()
+	if f.Home == c.n.id {
+		c.cursor += c.rt.cfg.Costs.SpawnLocal
+		c.rt.decSlot(c.n, f, slot)
+		return
+	}
+	c.cursor += c.rt.cfg.Costs.AsyncSend
+	arrival := c.rt.send(c.cursor, c.n.id, f.Home, 8)
+	rt := c.rt
+	rt.eng.At(arrival, func() { rt.deliverSync(f, slot) })
+}
+
+func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, slot int) {
+	c.check()
+	rt := c.rt
+	if owner == c.n.id {
+		// Local "remote" write: immediate effect, local sync.
+		c.cursor += rt.cfg.Costs.SpawnLocal
+		write()
+		if f != nil {
+			c.Sync(f, slot)
+		}
+		return
+	}
+	c.cursor += rt.cfg.Costs.SendCost(nbytes, false)
+	arrival := rt.send(c.cursor, c.n.id, owner, nbytes)
+	dst := rt.nodes[owner]
+	rt.eng.At(arrival, func() {
+		rt.handler(dst, rt.cfg.Costs.RecvCost(nbytes, false), func() {
+			write()
+			if f != nil {
+				if f.Home == owner {
+					rt.decSlot(dst, f, slot)
+				} else {
+					arr2 := rt.send(rt.eng.Now(), owner, f.Home, 8)
+					rt.eng.At(arr2, func() { rt.deliverSync(f, slot) })
+				}
+			}
+		})
+	})
+}
+
+func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.Frame, slot int) {
+	c.check()
+	rt := c.rt
+	src := c.n
+	if owner == c.n.id {
+		c.cursor += rt.cfg.Costs.SpawnLocal
+		deliver := read()
+		deliver()
+		if f != nil {
+			c.Sync(f, slot)
+		}
+		return
+	}
+	// Request leg: small message, sender pays the synchronous overhead.
+	c.cursor += rt.cfg.Costs.SendCost(0, true)
+	reqArrival := rt.send(c.cursor, c.n.id, owner, 8)
+	dst := rt.nodes[owner]
+	rt.eng.At(reqArrival, func() {
+		rt.handler(dst, rt.cfg.Costs.RecvCost(nbytes, true), func() {
+			deliver := read()
+			// Response leg carrying the payload.
+			respArrival := rt.send(rt.eng.Now(), owner, src.id, nbytes)
+			rt.eng.At(respArrival, func() {
+				rt.handler(src, rt.cfg.Costs.RecvCost(nbytes, false), func() {
+					deliver()
+					if f != nil {
+						if f.Home == src.id {
+							rt.decSlot(src, f, slot)
+						} else {
+							arr2 := rt.send(rt.eng.Now(), src.id, f.Home, 8)
+							rt.eng.At(arr2, func() { rt.deliverSync(f, slot) })
+						}
+					}
+				})
+			})
+		})
+	})
+}
+
+func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
+	c.check()
+	rt := c.rt
+	if nodeID == c.n.id {
+		c.cursor += rt.cfg.Costs.SpawnLocal
+		rt.enqueue(c.n, item{body: body})
+		return
+	}
+	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
+	arrival := rt.send(c.cursor, c.n.id, nodeID, argBytes)
+	dst := rt.nodes[nodeID]
+	rt.eng.At(arrival, func() {
+		rt.enqueue(dst, item{body: body, recvCost: rt.cfg.Costs.RecvCost(argBytes, false)})
+	})
+}
+
+// Post delivers handler on the target's message-handling path: its effect
+// occurs at arrival plus the receiver-side cost, without waiting for the
+// target's current thread to finish (the Synchronization-Unit / polling-
+// watchdog model). The handler runs with a Ctx of its own; its execution
+// time is accounted to the node but only delays the node's thread
+// dispatching under cost models that consume the CPU on receive.
+func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) {
+	c.check()
+	rt := c.rt
+	if nodeID == c.n.id {
+		// Local post: handled immediately after the current thread's
+		// current point; modelled as a local spawn on the handler path.
+		c.cursor += rt.cfg.Costs.SpawnLocal
+		at := c.cursor
+		rt.eng.At(at, func() { rt.runHandlerBody(c.n, 0, handler) })
+		return
+	}
+	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
+	arrival := rt.send(c.cursor, c.n.id, nodeID, argBytes)
+	dst := rt.nodes[nodeID]
+	rt.eng.At(arrival, func() {
+		rt.runHandlerBody(dst, rt.cfg.Costs.RecvCost(argBytes, false), handler)
+	})
+}
+
+func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
+	c.check()
+	rt := c.rt
+	switch rt.cfg.Balancer {
+	case earth.BalanceRandomPlace, earth.BalanceRoundRobin:
+		var target earth.NodeID
+		if rt.cfg.Balancer == earth.BalanceRandomPlace {
+			target = earth.NodeID(c.n.rng.Intn(len(rt.nodes)))
+		} else {
+			target = earth.NodeID(rt.rrNext % len(rt.nodes))
+			rt.rrNext++
+		}
+		if target == c.n.id {
+			c.cursor += rt.cfg.Costs.SpawnLocal
+			rt.enqueue(c.n, item{body: body, token: true})
+			return
+		}
+		c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
+		arrival := rt.send(c.cursor, c.n.id, target, argBytes)
+		dst := rt.nodes[target]
+		rt.eng.At(arrival, func() {
+			rt.enqueue(dst, item{body: body, token: true, recvCost: rt.cfg.Costs.RecvCost(argBytes, false)})
+		})
+	default: // BalanceSteal, BalanceNone
+		c.cursor += rt.cfg.Costs.SpawnLocal
+		c.cursor = rt.depositToken(c.n, c.cursor, token{body: body, argBytes: argBytes})
+	}
+}

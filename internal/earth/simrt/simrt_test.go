@@ -1,0 +1,494 @@
+package simrt
+
+import (
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/sim"
+)
+
+func newRT(nodes int) *Runtime {
+	return New(earth.Config{Nodes: nodes, Seed: 1})
+}
+
+func TestRunMainOnNodeZero(t *testing.T) {
+	rt := newRT(4)
+	var ran earth.NodeID = -1
+	st := rt.Run(func(c earth.Ctx) { ran = c.Node() })
+	if ran != 0 {
+		t.Fatalf("main ran on node %d", ran)
+	}
+	if st.TotalThreads() != 1 {
+		t.Fatalf("threads = %d, want 1", st.TotalThreads())
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("no time elapsed (thread switch should be charged)")
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	rt := newRT(1)
+	st := rt.Run(func(c earth.Ctx) { c.Compute(5 * sim.Millisecond) })
+	if st.Elapsed < 5*sim.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 5ms", st.Elapsed)
+	}
+	if st.Elapsed > 6*sim.Millisecond {
+		t.Fatalf("elapsed = %v, want ~5ms", st.Elapsed)
+	}
+}
+
+func TestSequentialThreadsSerialise(t *testing.T) {
+	// Two 1ms threads on one node take 2ms+, on separate nodes via Invoke ~1ms.
+	run := func(nodes int) sim.Time {
+		rt := newRT(nodes)
+		st := rt.Run(func(c earth.Ctx) {
+			for i := 0; i < 2; i++ {
+				c.Invoke(earth.NodeID(i%nodes), 8, func(c earth.Ctx) {
+					c.Compute(sim.Millisecond)
+				})
+			}
+		})
+		return st.Elapsed
+	}
+	one, two := run(1), run(2)
+	if one < 2*sim.Millisecond {
+		t.Errorf("1 node: %v, want >= 2ms", one)
+	}
+	if two >= 2*sim.Millisecond {
+		t.Errorf("2 nodes: %v, want < 2ms (parallel)", two)
+	}
+}
+
+func TestSyncSlotAcrossThreads(t *testing.T) {
+	rt := newRT(1)
+	var order []string
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(c.Node(), 2, 1)
+		f.InitSync(0, 3, 0, 1)
+		f.SetThread(1, func(c earth.Ctx) { order = append(order, "joined") })
+		for i := 0; i < 3; i++ {
+			c.Invoke(0, 0, func(c earth.Ctx) {
+				order = append(order, "worker")
+				c.Sync(f, 0)
+			})
+		}
+	})
+	if len(order) != 4 || order[3] != "joined" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRemoteSyncRoutesToHome(t *testing.T) {
+	rt := newRT(2)
+	fired := false
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, 1, 0, 0)
+		f.SetThread(0, func(c earth.Ctx) {
+			if c.Node() != 0 {
+				t.Errorf("slot thread ran on node %d, want home 0", c.Node())
+			}
+			fired = true
+		})
+		c.Invoke(1, 0, func(c earth.Ctx) { c.Sync(f, 0) })
+	})
+	if !fired {
+		t.Fatal("remote sync never fired")
+	}
+}
+
+func TestPutWritesAtOwner(t *testing.T) {
+	rt := newRT(2)
+	var cell float64
+	var seen float64
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, 1, 0, 0)
+		f.SetThread(0, func(c earth.Ctx) { seen = cell })
+		// Write from node 1 into node 0's cell.
+		c.Invoke(1, 0, func(c earth.Ctx) {
+			earth.DataSyncF64(c, 0, 42.5, &cell, f, 0)
+		})
+	})
+	if seen != 42.5 {
+		t.Fatalf("seen = %v, want 42.5 (sync must follow the write)", seen)
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	rt := newRT(2)
+	src := 123.25
+	var dst float64
+	var after float64
+	rt.Run(func(c earth.Ctx) {
+		c.Invoke(1, 0, func(c earth.Ctx) {
+			f := earth.NewFrame(1, 1, 1)
+			f.InitSync(0, 1, 0, 0)
+			f.SetThread(0, func(c earth.Ctx) { after = dst })
+			earth.GetSyncF64(c, 0, &src, &dst, f, 0)
+		})
+	})
+	if after != 123.25 {
+		t.Fatalf("after = %v, want 123.25", after)
+	}
+}
+
+func TestGetChargesRoundTripTime(t *testing.T) {
+	// A remote Get must cost at least two network traversals.
+	rt := newRT(2)
+	var src, dst float64
+	st := rt.Run(func(c earth.Ctx) {
+		c.Invoke(1, 8, func(c earth.Ctx) {
+			earth.GetSyncF64(c, 0, &src, &dst, nil, 0)
+		})
+	})
+	min := 2 * sim.Microsecond // two EARTH-side overheads at the very least
+	if st.Elapsed < min {
+		t.Fatalf("elapsed = %v, want >= %v", st.Elapsed, min)
+	}
+	if st.TotalMsgs() < 3 { // invoke + request + response
+		t.Fatalf("msgs = %d, want >= 3", st.TotalMsgs())
+	}
+}
+
+func TestBlkMov(t *testing.T) {
+	rt := newRT(2)
+	src := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	back := make([]float64, 4)
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(0, 2, 2)
+		f.InitSync(0, 1, 0, 0)
+		f.InitSync(1, 1, 0, 1)
+		f.SetThread(0, func(c earth.Ctx) {
+			// dst (on node 1 conceptually) now holds src; move it back.
+			earth.BlkMovFrom(c, 1, dst, back, f, 1)
+		})
+		f.SetThread(1, func(c earth.Ctx) {})
+		earth.BlkMovTo(c, 1, src, dst, f, 0)
+	})
+	for i := range src {
+		if dst[i] != src[i] || back[i] != src[i] {
+			t.Fatalf("dst=%v back=%v", dst, back)
+		}
+	}
+}
+
+func TestBlkMovToSnapshotsAtIssue(t *testing.T) {
+	rt := newRT(2)
+	src := []float64{7}
+	dst := []float64{0}
+	rt.Run(func(c earth.Ctx) {
+		earth.BlkMovTo(c, 1, src, dst, nil, 0)
+		src[0] = 99 // mutate after issue: transfer must carry 7
+	})
+	if dst[0] != 7 {
+		t.Fatalf("dst = %v, want snapshot 7", dst[0])
+	}
+}
+
+func TestTokenWorkStealingDistributes(t *testing.T) {
+	const nodes = 4
+	rt := New(earth.Config{Nodes: nodes, Seed: 7, Balancer: earth.BalanceSteal})
+	ranOn := make([]int, nodes)
+	st := rt.Run(func(c earth.Ctx) {
+		for i := 0; i < 64; i++ {
+			c.Token(16, func(c earth.Ctx) {
+				ranOn[c.Node()]++
+				c.Compute(sim.Millisecond)
+			})
+		}
+	})
+	total := 0
+	busyNodes := 0
+	for _, n := range ranOn {
+		total += n
+		if n > 0 {
+			busyNodes++
+		}
+	}
+	if total != 64 {
+		t.Fatalf("ran %d tokens, want 64", total)
+	}
+	if busyNodes < nodes {
+		t.Fatalf("work on %d/%d nodes; stealing failed: %v", busyNodes, nodes, ranOn)
+	}
+	if st.TotalSteals() == 0 {
+		t.Fatal("no steals recorded")
+	}
+	// Parallel makespan must beat sequential.
+	if st.Elapsed > 40*sim.Millisecond {
+		t.Fatalf("elapsed %v: no effective parallelism", st.Elapsed)
+	}
+}
+
+func TestTokenNestedStealing(t *testing.T) {
+	// Tokens spawning tokens (tree-shaped work) must still all run.
+	rt := New(earth.Config{Nodes: 8, Seed: 3})
+	count := 0
+	var spawn func(c earth.Ctx, depth int)
+	spawn = func(c earth.Ctx, depth int) {
+		count++ // only mutated via node-serialised... across nodes this is racy in live mode, fine in sim
+		c.Compute(100 * sim.Microsecond)
+		if depth > 0 {
+			for i := 0; i < 2; i++ {
+				c.Token(8, func(c earth.Ctx) { spawn(c, depth-1) })
+			}
+		}
+	}
+	rt.Run(func(c earth.Ctx) { spawn(c, 6) })
+	if count != 127 {
+		t.Fatalf("ran %d tasks, want 127", count)
+	}
+}
+
+func TestBalanceNoneKeepsLocal(t *testing.T) {
+	rt := New(earth.Config{Nodes: 4, Seed: 1, Balancer: earth.BalanceNone})
+	ranOn := make([]int, 4)
+	rt.Run(func(c earth.Ctx) {
+		for i := 0; i < 10; i++ {
+			c.Token(8, func(c earth.Ctx) { ranOn[c.Node()]++ })
+		}
+	})
+	if ranOn[0] != 10 {
+		t.Fatalf("ranOn = %v, want all on node 0", ranOn)
+	}
+}
+
+func TestBalanceRoundRobinCycles(t *testing.T) {
+	rt := New(earth.Config{Nodes: 4, Seed: 1, Balancer: earth.BalanceRoundRobin})
+	ranOn := make([]int, 4)
+	rt.Run(func(c earth.Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Token(8, func(c earth.Ctx) { ranOn[c.Node()]++ })
+		}
+	})
+	for i, n := range ranOn {
+		if n != 2 {
+			t.Fatalf("node %d ran %d, want 2: %v", i, n, ranOn)
+		}
+	}
+}
+
+func TestBalanceRandomPlaceSpreads(t *testing.T) {
+	rt := New(earth.Config{Nodes: 4, Seed: 5, Balancer: earth.BalanceRandomPlace})
+	ranOn := make([]int, 4)
+	rt.Run(func(c earth.Ctx) {
+		for i := 0; i < 200; i++ {
+			c.Token(8, func(c earth.Ctx) { ranOn[c.Node()]++ })
+		}
+	})
+	for i, n := range ranOn {
+		if n == 0 {
+			t.Fatalf("node %d got nothing: %v", i, ranOn)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		rt := New(earth.Config{Nodes: 6, Seed: 99})
+		st := rt.Run(func(c earth.Ctx) {
+			for i := 0; i < 40; i++ {
+				i := i
+				c.Token(16, func(c earth.Ctx) {
+					c.Compute(sim.Time(100+i*13) * sim.Microsecond)
+				})
+			}
+		})
+		return st.Elapsed, st.TotalMsgs()
+	}
+	e1, m1 := run()
+	e2, m2 := run()
+	if e1 != e2 || m1 != m2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", e1, m1, e2, m2)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	run := func(seed int64) sim.Time {
+		rt := New(earth.Config{Nodes: 6, Seed: seed, JitterPct: 2})
+		st := rt.Run(func(c earth.Ctx) {
+			for i := 0; i < 40; i++ {
+				c.Token(16, func(c earth.Ctx) { c.Compute(500 * sim.Microsecond) })
+			}
+		})
+		return st.Elapsed
+	}
+	if run(1) == run(2) {
+		t.Skip("different seeds gave identical makespan (possible but unlikely)")
+	}
+}
+
+func TestJitterPerturbsCompute(t *testing.T) {
+	rt := New(earth.Config{Nodes: 1, Seed: 1, JitterPct: 10})
+	st := rt.Run(func(c earth.Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Compute(sim.Millisecond)
+		}
+	})
+	if st.Elapsed == 100*sim.Millisecond {
+		t.Fatal("jitter had no effect")
+	}
+	if st.Elapsed < 85*sim.Millisecond || st.Elapsed > 115*sim.Millisecond {
+		t.Fatalf("elapsed = %v, want within +-15%% of 100ms", st.Elapsed)
+	}
+}
+
+func TestMPModelSlowerThanEARTH(t *testing.T) {
+	// The same communication-heavy program must take longer under the
+	// paper's message-passing cost models, and monotonically so.
+	prog := func(c earth.Ctx) {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, 100, 0, 0)
+		f.SetThread(0, func(earth.Ctx) {})
+		for i := 0; i < 100; i++ {
+			dst := earth.NodeID(1 + i%3)
+			c.Invoke(dst, 64, func(c earth.Ctx) {
+				c.Compute(50 * sim.Microsecond)
+				c.Sync(f, 0)
+			})
+		}
+	}
+	var last sim.Time
+	models := append([]earth.CostModel{earth.EARTHCosts()}, earth.PaperMPModels()...)
+	for _, m := range models {
+		rt := New(earth.Config{Nodes: 4, Seed: 1, Costs: m})
+		st := rt.Run(prog)
+		if st.Elapsed <= last {
+			t.Fatalf("model %s elapsed %v not greater than previous %v", m.Name, st.Elapsed, last)
+		}
+		last = st.Elapsed
+	}
+}
+
+func TestReceiverCPUConsumedUnderMP(t *testing.T) {
+	// Under an MP model, a node bombarded with messages gets less compute
+	// done: its own work finishes later than without traffic.
+	run := func(traffic bool) sim.Time {
+		rt := New(earth.Config{Nodes: 2, Seed: 1, Costs: earth.MessagePassingCosts(1000 * sim.Microsecond)})
+		var done sim.Time
+		rt.Run(func(c earth.Ctx) {
+			// Node 1 computes 10 x 1ms with thread boundaries between.
+			f := earth.NewFrame(1, 1, 1)
+			f.InitSync(0, 10, 10, 0)
+			c.Invoke(1, 0, func(c earth.Ctx) {
+				var step func(c earth.Ctx, k int)
+				step = func(c earth.Ctx, k int) {
+					c.Compute(sim.Millisecond)
+					if k > 0 {
+						c.Invoke(1, 0, func(c earth.Ctx) { step(c, k-1) })
+					} else {
+						done = c.Now()
+					}
+				}
+				step(c, 9)
+			})
+			if traffic {
+				var sink float64
+				for i := 0; i < 50; i++ {
+					earth.DataSyncF64(c, 1, 1.0, &sink, nil, 0)
+				}
+			}
+		})
+		return done
+	}
+	quiet, noisy := run(false), run(true)
+	if noisy <= quiet {
+		t.Fatalf("noisy %v <= quiet %v: receiver overhead not consuming CPU", noisy, quiet)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rt := newRT(2)
+	st := rt.Run(func(c earth.Ctx) {
+		c.Compute(sim.Millisecond)
+		c.Invoke(1, 32, func(c earth.Ctx) { c.Compute(sim.Millisecond) })
+	})
+	if st.Nodes[0].Busy < sim.Millisecond || st.Nodes[1].Busy < sim.Millisecond {
+		t.Fatalf("busy = %v / %v", st.Nodes[0].Busy, st.Nodes[1].Busy)
+	}
+	if st.Nodes[0].MsgsSent != 1 {
+		t.Fatalf("node 0 msgs = %d, want 1", st.Nodes[0].MsgsSent)
+	}
+	if st.Nodes[0].BytesSent < 32 {
+		t.Fatalf("node 0 bytes = %d", st.Nodes[0].BytesSent)
+	}
+	if u := st.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestCtxUseAfterReturnPanics(t *testing.T) {
+	rt := newRT(1)
+	var leaked earth.Ctx
+	rt.Run(func(c earth.Ctx) { leaked = c })
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dead ctx")
+		}
+	}()
+	leaked.Compute(1)
+}
+
+func TestSpawnForeignFramePanics(t *testing.T) {
+	rt := newRT(2)
+	caught := false
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(1, 1, 0)
+		f.SetThread(0, func(earth.Ctx) {})
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		c.Spawn(f, 0)
+	})
+	if !caught {
+		t.Fatal("Spawn of remote frame did not panic")
+	}
+}
+
+func TestRunReusable(t *testing.T) {
+	rt := newRT(3)
+	for i := 0; i < 3; i++ {
+		n := 0
+		st := rt.Run(func(c earth.Ctx) {
+			for j := 0; j < 5; j++ {
+				c.Token(8, func(earth.Ctx) { n++ })
+			}
+		})
+		if n != 5 {
+			t.Fatalf("run %d executed %d tokens", i, n)
+		}
+		if st.Elapsed <= 0 {
+			t.Fatalf("run %d: no elapsed time", i)
+		}
+	}
+}
+
+func TestSpawnBodyHelper(t *testing.T) {
+	rt := newRT(1)
+	ran := false
+	rt.Run(func(c earth.Ctx) {
+		earth.SpawnBody(c, func(c earth.Ctx) { ran = true })
+	})
+	if !ran {
+		t.Fatal("SpawnBody did not run")
+	}
+}
+
+func TestInvokeArgsSizes(t *testing.T) {
+	rt := newRT(2)
+	st := rt.Run(func(c earth.Ctx) {
+		// Eigenvalue argument structure: 3 ints + 2 doubles = 28 bytes.
+		earth.InvokeArgs(c, 1, func(earth.Ctx) {},
+			earth.SizeI32, earth.SizeI32, earth.SizeI32, earth.SizeF64, earth.SizeF64)
+	})
+	if st.Nodes[0].BytesSent != 28+16 { // payload + header
+		t.Fatalf("bytes = %d, want 44", st.Nodes[0].BytesSent)
+	}
+}

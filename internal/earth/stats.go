@@ -1,0 +1,98 @@
+package earth
+
+import (
+	"fmt"
+	"strings"
+
+	"earth/internal/sim"
+)
+
+// NodeStats accumulates per-node execution statistics during a run.
+type NodeStats struct {
+	// Busy is the total virtual (simrt) or measured (livert) time the
+	// node spent executing threads and runtime overheads. Under simrt it
+	// includes Synchronization-Unit/handler time, which runs concurrently
+	// with the execution unit — a node saturating both can therefore
+	// report Busy greater than the run's makespan.
+	Busy sim.Time
+	// ThreadsRun counts dispatched thread bodies (including invoked and
+	// token bodies).
+	ThreadsRun uint64
+	// TokensRun counts token bodies executed on this node.
+	TokensRun uint64
+	// TokensStolen counts tokens this node obtained from other nodes.
+	TokensStolen uint64
+	// MsgsSent and BytesSent count network traffic originated here.
+	MsgsSent  uint64
+	BytesSent uint64
+	// Syncs counts sync-slot signals processed on this node.
+	Syncs uint64
+}
+
+// Stats summarises one run.
+type Stats struct {
+	// Elapsed is the run's makespan: final virtual time under simrt,
+	// wall-clock under livert.
+	Elapsed sim.Time
+	// Nodes holds per-node statistics.
+	Nodes []NodeStats
+	// Events is the number of simulator events dispatched (simrt only).
+	Events uint64
+}
+
+// TotalMsgs sums messages across nodes.
+func (s *Stats) TotalMsgs() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].MsgsSent
+	}
+	return n
+}
+
+// TotalBytes sums bytes across nodes.
+func (s *Stats) TotalBytes() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].BytesSent
+	}
+	return n
+}
+
+// TotalThreads sums dispatched threads across nodes.
+func (s *Stats) TotalThreads() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].ThreadsRun
+	}
+	return n
+}
+
+// TotalSteals sums stolen tokens across nodes.
+func (s *Stats) TotalSteals() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].TokensStolen
+	}
+	return n
+}
+
+// Utilization returns mean busy fraction across nodes in [0,1].
+func (s *Stats) Utilization() float64 {
+	if s.Elapsed <= 0 || len(s.Nodes) == 0 {
+		return 0
+	}
+	var busy sim.Time
+	for i := range s.Nodes {
+		busy += s.Nodes[i].Busy
+	}
+	return float64(busy) / (float64(s.Elapsed) * float64(len(s.Nodes)))
+}
+
+// String renders a compact single-run summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed=%v nodes=%d threads=%d msgs=%d bytes=%d steals=%d util=%.2f",
+		s.Elapsed, len(s.Nodes), s.TotalThreads(), s.TotalMsgs(), s.TotalBytes(),
+		s.TotalSteals(), s.Utilization())
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package earth
+
+import (
+	"strings"
+	"testing"
+
+	"earth/internal/sim"
+)
+
+func TestStatsAggregates(t *testing.T) {
+	st := &Stats{
+		Elapsed: 10 * sim.Millisecond,
+		Nodes: []NodeStats{
+			{Busy: 5 * sim.Millisecond, ThreadsRun: 3, TokensRun: 1, TokensStolen: 1, MsgsSent: 4, BytesSent: 100, Syncs: 2},
+			{Busy: 10 * sim.Millisecond, ThreadsRun: 7, MsgsSent: 6, BytesSent: 300},
+		},
+	}
+	if st.TotalMsgs() != 10 {
+		t.Errorf("TotalMsgs = %d", st.TotalMsgs())
+	}
+	if st.TotalBytes() != 400 {
+		t.Errorf("TotalBytes = %d", st.TotalBytes())
+	}
+	if st.TotalThreads() != 10 {
+		t.Errorf("TotalThreads = %d", st.TotalThreads())
+	}
+	if st.TotalSteals() != 1 {
+		t.Errorf("TotalSteals = %d", st.TotalSteals())
+	}
+	if u := st.Utilization(); u != 0.75 {
+		t.Errorf("Utilization = %v, want 0.75", u)
+	}
+	s := st.String()
+	for _, w := range []string{"elapsed=10.000ms", "nodes=2", "threads=10", "msgs=10", "steals=1"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("String missing %q: %s", w, s)
+		}
+	}
+}
+
+func TestStatsUtilizationEdgeCases(t *testing.T) {
+	if u := (&Stats{}).Utilization(); u != 0 {
+		t.Errorf("empty utilization = %v", u)
+	}
+	if u := (&Stats{Elapsed: 0, Nodes: make([]NodeStats, 2)}).Utilization(); u != 0 {
+		t.Errorf("zero-elapsed utilization = %v", u)
+	}
+}

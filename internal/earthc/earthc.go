@@ -1,0 +1,154 @@
+// Package earthc provides the higher-level, tree-structured parallel
+// constructs of the paper's EARTH-C language as Go combinators. EARTH-C
+// "translates programs written at an abstract level — tree-like
+// parallelism with communication being hierarchical between parent and
+// children but not taking place between siblings — into multithreaded
+// code"; the Eigenvalue application is written this way in the paper.
+//
+// The combinators compile down to the same Threaded-Go operations
+// applications use directly: children are spawned as TOKENs (dynamic load
+// balancing), results flow child-to-parent through Put operations into
+// parent-owned cells, and joins are frames with sync slots. There is no
+// sibling communication, exactly as in the EARTH-C model.
+package earthc
+
+import "earth/internal/earth"
+
+// ForkJoin runs the children as load-balanced tasks and calls then on the
+// spawning node once every child has signalled completion. A child that
+// needs to do asynchronous work must do it before returning (children are
+// plain thread bodies; their completion is their return).
+func ForkJoin(c earth.Ctx, argBytes int, children []earth.ThreadBody, then earth.ThreadBody) {
+	if len(children) == 0 {
+		earth.SpawnBody(c, then)
+		return
+	}
+	join := earth.NewFrame(c.Node(), 1, 1)
+	join.InitSync(0, len(children), 0, 0)
+	join.SetThread(0, then)
+	for _, child := range children {
+		child := child
+		c.Token(argBytes, func(c earth.Ctx) {
+			child(c)
+			c.Sync(join, 0)
+		})
+	}
+}
+
+// ParallelFor runs body(i) for i in [lo, hi), grouped into chunks of
+// `grain` consecutive iterations per task, and calls then when all
+// iterations have completed. grain <= 0 defaults to 1.
+func ParallelFor(c earth.Ctx, lo, hi, grain int, body func(c earth.Ctx, i int), then earth.ThreadBody) {
+	if grain <= 0 {
+		grain = 1
+	}
+	if hi <= lo {
+		earth.SpawnBody(c, then)
+		return
+	}
+	var chunks []earth.ThreadBody
+	for start := lo; start < hi; start += grain {
+		start := start
+		end := start + grain
+		if end > hi {
+			end = hi
+		}
+		chunks = append(chunks, func(c earth.Ctx) {
+			for i := start; i < end; i++ {
+				body(c, i)
+			}
+		})
+	}
+	ForkJoin(c, 16, chunks, then)
+}
+
+// Reduce computes combine over leaf(0..n-1) with a binary task tree:
+// every internal node spawns its halves as tokens, children deliver their
+// partial results to the parent's cell with a Put (hierarchical,
+// parent-child-only communication), and then receives the final value on
+// the spawning node. grain bounds the sequential leaf-chunk size.
+func Reduce[R any](c earth.Ctx, n, grain int, leaf func(c earth.Ctx, i int) R, combine func(a, b R) R, then func(c earth.Ctx, result R)) {
+	if n <= 0 {
+		panic("earthc: Reduce over an empty range")
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	var node func(c earth.Ctx, lo, hi int, deliver func(c earth.Ctx, r R))
+	node = func(c earth.Ctx, lo, hi int, deliver func(c earth.Ctx, r R)) {
+		if hi-lo <= grain {
+			acc := leaf(c, lo)
+			for i := lo + 1; i < hi; i++ {
+				acc = combine(acc, leaf(c, i))
+			}
+			deliver(c, acc)
+			return
+		}
+		mid := (lo + hi) / 2
+		// Parent-owned join state: two child results.
+		parent := c.Node()
+		var left, right R
+		f := earth.NewFrame(parent, 1, 1)
+		f.InitSync(0, 2, 0, 0)
+		f.SetThread(0, func(c earth.Ctx) { deliver(c, combine(left, right)) })
+		spawnHalf := func(lo, hi int, cell *R) {
+			c.Token(16, func(c earth.Ctx) {
+				node(c, lo, hi, func(c earth.Ctx, r R) {
+					// Child-to-parent communication only: deliver the
+					// partial result into the parent's cell and sync.
+					c.Put(parent, 16, func() { *cell = r }, f, 0)
+				})
+			})
+		}
+		spawnHalf(lo, mid, &left)
+		spawnHalf(mid, hi, &right)
+	}
+	node(c, 0, n, func(c earth.Ctx, r R) { then(c, r) })
+}
+
+// Map computes out[i] = f(i) for i in [0, n) into a caller-provided slice
+// owned by the spawning node, then calls then. Results travel back with
+// one Put per chunk.
+func Map[R any](c earth.Ctx, out []R, grain int, f func(c earth.Ctx, i int) R, then earth.ThreadBody) {
+	if grain <= 0 {
+		grain = 1
+	}
+	n := len(out)
+	if n == 0 {
+		earth.SpawnBody(c, then)
+		return
+	}
+	owner := c.Node()
+	join := earth.NewFrame(owner, 1, 1)
+	nchunks := (n + grain - 1) / grain
+	join.InitSync(0, nchunks, 0, 0)
+	join.SetThread(0, then)
+	for start := 0; start < n; start += grain {
+		start := start
+		end := start + grain
+		if end > n {
+			end = n
+		}
+		c.Token(16, func(c earth.Ctx) {
+			buf := make([]R, end-start)
+			for i := start; i < end; i++ {
+				buf[i-start] = f(c, i)
+			}
+			c.Put(owner, (end-start)*16, func() { copy(out[start:end], buf) }, join, 0)
+		})
+	}
+}
+
+// Spawn1 runs a single child task and calls then with its result — the
+// basic async/await pair of hierarchical programs.
+func Spawn1[R any](c earth.Ctx, argBytes int, child func(c earth.Ctx) R, then func(c earth.Ctx, r R)) {
+	parent := c.Node()
+	var cell R
+	f := earth.NewFrame(parent, 1, 1)
+	f.InitSync(0, 1, 0, 0)
+	f.SetThread(0, func(c earth.Ctx) { then(c, cell) })
+	c.Token(argBytes, func(c earth.Ctx) {
+		r := child(c)
+		c.Put(parent, 16, func() { cell = r }, f, 0)
+	})
+}

@@ -1,0 +1,213 @@
+package earthc
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/earth/simrt"
+)
+
+func engines(nodes int, seed int64) map[string]earth.Runtime {
+	cfg := earth.Config{Nodes: nodes, Seed: seed}
+	return map[string]earth.Runtime{
+		"simrt":  simrt.New(cfg),
+		"livert": livert.New(cfg),
+	}
+}
+
+func TestForkJoinRunsAllThenJoins(t *testing.T) {
+	for name, rt := range engines(4, 1) {
+		var ran atomic.Int64
+		var joinedAfter int64 = -1
+		rt.Run(func(c earth.Ctx) {
+			children := make([]earth.ThreadBody, 10)
+			for i := range children {
+				children[i] = func(c earth.Ctx) { ran.Add(1) }
+			}
+			ForkJoin(c, 8, children, func(c earth.Ctx) {
+				joinedAfter = ran.Load()
+			})
+		})
+		if ran.Load() != 10 || joinedAfter != 10 {
+			t.Fatalf("%s: ran=%d joinedAfter=%d", name, ran.Load(), joinedAfter)
+		}
+	}
+}
+
+func TestForkJoinEmpty(t *testing.T) {
+	rt := simrt.New(earth.Config{Nodes: 2, Seed: 1})
+	ran := false
+	rt.Run(func(c earth.Ctx) {
+		ForkJoin(c, 8, nil, func(c earth.Ctx) { ran = true })
+	})
+	if !ran {
+		t.Fatal("then did not run for empty fork")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for name, rt := range engines(4, 2) {
+		out := make([]int64, 100)
+		done := false
+		rt.Run(func(c earth.Ctx) {
+			ParallelFor(c, 0, 100, 7, func(c earth.Ctx, i int) {
+				atomic.StoreInt64(&out[i], int64(i*i))
+			}, func(c earth.Ctx) { done = true })
+		})
+		if !done {
+			t.Fatalf("%s: then never ran", name)
+		}
+		for i := range out {
+			if out[i] != int64(i*i) {
+				t.Fatalf("%s: out[%d] = %d", name, i, out[i])
+			}
+		}
+	}
+}
+
+func TestParallelForEmptyAndReverse(t *testing.T) {
+	rt := simrt.New(earth.Config{Nodes: 2, Seed: 1})
+	n := 0
+	rt.Run(func(c earth.Ctx) {
+		ParallelFor(c, 5, 5, 1, func(earth.Ctx, int) { n++ }, func(earth.Ctx) { n += 100 })
+	})
+	if n != 100 {
+		t.Fatalf("empty range: n=%d", n)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for name, rt := range engines(6, 3) {
+		var got int64 = -1
+		rt.Run(func(c earth.Ctx) {
+			Reduce(c, 1000, 16,
+				func(c earth.Ctx, i int) int64 { return int64(i + 1) },
+				func(a, b int64) int64 { return a + b },
+				func(c earth.Ctx, r int64) { got = r })
+		})
+		if got != 500500 {
+			t.Fatalf("%s: sum = %d, want 500500", name, got)
+		}
+	}
+}
+
+func TestReducePanicsOnEmpty(t *testing.T) {
+	rt := simrt.New(earth.Config{Nodes: 1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rt.Run(func(c earth.Ctx) {
+		Reduce(c, 0, 1, func(earth.Ctx, int) int { return 0 },
+			func(a, b int) int { return a + b }, func(earth.Ctx, int) {})
+	})
+}
+
+func TestReduceNonCommutativeOrder(t *testing.T) {
+	// combine must be applied in index order (left subtree first): string
+	// concatenation exposes any reordering.
+	rt := simrt.New(earth.Config{Nodes: 4, Seed: 4})
+	var got string
+	rt.Run(func(c earth.Ctx) {
+		Reduce(c, 8, 2,
+			func(c earth.Ctx, i int) string { return string(rune('a' + i)) },
+			func(a, b string) string { return a + b },
+			func(c earth.Ctx, r string) { got = r })
+	})
+	if got != "abcdefgh" {
+		t.Fatalf("Reduce reordered combines: %q", got)
+	}
+}
+
+func TestMap(t *testing.T) {
+	for name, rt := range engines(3, 5) {
+		out := make([]int, 37)
+		rt.Run(func(c earth.Ctx) {
+			Map(c, out, 5, func(c earth.Ctx, i int) int { return 3 * i }, func(earth.Ctx) {})
+		})
+		for i := range out {
+			if out[i] != 3*i {
+				t.Fatalf("%s: out[%d] = %d", name, i, out[i])
+			}
+		}
+	}
+}
+
+func TestSpawn1(t *testing.T) {
+	for name, rt := range engines(2, 6) {
+		got := 0
+		rt.Run(func(c earth.Ctx) {
+			Spawn1(c, 8, func(c earth.Ctx) int { return 42 },
+				func(c earth.Ctx, r int) { got = r })
+		})
+		if got != 42 {
+			t.Fatalf("%s: got %d", name, got)
+		}
+	}
+}
+
+// nqueens counts solutions with a recursive Reduce over first-row
+// placements — hierarchical tree parallelism in the EARTH-C style.
+func nqueens(c earth.Ctx, n int, then func(c earth.Ctx, count int64)) {
+	var count func(cols, diag1, diag2 uint32, row int) int64
+	count = func(cols, diag1, diag2 uint32, row int) int64 {
+		if row == n {
+			return 1
+		}
+		var total int64
+		avail := ^(cols | diag1 | diag2) & (1<<n - 1)
+		for avail != 0 {
+			bit := avail & (-avail)
+			avail &^= bit
+			total += count(cols|bit, (diag1|bit)<<1, (diag2|bit)>>1, row+1)
+		}
+		return total
+	}
+	Reduce(c, n, 1,
+		func(c earth.Ctx, i int) int64 {
+			bit := uint32(1) << i
+			return count(bit, bit<<1, bit>>1, 1)
+		},
+		func(a, b int64) int64 { return a + b },
+		then)
+}
+
+func TestNQueensViaReduce(t *testing.T) {
+	want := map[int]int64{4: 2, 5: 10, 6: 4, 8: 92}
+	for name, rt := range engines(5, 7) {
+		for n, w := range want {
+			var got int64
+			rt.Run(func(c earth.Ctx) {
+				nqueens(c, n, func(c earth.Ctx, r int64) { got = r })
+			})
+			if got != w {
+				t.Fatalf("%s: nqueens(%d) = %d, want %d", name, n, got, w)
+			}
+		}
+	}
+}
+
+func TestNestedReduce(t *testing.T) {
+	// sum over i of sum over j of i*j, nested task trees.
+	rt := simrt.New(earth.Config{Nodes: 6, Seed: 8})
+	var got int64
+	rt.Run(func(c earth.Ctx) {
+		Reduce(c, 10, 2,
+			func(c earth.Ctx, i int) int64 {
+				s := int64(0)
+				for j := 0; j < 10; j++ {
+					s += int64(i * j)
+				}
+				return s
+			},
+			func(a, b int64) int64 { return a + b },
+			func(c earth.Ctx, r int64) { got = r })
+	})
+	// sum_i sum_j i*j = (sum i)(sum j) = 45*45
+	if got != 45*45 {
+		t.Fatalf("nested = %d, want %d", got, 45*45)
+	}
+}

@@ -1,0 +1,173 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestToeplitzExactEigenvalues(t *testing.T) {
+	const n = 100
+	m := Toeplitz(n, 2, -1)
+	tol := 1e-10
+	res := Bisect(m, tol)
+	want := ToeplitzEigenvalues(n, 2, -1)
+	if len(res.Eigenvalues) != n {
+		t.Fatalf("found %d eigenvalues, want %d", len(res.Eigenvalues), n)
+	}
+	for i := range want {
+		if math.Abs(res.Eigenvalues[i]-want[i]) > 2*tol {
+			t.Fatalf("lambda[%d] = %.12f, want %.12f", i, res.Eigenvalues[i], want[i])
+		}
+	}
+}
+
+func TestGershgorinContainsSpectrum(t *testing.T) {
+	m := Toeplitz(50, 2, -1)
+	lo, hi := m.Gershgorin()
+	for _, ev := range ToeplitzEigenvalues(50, 2, -1) {
+		if ev < lo || ev > hi {
+			t.Fatalf("eigenvalue %v outside Gershgorin [%v,%v]", ev, lo, hi)
+		}
+	}
+}
+
+func TestCountBelowProperties(t *testing.T) {
+	m := Random(60, 3)
+	lo, hi := m.Gershgorin()
+	if got := m.CountBelow(lo - 1); got != 0 {
+		t.Fatalf("CountBelow(lo-1) = %d", got)
+	}
+	if got := m.CountBelow(hi + 1); got != m.N() {
+		t.Fatalf("CountBelow(hi+1) = %d, want %d", got, m.N())
+	}
+	// Monotonicity.
+	rng := rand.New(rand.NewSource(4))
+	f := func(aRaw, bRaw uint16) bool {
+		a := lo + (hi-lo)*float64(aRaw)/65535
+		b := lo + (hi-lo)*float64(bRaw)/65535
+		if a > b {
+			a, b = b, a
+		}
+		return m.CountBelow(a) <= m.CountBelow(b)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBelowAgainstExactSpectrum(t *testing.T) {
+	const n = 40
+	m := Toeplitz(n, 0, 1)
+	ev := ToeplitzEigenvalues(n, 0, 1)
+	for _, x := range []float64{-3, -1.5, -0.1, 0, 0.3, 1.99, 2.5} {
+		want := sort.SearchFloat64s(ev, x) // #ev < x (no exact hits for these x)
+		if got := m.CountBelow(x); got != want {
+			t.Fatalf("CountBelow(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestBisectMultiplicityViaClusters(t *testing.T) {
+	// Wilkinson W21+ has eigenvalue pairs agreeing to ~1e-10: with a loose
+	// tolerance they resolve as one interval of count 2.
+	m := Wilkinson(21)
+	res := Bisect(m, 1e-6)
+	if len(res.Eigenvalues) != 21 {
+		t.Fatalf("found %d eigenvalues, want 21 (multiplicity lost)", len(res.Eigenvalues))
+	}
+	// The top pairs should be nearly equal.
+	top := res.Eigenvalues[len(res.Eigenvalues)-2:]
+	if math.Abs(top[0]-top[1]) > 1e-5 {
+		t.Fatalf("top cluster not detected: %v", top)
+	}
+}
+
+func TestBisectValidation(t *testing.T) {
+	m := Toeplitz(4, 1, 1)
+	for _, f := range []func(){
+		func() { Bisect(m, 0) },
+		func() { Bisect(&SymTridiag{D: []float64{1}, E: nil}, 1e-3) },
+		func() { Bisect(&SymTridiag{}, 1e-3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEigenvalueCountAlwaysNProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		n := 5 + rng.Intn(40)
+		m := Random(n, rng.Int63())
+		res := Bisect(m, 1e-6)
+		if len(res.Eigenvalues) != n {
+			t.Fatalf("n=%d: found %d eigenvalues", n, len(res.Eigenvalues))
+		}
+		if !sort.Float64sAreSorted(res.Eigenvalues) {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+}
+
+func TestTaskAccounting(t *testing.T) {
+	m := Random(64, 7)
+	res := Bisect(m, 1e-4)
+	if res.Tasks <= 0 || res.SturmCounts <= 0 {
+		t.Fatalf("tasks=%d sturms=%d", res.Tasks, res.SturmCounts)
+	}
+	// Every internal task performs exactly one Sturm count; leaves none.
+	leavesN := 0
+	for _, c := range res.DepthHist {
+		leavesN += c
+	}
+	if res.SturmCounts != res.Tasks-leavesN+2 { // +2 for the root bounds
+		t.Fatalf("sturm accounting: tasks=%d leaves=%d sturms=%d", res.Tasks, leavesN, res.SturmCounts)
+	}
+	if res.MinDepth < 1 || res.MaxDepth < res.MinDepth {
+		t.Fatalf("depths [%d,%d]", res.MinDepth, res.MaxDepth)
+	}
+	leaves := 0
+	for _, c := range res.DepthHist {
+		leaves += c
+	}
+	if leaves == 0 {
+		t.Fatal("no leaves recorded")
+	}
+}
+
+func TestClusteredGeneratorShape(t *testing.T) {
+	m := Clustered(200, 21, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Bisect(m, 1e-5)
+	if len(res.Eigenvalues) != 200 {
+		t.Fatalf("found %d eigenvalues", len(res.Eigenvalues))
+	}
+	// Clustering: strictly fewer leaves than eigenvalues.
+	leaves := 0
+	for _, c := range res.DepthHist {
+		leaves += c
+	}
+	if leaves >= 200 {
+		t.Fatalf("no clustering: %d leaves for 200 eigenvalues", leaves)
+	}
+}
+
+func TestWilkinsonKnownLargestEigenvalue(t *testing.T) {
+	// W21+ largest eigenvalue is about 10.746194.
+	res := Bisect(Wilkinson(21), 1e-8)
+	got := res.Eigenvalues[len(res.Eigenvalues)-1]
+	if math.Abs(got-10.746194) > 1e-5 {
+		t.Fatalf("largest W21+ eigenvalue = %v, want ~10.746194", got)
+	}
+}

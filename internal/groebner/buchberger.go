@@ -1,0 +1,405 @@
+// Package groebner computes Gröbner bases with Buchberger's completion
+// algorithm — sequentially, and in the paper's parallel formulation on the
+// EARTH runtime (per-node priority pair queues, a centrally maintained and
+// fully replicated solution set, a lock for insertion, receiver-initiated
+// ring load balancing, and a dedicated termination-detection node).
+package groebner
+
+import (
+	"fmt"
+
+	"earth/internal/poly"
+)
+
+// Strategy selects the critical pair to process next ("the order of
+// creating and processing pairs has a significant impact on the overall
+// amount of work", paper Section 3.2).
+type Strategy int
+
+const (
+	// StrategyNormal picks the pair with the order-smallest LCM
+	// (Buchberger's normal selection strategy). The default.
+	StrategyNormal Strategy = iota
+	// StrategyFIFO processes pairs in creation order.
+	StrategyFIFO
+	// StrategyDegree picks the pair with the smallest total LCM degree
+	// (sugar-flavoured selection).
+	StrategyDegree
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNormal:
+		return "normal"
+	case StrategyFIFO:
+		return "fifo"
+	case StrategyDegree:
+		return "degree"
+	}
+	return "unknown"
+}
+
+// Options configures the completion procedure.
+type Options struct {
+	// Strategy is the pair-selection heuristic.
+	Strategy Strategy
+	// NoCoprimeCriterion disables Buchberger's first criterion (B: coprime
+	// leading monomials => the S-polynomial reduces to zero).
+	NoCoprimeCriterion bool
+	// NoChainCriterion disables the Gebauer-Möller M/F criteria and the
+	// chain criterion on old pairs.
+	NoChainCriterion bool
+	// MaxPairs aborts runaway computations (0 = unlimited); exceeded
+	// limits return an error.
+	MaxPairs int
+}
+
+// Pair is a critical pair of basis indices I < J with its precomputed LCM.
+type Pair struct {
+	I, J int
+	LCM  poly.Mono
+	// Seq is the creation sequence number (FIFO and tie-breaking), making
+	// pair selection deterministic.
+	Seq int
+}
+
+// Less reports pair-selection priority under a strategy and monomial
+// order; used by both the sequential loop and the per-node queues of the
+// parallel version.
+func (p Pair) Less(q Pair, ord poly.Order, s Strategy) bool {
+	switch s {
+	case StrategyFIFO:
+		return p.Seq < q.Seq
+	case StrategyDegree:
+		dp, dq := p.LCM.TotalDeg(), q.LCM.TotalDeg()
+		if dp != dq {
+			return dp < dq
+		}
+		return p.Seq < q.Seq
+	default: // StrategyNormal
+		if c := ord.Compare(p.LCM, q.LCM); c != 0 {
+			return c < 0
+		}
+		return p.Seq < q.Seq
+	}
+}
+
+// Trace records the work profile of one completion run — the quantities
+// Table 2 reports.
+type Trace struct {
+	// PairsCreated counts pairs that entered the pair set.
+	PairsCreated int
+	// PairsSkipped counts pairs eliminated by the criteria without a
+	// reduction (at creation or retroactively).
+	PairsSkipped int
+	// PairsReduced counts pairs whose S-polynomial was actually reduced —
+	// the "tasks" of the parallel formulation.
+	PairsReduced int
+	// ZeroReductions counts reductions that ended in zero.
+	ZeroReductions int
+	// Added counts polynomials appended to the solution set (beyond the
+	// input).
+	Added int
+	// TermOps accumulates term-operation counts across all reductions;
+	// the compute model converts these into virtual time.
+	TermOps int
+	// PerReduction holds the term-op cost of each reduction in order.
+	PerReduction []int
+}
+
+// Basis is a computed Gröbner basis.
+type Basis struct {
+	Ring  *poly.Ring
+	Polys []*poly.Poly
+	Trace Trace
+}
+
+// Updater maintains a critical-pair set under the Gebauer-Möller criteria.
+// It is shared by the sequential algorithm and the parallel version (where
+// the inserting node runs Update while holding the solution-set lock).
+type Updater struct {
+	opt Options
+	seq int
+}
+
+// NewUpdater returns a pair-set maintainer for the given options.
+func NewUpdater(opt Options) *Updater { return &Updater{opt: opt} }
+
+// Update applies the Gebauer-Möller update: given the basis G (whose last
+// element, index t = len(G)-1, is the newly inserted polynomial) and the
+// current pair set P (pairs among indices < t), it returns the new pair
+// set, the number of candidate pairs considered (t), and the number of
+// pairs eliminated by the criteria (candidates plus retroactively removed
+// old pairs). The invariant considered = survived + candidateEliminations
+// makes Trace bookkeeping exact: PairsCreated = PairsReduced + PairsSkipped
+// at the end of a run.
+//
+// Criteria (with h = G[t]):
+//
+//	M: drop (i,t) if lcm(j,t) properly divides lcm(i,t) for some j.
+//	F: among new pairs with equal lcm keep one — unless the class
+//	   contains a coprime pair (B), in which case drop the whole class.
+//	B: drop (i,t) when lm(i) and lm(h) are coprime.
+//	chain: drop an old pair (i,j) if lm(h) divides lcm(i,j) and both
+//	   lcm(i,t) and lcm(j,t) differ from lcm(i,j).
+func (u *Updater) Update(G []*poly.Poly, P []Pair) (out []Pair, considered, eliminated int) {
+	t := len(G) - 1
+	lmh := G[t].LeadMono()
+
+	type cand struct {
+		i       int
+		lcm     poly.Mono
+		coprime bool
+		dead    bool
+	}
+	cands := make([]cand, 0, t)
+	for i := 0; i < t; i++ {
+		lmi := G[i].LeadMono()
+		cands = append(cands, cand{i: i, lcm: lmi.LCM(lmh), coprime: lmi.Coprime(lmh)})
+	}
+
+	if !u.opt.NoChainCriterion {
+		// M criterion.
+		for a := range cands {
+			for b := range cands {
+				if a == b || cands[b].dead {
+					continue
+				}
+				if cands[b].lcm.Divides(cands[a].lcm) && !cands[b].lcm.Equal(cands[a].lcm) {
+					cands[a].dead = true
+					break
+				}
+			}
+		}
+		// F criterion: one representative per equal-lcm class; a class
+		// containing a coprime pair dies entirely (B kills the class).
+		for a := range cands {
+			if cands[a].dead {
+				continue
+			}
+			classHasCoprime := cands[a].coprime
+			for b := a + 1; b < len(cands); b++ {
+				if cands[b].dead || !cands[b].lcm.Equal(cands[a].lcm) {
+					continue
+				}
+				if cands[b].coprime {
+					classHasCoprime = true
+				}
+				cands[b].dead = true
+			}
+			if classHasCoprime {
+				cands[a].dead = true
+			}
+		}
+	}
+	if !u.opt.NoCoprimeCriterion {
+		for a := range cands {
+			if !cands[a].dead && cands[a].coprime {
+				cands[a].dead = true
+			}
+		}
+	}
+
+	// Chain criterion on old pairs.
+	if !u.opt.NoChainCriterion {
+		kept := P[:0]
+		for _, p := range P {
+			if lmh.Divides(p.LCM) &&
+				!G[p.I].LeadMono().LCM(lmh).Equal(p.LCM) &&
+				!G[p.J].LeadMono().LCM(lmh).Equal(p.LCM) {
+				eliminated++
+				continue
+			}
+			kept = append(kept, p)
+		}
+		P = kept
+	}
+
+	out = P
+	for _, c := range cands {
+		if c.dead {
+			eliminated++
+			continue
+		}
+		out = append(out, Pair{I: c.i, J: t, LCM: c.lcm, Seq: u.seq})
+		u.seq++
+	}
+	return out, len(cands), eliminated
+}
+
+// SelectBest removes and returns the best pair under the strategy. It
+// panics on an empty set.
+func (u *Updater) SelectBest(P []Pair, ord poly.Order) (Pair, []Pair) {
+	if len(P) == 0 {
+		panic("groebner: SelectBest on empty pair set")
+	}
+	best := 0
+	for i := 1; i < len(P); i++ {
+		if P[i].Less(P[best], ord, u.opt.Strategy) {
+			best = i
+		}
+	}
+	p := P[best]
+	P[best] = P[len(P)-1]
+	return p, P[:len(P)-1]
+}
+
+// Buchberger computes a Gröbner basis of the ideal generated by F. All
+// inputs must share a ring; zero inputs are dropped. The result is not
+// auto-reduced (call Reduce for the canonical reduced basis).
+func Buchberger(F []*poly.Poly, opt Options) (*Basis, error) {
+	ring, G := prepInput(F)
+	if ring == nil {
+		return nil, fmt.Errorf("groebner: empty input system")
+	}
+	b := &Basis{Ring: ring}
+	u := NewUpdater(opt)
+	var P []Pair
+	// Seed the basis one element at a time so the criteria apply to the
+	// initial pairs as well.
+	basis := G[:0:0]
+	for _, g := range G {
+		basis = append(basis, g)
+		var considered, elim int
+		P, considered, elim = u.Update(basis, P)
+		b.Trace.PairsCreated += considered
+		b.Trace.PairsSkipped += elim
+	}
+
+	for len(P) > 0 {
+		if opt.MaxPairs > 0 && b.Trace.PairsReduced > opt.MaxPairs {
+			return nil, fmt.Errorf("groebner: pair limit %d exceeded", opt.MaxPairs)
+		}
+		var p Pair
+		p, P = u.SelectBest(P, ring.Order())
+		s := poly.SPoly(basis[p.I], basis[p.J])
+		nf, st := poly.NormalForm(s, basis)
+		b.Trace.PairsReduced++
+		b.Trace.TermOps += st.TermOps
+		b.Trace.PerReduction = append(b.Trace.PerReduction, st.TermOps)
+		if nf.IsZero() {
+			b.Trace.ZeroReductions++
+			continue
+		}
+		basis = append(basis, nf.Monic())
+		b.Trace.Added++
+		var considered, elim int
+		P, considered, elim = u.Update(basis, P)
+		b.Trace.PairsCreated += considered
+		b.Trace.PairsSkipped += elim
+	}
+	b.Polys = basis
+	return b, nil
+}
+
+// prepInput validates, clones and normalises the input system.
+func prepInput(F []*poly.Poly) (*poly.Ring, []*poly.Poly) {
+	var ring *poly.Ring
+	var G []*poly.Poly
+	for _, f := range F {
+		if f == nil || f.IsZero() {
+			continue
+		}
+		if ring == nil {
+			ring = f.Ring()
+		} else if f.Ring() != ring {
+			panic("groebner: mixed-ring input")
+		}
+		G = append(G, f.Monic())
+	}
+	return ring, G
+}
+
+// Reduce converts a Gröbner basis into the unique reduced Gröbner basis:
+// minimal (no leading monomial divides another) and fully interreduced,
+// with monic elements sorted in descending leading-monomial order. Two
+// bases of the same ideal under the same order reduce identically, which
+// is how the tests compare parallel and sequential results.
+func (b *Basis) Reduce() *Basis {
+	// Minimalise: drop polys whose lead is divisible by another lead.
+	var min []*poly.Poly
+	for i, g := range b.Polys {
+		redundant := false
+		for j, h := range b.Polys {
+			if i == j {
+				continue
+			}
+			if h.LeadMono().Divides(g.LeadMono()) {
+				if !g.LeadMono().Equal(h.LeadMono()) || j < i {
+					redundant = true
+					break
+				}
+			}
+		}
+		if !redundant {
+			min = append(min, g)
+		}
+	}
+	// Interreduce: replace each by its normal form modulo the others.
+	out := make([]*poly.Poly, len(min))
+	copy(out, min)
+	for i := range out {
+		others := make([]*poly.Poly, 0, len(out)-1)
+		for j := range out {
+			if j != i {
+				others = append(others, out[j])
+			}
+		}
+		nf, _ := poly.NormalForm(out[i], others)
+		out[i] = nf.Monic()
+	}
+	// Sort descending by leading monomial.
+	ord := b.Ring.Order()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && ord.Compare(out[j-1].LeadMono(), out[j].LeadMono()) < 0; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return &Basis{Ring: b.Ring, Polys: out, Trace: b.Trace}
+}
+
+// IsGroebner verifies the Buchberger criterion: every S-polynomial of the
+// basis reduces to zero. This is an exact correctness check (quadratic in
+// basis size).
+func (b *Basis) IsGroebner() bool {
+	for j := 1; j < len(b.Polys); j++ {
+		for i := 0; i < j; i++ {
+			if b.Polys[i].LeadMono().Coprime(b.Polys[j].LeadMono()) {
+				continue
+			}
+			if !poly.ReducesToZero(poly.SPoly(b.Polys[i], b.Polys[j]), b.Polys) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SameIdeal reports whether two Gröbner bases generate the same ideal:
+// every element of each reduces to zero modulo the other.
+func SameIdeal(a, b *Basis) bool {
+	for _, f := range a.Polys {
+		if !poly.ReducesToZero(f, b.Polys) {
+			return false
+		}
+	}
+	for _, f := range b.Polys {
+		if !poly.ReducesToZero(f, a.Polys) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two bases are identical as polynomial lists.
+func (b *Basis) Equal(o *Basis) bool {
+	if len(b.Polys) != len(o.Polys) {
+		return false
+	}
+	for i := range b.Polys {
+		if !b.Polys[i].Equal(o.Polys[i]) {
+			return false
+		}
+	}
+	return true
+}

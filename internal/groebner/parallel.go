@@ -1,0 +1,869 @@
+package groebner
+
+import (
+	"fmt"
+
+	"earth/internal/earth"
+	"earth/internal/poly"
+	"earth/internal/sim"
+)
+
+// This file is the EARTH parallelisation of Buchberger's completion. The
+// paper's Section 3.2 structure is followed with one structural
+// refinement that this reproduction found necessary (see DESIGN.md):
+//
+//   - Workers (nodes 0..P-2) each run one main application thread that
+//     obtains critical pairs, computes the S-polynomial reduction (the
+//     real algebra, charged to the compute model) and ships irreducible
+//     results to the maintenance node.
+//
+//   - The reserved node (P-1) is the maintenance/termination node: it
+//     owns the solution-set registry, the critical-pair pool, the
+//     insertion queue and the global counters — the paper's "central
+//     maintenance" plus its "one node reserved for termination
+//     detection", combined. Because insertion (the global-irreducibility
+//     recheck, registration, broadcast and pair creation) runs on a node
+//     whose execution unit is otherwise idle, the solution-set lock of
+//     the paper degenerates into this node's serial insert queue and is
+//     never held across a worker's long reduction. The paper held the
+//     lock from a busy worker instead; with reductions two to four orders
+//     of magnitude longer than the runtime overheads, that design
+//     serialised our runs end-to-end.
+//
+//   - Ordered commit: an insert request is deferred while any strictly
+//     better pair (by the selection heuristic) is still being reduced.
+//     This keeps the parallel completion trajectory close to the
+//     sequential one; without it the completion performs substantially
+//     more work (ablation: NoOrderedCommit).
+//
+//   - Pair distribution: by default workers self-schedule from the
+//     central pool (globally best available pair). The paper's fully
+//     decentralised variant — per-node priority queues with
+//     receiver-initiated ring distribution — is available as
+//     DistributedQueues, and measurably deviates further from the
+//     sequential processing order (ablation).
+//
+//   - Polynomials are fully replicated: every admitted polynomial is
+//     broadcast to all workers with block moves; a worker that receives a
+//     pair before the corresponding broadcast fetches the polynomial from
+//     the registry with split-phase Gets.
+//
+// Protocol messages travel as active messages (Ctx.Post — EARTH's
+// Synchronization-Unit / polling-watchdog path), so queue services and
+// notifications are handled promptly even while long reductions occupy
+// the workers' execution units. The reductions themselves run as ordinary
+// EARTH threads.
+
+// diagLog, when set, receives insertion-trace lines (test diagnostics).
+var diagLog func(string, ...any)
+
+// StepCost converts real reduction work (term operations) into modelled
+// i860 compute time.
+type StepCost struct {
+	// PerTermOp is the modelled cost of one term operation.
+	PerTermOp sim.Time
+	// PerPair is the fixed overhead per processed pair (S-polynomial
+	// formation, bookkeeping).
+	PerPair sim.Time
+}
+
+// DefaultStepCost is used when a ParallelConfig leaves StepCost zero.
+// Calibrate reproduces a specific Table 2 row instead.
+func DefaultStepCost() StepCost {
+	return StepCost{PerTermOp: 100 * sim.Microsecond, PerPair: 200 * sim.Microsecond}
+}
+
+// Calibrate derives the per-term-op cost that makes the modelled
+// sequential time of a given trace equal the paper's published sequential
+// time for that input.
+func Calibrate(tr Trace, paperSeqMS float64) StepCost {
+	if tr.TermOps == 0 {
+		return DefaultStepCost()
+	}
+	perPair := 200 * sim.Microsecond
+	budget := sim.FromMilliseconds(paperSeqMS) - sim.Time(tr.PairsReduced)*perPair
+	per := budget / sim.Time(tr.TermOps)
+	if per <= 0 {
+		per = sim.Microsecond
+	}
+	return StepCost{PerTermOp: per, PerPair: perPair}
+}
+
+// SeqVirtualTime returns the modelled uniprocessor runtime of a trace
+// under a step-cost model — the baseline for speedup figures.
+func SeqVirtualTime(tr Trace, sc StepCost) sim.Time {
+	return sim.Time(tr.PairsReduced)*sc.PerPair + sim.Time(tr.TermOps)*sc.PerTermOp
+}
+
+// ParallelConfig configures a parallel completion run.
+type ParallelConfig struct {
+	// Opt supplies the selection strategy and the criteria applied when
+	// pairs are created.
+	Opt Options
+	// StepCost is the compute model (zero: DefaultStepCost).
+	StepCost StepCost
+	// DistributedQueues selects the paper's decentralised pair queues
+	// (per-node priority queues, receiver-initiated ring distribution)
+	// instead of the central self-scheduling pool.
+	DistributedQueues bool
+	// NoOrderedCommit disables the ordered-commit gate (see file comment).
+	NoOrderedCommit bool
+}
+
+// ParallelResult is the outcome of a parallel completion.
+type ParallelResult struct {
+	Basis *Basis
+	Stats *earth.Stats
+	// PairsProcessed is the total number of reductions performed across
+	// workers (varies from run to run with the processing order).
+	PairsProcessed int
+	// Added counts polynomials admitted beyond the input.
+	Added int
+	// Deferrals counts insert requests deferred by the ordered-commit
+	// gate.
+	Deferrals int
+	// Rejected counts shipped results whose global recheck reduced them
+	// to zero.
+	Rejected int
+}
+
+// pairMsgBytes is the wire size of one critical pair (two indices plus a
+// packed LCM).
+const pairMsgBytes = 24
+
+// insertReq is a shipped irreducible result awaiting commit. prefix is
+// the length of the registry prefix the producing worker had replicated
+// when it finished the reduction: if the registry has not grown past it,
+// the result is already a global normal form and commits without any
+// further reduction (optimistic concurrency); otherwise the maintenance
+// node ships the missing polynomials back and the worker re-reduces in
+// parallel.
+type insertReq struct {
+	w      int
+	pair   Pair
+	nf     *poly.Poly
+	prefix int
+}
+
+// parState is the distributed state of one run. Maintenance-node fields
+// are owned by node M = P-1; per-worker fields by their worker. No field
+// is accessed from more than one node's execution context.
+type parState struct {
+	cfg     ParallelConfig
+	ring    *poly.Ring
+	workers int
+	m       earth.NodeID // maintenance node
+
+	nodes []*parNode
+
+	// Maintenance-node state.
+	registry  []*poly.Poly
+	created   int
+	pool      []Pair // central pool (default mode)
+	waiting   map[int]bool
+	inflight  map[int]Pair
+	insertQ   []insertReq
+	outstand  map[int]int // per-worker shipped-unacked insert requests
+	processed map[int]int // per-worker processed counts (reported)
+	stopped   bool
+	added     int
+	rejected  int
+	deferrals int
+	rrNext    int
+}
+
+type parNode struct {
+	queue       []Pair // distributed mode: local priority queue
+	cache       []*poly.Poly
+	busy        bool
+	stop        bool
+	outstanding int // shipped, unacknowledged insert requests
+	processed   int
+	cacheDirty  bool
+	ringAsked   bool
+}
+
+// prefixLen returns the length of the contiguous replicated registry
+// prefix this worker holds.
+func (n *parNode) prefixLen() int {
+	for i, p := range n.cache {
+		if p == nil {
+			return i
+		}
+	}
+	return len(n.cache)
+}
+
+// cacheList returns the cached polynomials forming the minimal staircase
+// (redundant reducers dropped), keeping normal forms close to the
+// sequential trajectory.
+func (n *parNode) cacheList() []*poly.Poly {
+	out := make([]*poly.Poly, 0, len(n.cache))
+	for i, p := range n.cache {
+		if p == nil {
+			continue
+		}
+		redundant := false
+		for j, q := range n.cache {
+			if q == nil || i == j {
+				continue
+			}
+			if q.LeadMono().Divides(p.LeadMono()) {
+				if !p.LeadMono().Equal(q.LeadMono()) || j < i {
+					redundant = true
+					break
+				}
+			}
+		}
+		if !redundant {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParallelBuchberger runs the completion on rt. Node P-1 is the reserved
+// maintenance/termination node; nodes 0..P-2 are workers. rt must have at
+// least 2 nodes.
+func ParallelBuchberger(rt earth.Runtime, F []*poly.Poly, cfg ParallelConfig) (*ParallelResult, error) {
+	ring, G := prepInput(F)
+	if ring == nil {
+		return nil, fmt.Errorf("groebner: empty input system")
+	}
+	if rt.P() < 2 {
+		return nil, fmt.Errorf("groebner: need >= 2 nodes (workers + maintenance), got %d", rt.P())
+	}
+	if cfg.StepCost == (StepCost{}) {
+		cfg.StepCost = DefaultStepCost()
+	}
+	st := &parState{
+		cfg:       cfg,
+		ring:      ring,
+		workers:   rt.P() - 1,
+		m:         earth.NodeID(rt.P() - 1),
+		waiting:   map[int]bool{},
+		inflight:  map[int]Pair{},
+		outstand:  map[int]int{},
+		processed: map[int]int{},
+	}
+	st.nodes = make([]*parNode, rt.P())
+	for i := range st.nodes {
+		st.nodes[i] = &parNode{}
+	}
+
+	stats := rt.Run(func(c earth.Ctx) { st.driver(c, G) })
+
+	res := &ParallelResult{
+		Basis:     &Basis{Ring: ring, Polys: st.registry},
+		Stats:     stats,
+		Added:     st.added,
+		Rejected:  st.rejected,
+		Deferrals: st.deferrals,
+	}
+	for _, n := range st.nodes {
+		res.PairsProcessed += n.processed
+	}
+	return res, nil
+}
+
+// driver runs as the program's main thread on node 0; it hands the input
+// system to the maintenance node, which replicates it and starts the
+// workers.
+func (st *parState) driver(c earth.Ctx, G []*poly.Poly) {
+	bytes := 0
+	for _, g := range G {
+		bytes += g.Bytes()
+	}
+	c.Post(st.m, bytes, func(c earth.Ctx) { st.bootstrap(c, G) })
+}
+
+// bootstrap runs on the maintenance node.
+func (st *parState) bootstrap(c earth.Ctx, G []*poly.Poly) {
+	st.registry = append(st.registry, G...)
+
+	// Initial pairs with the configured criteria.
+	var pairs []Pair
+	for j := 1; j < len(G); j++ {
+		pairs = append(pairs, st.newPairsFor(G[:j+1], j)...)
+	}
+	st.created = len(pairs)
+
+	// Replicate the input polynomials to every worker (block moves).
+	for w := 0; w < st.workers; w++ {
+		w := w
+		for idx, g := range G {
+			idx, g := idx, g
+			earth.BlkMovBytes(c, earth.NodeID(w), g.Bytes(), func() {
+				st.nodeCachePut(w, idx, g)
+			}, nil, 0)
+		}
+	}
+
+	if st.cfg.DistributedQueues {
+		batches := make([][]Pair, st.workers)
+		for k, p := range pairs {
+			batches[k%st.workers] = append(batches[k%st.workers], p)
+		}
+		for w, b := range batches {
+			if len(b) == 0 {
+				continue
+			}
+			w, b := w, b
+			c.Post(earth.NodeID(w), len(b)*pairMsgBytes, func(c earth.Ctx) {
+				st.receivePairs(c, w, b)
+			})
+		}
+		// Workers with no initial pairs go through the ring.
+		for w := 0; w < st.workers; w++ {
+			if len(batches[w]) == 0 {
+				w := w
+				c.Post(earth.NodeID(w), 8, func(c earth.Ctx) { st.ringRequest(c, w) })
+			}
+		}
+		return
+	}
+
+	st.pool = pairs
+	for w := 0; w < st.workers; w++ {
+		w := w
+		c.Post(earth.NodeID(w), 8, func(c earth.Ctx) { st.fetchWork(c, w) })
+	}
+}
+
+// nodeCachePut stores a replicated polynomial in worker w's cache. Must
+// run on w's context.
+func (st *parState) nodeCachePut(w, idx int, p *poly.Poly) {
+	n := st.nodes[w]
+	for len(n.cache) <= idx {
+		n.cache = append(n.cache, nil)
+	}
+	n.cache[idx] = p
+	n.cacheDirty = true
+}
+
+// ---------- central self-scheduling mode ----------
+
+// fetchWork runs on worker w: it asks the maintenance node for the
+// globally best available pair.
+func (st *parState) fetchWork(c earth.Ctx, w int) {
+	n := st.nodes[w]
+	if n.stop {
+		n.busy = false
+		return
+	}
+	n.busy = true
+	c.Post(st.m, 16, func(c earth.Ctx) {
+		if len(st.pool) > 0 {
+			p := st.popBest(&st.pool)
+			st.inflight[w] = p
+			c.Post(earth.NodeID(w), pairMsgBytes, func(c earth.Ctx) {
+				earth.SpawnBody(c, func(c earth.Ctx) { st.startPair(c, w, p) })
+			})
+			return
+		}
+		st.waiting[w] = true
+		c.Post(earth.NodeID(w), 8, func(c earth.Ctx) { st.nodes[w].busy = false })
+		st.maybeTerminate(c)
+	})
+}
+
+// popBest removes and returns the best pair of a pool under the strategy.
+func (st *parState) popBest(pool *[]Pair) Pair {
+	ps := *pool
+	best := 0
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Less(ps[best], st.ring.Order(), st.cfg.Opt.Strategy) {
+			best = i
+		}
+	}
+	p := ps[best]
+	ps[best] = ps[len(ps)-1]
+	*pool = ps[:len(ps)-1]
+	return p
+}
+
+// startPair runs as a worker thread: ensure operands are cached, then
+// reduce.
+func (st *parState) startPair(c earth.Ctx, w int, p Pair) {
+	if !st.ensureCached(c, w, p) {
+		return // continuation re-enters processPair
+	}
+	st.processPair(c, w, p)
+}
+
+// ensureCached fetches missing operands from the registry with
+// split-phase Gets; returns true when everything is already local.
+func (st *parState) ensureCached(c earth.Ctx, w int, p Pair) bool {
+	n := st.nodes[w]
+	var missing []int
+	for _, idx := range []int{p.I, p.J} {
+		if idx >= len(n.cache) || n.cache[idx] == nil {
+			missing = append(missing, idx)
+		}
+	}
+	if len(missing) == 0 {
+		return true
+	}
+	f := earth.NewFrame(earth.NodeID(w), 1, 1)
+	f.InitSync(0, len(missing), 0, 0)
+	f.SetThread(0, func(c earth.Ctx) { st.processPair(c, w, p) })
+	for _, idx := range missing {
+		idx := idx
+		// Pairs are created only after registration, so the entry exists.
+		c.Get(st.m, 512, func() func() {
+			g := st.registry[idx]
+			return func() { st.nodeCachePut(w, idx, g) }
+		}, f, 0)
+	}
+	return false
+}
+
+// processPair performs one reduction (the real algebra) on worker w and
+// charges the compute model for the work actually done.
+func (st *parState) processPair(c earth.Ctx, w int, p Pair) {
+	n := st.nodes[w]
+	G := n.cacheList()
+	s := poly.SPoly(n.cache[p.I], n.cache[p.J])
+	nf, rst := poly.NormalForm(s, G)
+	c.Compute(st.cfg.StepCost.PerPair + sim.Time(rst.TermOps)*st.cfg.StepCost.PerTermOp)
+	n.processed++
+
+	if !nf.IsZero() {
+		nf = nf.Monic()
+		n.outstanding++
+		st.shipResult(c, w, p, nf)
+	} else {
+		proc := n.processed
+		c.Post(st.m, pairMsgBytes, func(c earth.Ctx) {
+			delete(st.inflight, w)
+			st.processed[w] = proc
+			st.tryInsert(c) // the gate may have been waiting on this pair
+			st.maybeTerminate(c)
+		})
+	}
+	st.continueWorker(c, w)
+}
+
+// shipResult sends an irreducible result to the maintenance node. The
+// reporting pair completion travels with it.
+func (st *parState) shipResult(c earth.Ctx, w int, p Pair, nf *poly.Poly) {
+	n := st.nodes[w]
+	req := insertReq{w: w, pair: p, nf: nf, prefix: n.prefixLen()}
+	proc := n.processed
+	c.Post(st.m, nf.Bytes()+pairMsgBytes, func(c earth.Ctx) {
+		st.insertQ = append(st.insertQ, req)
+		delete(st.inflight, w)
+		st.processed[w] = proc
+		st.tryInsert(c)
+	})
+}
+
+// continueWorker resumes worker w's main loop in the configured mode.
+func (st *parState) continueWorker(c earth.Ctx, w int) {
+	if st.cfg.DistributedQueues {
+		earth.SpawnBody(c, func(c earth.Ctx) { st.step(c, w) })
+		return
+	}
+	st.fetchWork(c, w)
+}
+
+// tryInsert runs on the maintenance node: process queued insert requests
+// (best first), honouring the ordered-commit gate. A request whose
+// registry prefix is current commits immediately (its result is already a
+// global normal form); a stale request is bounced back to its worker with
+// the missing polynomials for a parallel re-reduction.
+func (st *parState) tryInsert(c earth.Ctx) {
+	for len(st.insertQ) > 0 && !st.stopped {
+		best := 0
+		for i := 1; i < len(st.insertQ); i++ {
+			if st.insertQ[i].pair.Less(st.insertQ[best].pair, st.ring.Order(), st.cfg.Opt.Strategy) {
+				best = i
+			}
+		}
+		req := st.insertQ[best]
+		if !st.cfg.NoOrderedCommit {
+			blocked := false
+			for ow, p := range st.inflight {
+				if ow != req.w && p.Less(req.pair, st.ring.Order(), st.cfg.Opt.Strategy) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				st.deferrals++
+				return // re-evaluated when that pair completes
+			}
+		}
+		st.insertQ[best] = st.insertQ[len(st.insertQ)-1]
+		st.insertQ = st.insertQ[:len(st.insertQ)-1]
+
+		if req.prefix >= len(st.registry) {
+			// Optimistic commit: the worker reduced against the complete
+			// solution set; no recheck is needed.
+			idx := len(st.registry)
+			st.registry = append(st.registry, req.nf)
+			st.added++
+			if diagLog != nil {
+				diagLog("t=%v w=%d insert idx=%d lead=%v terms=%d\n", c.Now(), req.w, idx, req.nf.LeadMono(), req.nf.NumTerms())
+			}
+			st.finishInsert(c, req.w, idx, req.nf)
+			continue
+		}
+		// Conflict: ship the polynomials admitted since the worker's
+		// snapshot and let it re-reduce in parallel.
+		st.rejected++ // counted as a conflict round
+		missing := st.registry[req.prefix:]
+		from := req.prefix
+		bytes := 0
+		for _, g := range missing {
+			bytes += g.Bytes()
+		}
+		c.Post(earth.NodeID(req.w), bytes+pairMsgBytes, func(c earth.Ctx) {
+			for k, g := range missing {
+				st.nodeCachePut(req.w, from+k, g)
+			}
+			earth.SpawnBody(c, func(c earth.Ctx) { st.rereduce(c, req) })
+		})
+	}
+}
+
+// rereduce runs as a worker thread after a commit conflict: reduce the
+// result against the refreshed cache; a surviving result is re-shipped,
+// a dead one is withdrawn.
+func (st *parState) rereduce(c earth.Ctx, req insertReq) {
+	n := st.nodes[req.w]
+	nf, rst := poly.NormalForm(req.nf, n.cacheList())
+	c.Compute(sim.Time(rst.TermOps) * st.cfg.StepCost.PerTermOp)
+	if nf.IsZero() {
+		n.outstanding--
+		out := n.outstanding
+		c.Post(st.m, 16, func(c earth.Ctx) {
+			st.outstand[req.w] = out
+			st.maybeTerminate(c)
+			st.maybeTerminateDistributed(c)
+		})
+		return
+	}
+	st.shipResult(c, req.w, req.pair, nf.Monic())
+}
+
+// finishInsert completes an insert (or rejection): acknowledge the origin
+// worker, broadcast the polynomial, create and distribute the new pairs.
+func (st *parState) finishInsert(c earth.Ctx, w int, idx int, nf *poly.Poly) {
+	// Acknowledge the shipping worker.
+	c.Post(earth.NodeID(w), 8, func(c earth.Ctx) {
+		n := st.nodes[w]
+		n.outstanding--
+		out := n.outstanding
+		c.Post(st.m, 8, func(c earth.Ctx) {
+			st.outstand[w] = out
+			st.maybeTerminate(c)
+			st.maybeTerminateDistributed(c)
+		})
+	})
+
+	if nf != nil {
+		// Broadcast (read caching of the replicated solution set).
+		for o := 0; o < st.workers; o++ {
+			o := o
+			c.Post(earth.NodeID(o), nf.Bytes(), func(c earth.Ctx) {
+				st.nodeCachePut(o, idx, nf)
+				st.onBroadcast(c, o)
+			})
+		}
+		// New pairs.
+		pairs := st.newPairsFor(st.registry, idx)
+		st.created += len(pairs)
+		if st.cfg.DistributedQueues {
+			batches := make([][]Pair, st.workers)
+			for k, p := range pairs {
+				batches[(st.rrNext+k)%st.workers] = append(batches[(st.rrNext+k)%st.workers], p)
+			}
+			st.rrNext++
+			for o, b := range batches {
+				if len(b) == 0 {
+					continue
+				}
+				o, b := o, b
+				c.Post(earth.NodeID(o), len(b)*pairMsgBytes, func(c earth.Ctx) {
+					st.receivePairs(c, o, b)
+				})
+			}
+		} else {
+			st.pool = append(st.pool, pairs...)
+			st.dispatchWaiting(c)
+		}
+	}
+	st.maybeTerminate(c)
+	st.maybeTerminateDistributed(c)
+}
+
+// dispatchWaiting restarts parked workers while pairs are available.
+func (st *parState) dispatchWaiting(c earth.Ctx) {
+	for w := range st.waiting {
+		if len(st.pool) == 0 {
+			return
+		}
+		delete(st.waiting, w)
+		w := w
+		c.Post(earth.NodeID(w), 8, func(c earth.Ctx) { st.fetchWork(c, w) })
+	}
+}
+
+// newPairsFor builds the critical pairs of basis[idx] against all earlier
+// entries, applying the configured criteria (coprime criterion B, plus
+// the Gebauer-Möller M/F filters unless disabled).
+func (st *parState) newPairsFor(basis []*poly.Poly, idx int) []Pair {
+	lmh := basis[idx].LeadMono()
+	type cand struct {
+		i       int
+		lcm     poly.Mono
+		coprime bool
+		dead    bool
+	}
+	var cands []cand
+	for i := 0; i < idx; i++ {
+		g := basis[i]
+		if g == nil {
+			continue
+		}
+		lmi := g.LeadMono()
+		cands = append(cands, cand{i: i, lcm: lmi.LCM(lmh), coprime: lmi.Coprime(lmh)})
+	}
+	if !st.cfg.Opt.NoChainCriterion {
+		for a := range cands {
+			for b := range cands {
+				if a == b || cands[b].dead {
+					continue
+				}
+				if cands[b].lcm.Divides(cands[a].lcm) && !cands[b].lcm.Equal(cands[a].lcm) {
+					cands[a].dead = true
+					break
+				}
+			}
+		}
+		for a := range cands {
+			if cands[a].dead {
+				continue
+			}
+			hasCoprime := cands[a].coprime
+			for b := a + 1; b < len(cands); b++ {
+				if cands[b].dead || !cands[b].lcm.Equal(cands[a].lcm) {
+					continue
+				}
+				if cands[b].coprime {
+					hasCoprime = true
+				}
+				cands[b].dead = true
+			}
+			if hasCoprime {
+				cands[a].dead = true
+			}
+		}
+	}
+	var pairs []Pair
+	for _, cd := range cands {
+		if cd.dead || (!st.cfg.Opt.NoCoprimeCriterion && cd.coprime) {
+			continue
+		}
+		pairs = append(pairs, Pair{I: cd.i, J: idx, LCM: cd.lcm, Seq: idx*1000 + cd.i})
+	}
+	return pairs
+}
+
+// maybeTerminate runs on the maintenance node after every state change
+// (central mode): when every worker is parked with no outstanding
+// requests, no pair is in flight or pooled and no insert is running, the
+// completion has finished and the workers are stopped. This is the
+// reserved node's termination detection, event-driven because all global
+// state lives on it.
+func (st *parState) maybeTerminate(c earth.Ctx) {
+	if st.cfg.DistributedQueues {
+		return
+	}
+	if st.stopped || len(st.insertQ) > 0 || len(st.inflight) > 0 {
+		return
+	}
+	if len(st.pool) > 0 || len(st.waiting) < st.workers {
+		return
+	}
+	for w := 0; w < st.workers; w++ {
+		if st.outstand[w] > 0 {
+			return
+		}
+	}
+	st.stop(c)
+}
+
+func (st *parState) stop(c earth.Ctx) {
+	st.stopped = true
+	for w := 0; w < st.workers; w++ {
+		w := w
+		c.Post(earth.NodeID(w), 8, func(c earth.Ctx) { st.nodes[w].stop = true })
+	}
+}
+
+// ---------- distributed-queues mode (ablation) ----------
+
+// receivePairs runs on worker w: merge pairs into the local queue and
+// (re)start the main loop.
+func (st *parState) receivePairs(c earth.Ctx, w int, pairs []Pair) {
+	n := st.nodes[w]
+	n.queue = append(n.queue, pairs...)
+	n.ringAsked = false
+	if !n.busy && !n.stop {
+		n.busy = true
+		earth.SpawnBody(c, func(c earth.Ctx) { st.step(c, w) })
+	}
+}
+
+// step is one iteration of worker w's main loop in distributed mode.
+func (st *parState) step(c earth.Ctx, w int) {
+	n := st.nodes[w]
+	if n.stop {
+		n.busy = false
+		return
+	}
+	if len(n.queue) == 0 {
+		n.busy = false
+		st.ringRequest(c, w)
+		st.reportIdle(c, w)
+		return
+	}
+	p := st.popBest(&n.queue)
+	pp := p
+	c.Post(st.m, pairMsgBytes, func(c earth.Ctx) { st.inflight[w] = pp })
+	if !st.ensureCached(c, w, p) {
+		return
+	}
+	st.processPair(c, w, p)
+}
+
+// reportIdle tells the maintenance node this worker ran dry (distributed
+// termination bookkeeping).
+func (st *parState) reportIdle(c earth.Ctx, w int) {
+	n := st.nodes[w]
+	proc, out := n.processed, n.outstanding
+	c.Post(st.m, 16, func(c earth.Ctx) {
+		st.processed[w] = proc
+		st.outstand[w] = out
+		st.waiting[w] = true
+		st.maybeTerminateDistributed(c)
+	})
+}
+
+// maybeTerminateDistributed: in distributed mode queue contents are
+// remote, so termination additionally requires conservation of the pair
+// counts: every created pair has been processed.
+func (st *parState) maybeTerminateDistributed(c earth.Ctx) {
+	if !st.cfg.DistributedQueues {
+		return
+	}
+	if st.stopped || len(st.insertQ) > 0 || len(st.inflight) > 0 {
+		return
+	}
+	total := 0
+	for w := 0; w < st.workers; w++ {
+		if st.outstand[w] > 0 {
+			return
+		}
+		total += st.processed[w]
+	}
+	if total != st.created || len(st.waiting) < st.workers {
+		return
+	}
+	st.stop(c)
+}
+
+// onBroadcast runs on worker o when a new polynomial arrives: an idle
+// worker in distributed mode uses it to retry its ring request, and to
+// refresh its idle report (the queue may still be empty, but processed
+// counts move).
+func (st *parState) onBroadcast(c earth.Ctx, o int) {
+	if !st.cfg.DistributedQueues {
+		return
+	}
+	n := st.nodes[o]
+	if !n.busy && !n.stop {
+		if len(n.queue) > 0 {
+			n.busy = true
+			earth.SpawnBody(c, func(c earth.Ctx) { st.step(c, o) })
+		} else {
+			n.ringAsked = false
+			st.ringRequest(c, o)
+			st.reportIdle(c, o)
+		}
+	}
+}
+
+// ringRequest implements the receiver-initiated ring distribution: an
+// idle worker asks its successor for pairs; the request travels the ring
+// until a donor is found or it returns home.
+func (st *parState) ringRequest(c earth.Ctx, w int) {
+	if !st.cfg.DistributedQueues {
+		return
+	}
+	n := st.nodes[w]
+	if n.ringAsked || st.workers < 2 {
+		return
+	}
+	n.ringAsked = true
+	st.ringHop(c, w, (w+1)%st.workers)
+}
+
+func (st *parState) ringHop(c earth.Ctx, requester, at int) {
+	if at == requester {
+		return // no work anywhere right now
+	}
+	c.Post(earth.NodeID(at), 16, func(c earth.Ctx) {
+		v := st.nodes[at]
+		if len(v.queue) > 1 {
+			// Donate the best half: the requester starts on it
+			// immediately, keeping global order close to the heuristic.
+			sortPairs(v.queue, st.ring.Order(), st.cfg.Opt.Strategy)
+			half := len(v.queue) / 2
+			donation := make([]Pair, half)
+			copy(donation, v.queue[:half])
+			copy(v.queue, v.queue[half:])
+			v.queue = v.queue[:len(v.queue)-half]
+			c.Post(earth.NodeID(requester), len(donation)*pairMsgBytes, func(c earth.Ctx) {
+				st.receivePairs(c, requester, donation)
+			})
+			return
+		}
+		st.ringHop(c, requester, (at+1)%st.workers)
+	})
+}
+
+// sortPairs orders a pair slice best-first under the strategy.
+func sortPairs(ps []Pair, ord poly.Order, s Strategy) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Less(ps[j-1], ord, s); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// SeqBaselineMS runs the sequential algorithm with the same options and
+// returns the modelled uniprocessor time in milliseconds plus the trace
+// (the 1-node reference the paper's speedups are computed against).
+func SeqBaselineMS(F []*poly.Poly, opt Options, sc StepCost) (float64, Trace, error) {
+	b, err := Buchberger(F, opt)
+	if err != nil {
+		return 0, Trace{}, err
+	}
+	return SeqVirtualTime(b.Trace, sc).Milliseconds(), b.Trace, nil
+}
+
+// MeanPolyBytes reports the mean compacted size of a basis's polynomials
+// (Table 2's "mean size of polynomial").
+func MeanPolyBytes(polys []*poly.Poly) int {
+	if len(polys) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, p := range polys {
+		sum += p.Bytes()
+	}
+	return sum / len(polys)
+}

@@ -1,0 +1,191 @@
+// Package manna models the MANNA distributed-memory machine that EARTH was
+// first implemented on: up to 20 nodes (two i860 XP CPUs each, the
+// experiments in the paper use the single-processor EARTH configuration),
+// 32 MB of local memory per node, and a 50 MB/s communication network built
+// from hierarchically organised 16-way crossbars.
+//
+// The model captures the properties the paper's results depend on:
+//
+//   - a transfer-time law: per-hop wire latency plus bytes/bandwidth,
+//   - a hierarchical crossbar topology that determines the hop count
+//     between two nodes,
+//   - per-node NIC serialisation: a node's network interface transmits one
+//     message at a time, so bursts of messages from one node queue behind
+//     each other (this is what makes centralised communication patterns,
+//     e.g. the neural-network broadcast, expensive).
+//
+// Absolute constants default to the published MANNA figures but every one
+// of them is configurable, which is what the harness uses to sweep
+// communication-cost scenarios.
+package manna
+
+import (
+	"fmt"
+
+	"earth/internal/sim"
+)
+
+// Config describes a MANNA-like machine.
+type Config struct {
+	// Nodes is the number of processing nodes.
+	Nodes int
+	// BandwidthBytesPerSec is the per-link network bandwidth. MANNA: 50 MB/s.
+	BandwidthBytesPerSec float64
+	// HopLatency is the wire/switch latency added per crossbar hop.
+	HopLatency sim.Time
+	// CrossbarPorts is the arity of one crossbar. Nodes 0..CrossbarPorts-1
+	// share a first-level crossbar; larger machines add a second level.
+	// MANNA: 16.
+	CrossbarPorts int
+	// MemoryBytes is the local memory per node (bookkeeping only).
+	MemoryBytes int64
+}
+
+// Default returns the published MANNA configuration with n nodes.
+func Default(n int) Config {
+	return Config{
+		Nodes:                n,
+		BandwidthBytesPerSec: 50e6,
+		HopLatency:           sim.Microsecond / 2, // 0.5 us per switch stage
+		CrossbarPorts:        16,
+		MemoryBytes:          32 << 20,
+	}
+}
+
+// SP2 returns a machine model of the IBM SP2 the paper says EARTH was
+// being ported to: a multistage Omega-style switch with higher per-hop
+// latency and ~35 MB/s sustained node bandwidth (published TB2 adapter
+// figures).
+func SP2(n int) Config {
+	return Config{
+		Nodes:                n,
+		BandwidthBytesPerSec: 35e6,
+		HopLatency:           5 * sim.Microsecond,
+		CrossbarPorts:        16,
+		MemoryBytes:          64 << 20,
+	}
+}
+
+// Myrinet returns a model of the paper's other port target, a SUN cluster
+// on a Myrinet switch: ~8 µs switch traversals at higher link bandwidth.
+func Myrinet(n int) Config {
+	return Config{
+		Nodes:                n,
+		BandwidthBytesPerSec: 80e6,
+		HopLatency:           8 * sim.Microsecond,
+		CrossbarPorts:        8,
+		MemoryBytes:          128 << 20,
+	}
+}
+
+// Validate reports an error for physically meaningless configurations.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("manna: Nodes = %d, need >= 1", c.Nodes)
+	}
+	if c.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("manna: bandwidth must be positive, got %g", c.BandwidthBytesPerSec)
+	}
+	if c.HopLatency < 0 {
+		return fmt.Errorf("manna: negative hop latency %v", c.HopLatency)
+	}
+	if c.CrossbarPorts < 2 {
+		return fmt.Errorf("manna: CrossbarPorts = %d, need >= 2", c.CrossbarPorts)
+	}
+	return nil
+}
+
+// Hops returns the number of crossbar stages a message from src to dst
+// traverses. Same node: 0 (local). Same first-level crossbar: 1. Otherwise
+// the message climbs through the second-level crossbar: 3 stages
+// (up, across, down) — the hierarchical organisation described in [Giloi96].
+func (c Config) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	if src/c.CrossbarPorts == dst/c.CrossbarPorts {
+		return 1
+	}
+	return 3
+}
+
+// WireTime returns the pure network time needed to move nbytes from src
+// to dst (excluding any software overhead at sender or receiver): per-hop
+// switch latency plus serialisation at link bandwidth.
+func (c Config) WireTime(src, dst, nbytes int) sim.Time {
+	if src == dst {
+		return 0
+	}
+	lat := sim.Time(c.Hops(src, dst)) * c.HopLatency
+	return lat + c.TxTime(nbytes)
+}
+
+// TxTime returns the time the NIC needs to clock nbytes onto the link.
+func (c Config) TxTime(nbytes int) sim.Time {
+	if nbytes <= 0 {
+		return 0
+	}
+	ns := float64(nbytes) / c.BandwidthBytesPerSec * 1e9
+	return sim.Time(ns)
+}
+
+// Machine is a runtime instance of a Config: it tracks the dynamic NIC
+// state of every node so that concurrent sends from one node serialise.
+type Machine struct {
+	cfg       Config
+	nicFreeAt []sim.Time
+	// Stats
+	Messages  uint64
+	Bytes     uint64
+	LocalMsgs uint64
+}
+
+// New builds a Machine. It panics on an invalid Config, since a machine is
+// always constructed from code (not user input) in this library.
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{cfg: cfg, nicFreeAt: make([]sim.Time, cfg.Nodes)}
+}
+
+// Config returns the machine's static configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Nodes returns the node count.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// Send computes the arrival time of a message of nbytes from src to dst
+// whose software send-side processing completes at time ready. It advances
+// src's NIC reservation: if the NIC is still transmitting an earlier
+// message, this one queues behind it.
+//
+// A local "message" (src == dst) does not touch the NIC and arrives
+// immediately at ready.
+func (m *Machine) Send(ready sim.Time, src, dst, nbytes int) (arrival sim.Time) {
+	if src == dst {
+		m.LocalMsgs++
+		return ready
+	}
+	start := ready
+	if m.nicFreeAt[src] > start {
+		start = m.nicFreeAt[src]
+	}
+	tx := m.cfg.TxTime(nbytes)
+	m.nicFreeAt[src] = start + tx
+	m.Messages++
+	m.Bytes += uint64(nbytes)
+	return start + tx + sim.Time(m.cfg.Hops(src, dst))*m.cfg.HopLatency
+}
+
+// NICFreeAt exposes the current NIC reservation of a node (for tests and
+// statistics).
+func (m *Machine) NICFreeAt(node int) sim.Time { return m.nicFreeAt[node] }
+
+// Reset clears dynamic state so the machine can be reused for another run.
+func (m *Machine) Reset() {
+	for i := range m.nicFreeAt {
+		m.nicFreeAt[i] = 0
+	}
+	m.Messages, m.Bytes, m.LocalMsgs = 0, 0, 0
+}

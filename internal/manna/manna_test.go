@@ -1,0 +1,168 @@
+package manna
+
+import (
+	"testing"
+	"testing/quick"
+
+	"earth/internal/sim"
+)
+
+func TestDefaultValid(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 20, 64} {
+		if err := Default(n).Validate(); err != nil {
+			t.Errorf("Default(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Nodes: 0, BandwidthBytesPerSec: 1, CrossbarPorts: 2},
+		{Nodes: 1, BandwidthBytesPerSec: 0, CrossbarPorts: 2},
+		{Nodes: 1, BandwidthBytesPerSec: 1, CrossbarPorts: 1},
+		{Nodes: 1, BandwidthBytesPerSec: 1, CrossbarPorts: 2, HopLatency: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, c)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	c := Default(32)
+	if h := c.Hops(3, 3); h != 0 {
+		t.Errorf("same node hops = %d, want 0", h)
+	}
+	if h := c.Hops(0, 15); h != 1 {
+		t.Errorf("same crossbar hops = %d, want 1", h)
+	}
+	if h := c.Hops(0, 16); h != 3 {
+		t.Errorf("cross-crossbar hops = %d, want 3", h)
+	}
+	if h := c.Hops(17, 31); h != 1 {
+		t.Errorf("second crossbar local hops = %d, want 1", h)
+	}
+}
+
+func TestTxTimeMatchesBandwidth(t *testing.T) {
+	c := Default(2)
+	// 50 bytes at 50 MB/s = 1 us.
+	if got := c.TxTime(50); got != sim.Microsecond {
+		t.Errorf("TxTime(50) = %v, want 1us", got)
+	}
+	if got := c.TxTime(0); got != 0 {
+		t.Errorf("TxTime(0) = %v, want 0", got)
+	}
+	if got := c.TxTime(-5); got != 0 {
+		t.Errorf("TxTime(-5) = %v, want 0", got)
+	}
+}
+
+func TestWireTimeLocalIsZero(t *testing.T) {
+	c := Default(4)
+	if got := c.WireTime(2, 2, 1<<20); got != 0 {
+		t.Errorf("local WireTime = %v, want 0", got)
+	}
+}
+
+func TestSendSerialisesNIC(t *testing.T) {
+	m := New(Default(4))
+	// Two 50-byte messages issued at the same instant from node 0: the
+	// second must queue behind the first's 1us transmission.
+	a1 := m.Send(0, 0, 1, 50)
+	a2 := m.Send(0, 0, 2, 50)
+	if a2-a1 != sim.Microsecond {
+		t.Errorf("second arrival %v, first %v: want 1us spacing", a2, a1)
+	}
+	if m.Messages != 2 || m.Bytes != 100 {
+		t.Errorf("stats = %d msgs %d bytes", m.Messages, m.Bytes)
+	}
+}
+
+func TestSendLocalBypassesNIC(t *testing.T) {
+	m := New(Default(4))
+	if got := m.Send(100, 1, 1, 1000); got != 100 {
+		t.Errorf("local send arrival = %v, want 100", got)
+	}
+	if m.NICFreeAt(1) != 0 {
+		t.Error("local send reserved the NIC")
+	}
+	if m.LocalMsgs != 1 {
+		t.Errorf("LocalMsgs = %d", m.LocalMsgs)
+	}
+}
+
+func TestSendIdleNICNoQueueing(t *testing.T) {
+	m := New(Default(4))
+	m.Send(0, 0, 1, 50) // NIC busy until 1us
+	// A message issued after the NIC is free starts immediately.
+	a := m.Send(10*sim.Microsecond, 0, 1, 50)
+	want := 10*sim.Microsecond + sim.Microsecond + m.Config().HopLatency
+	if a != want {
+		t.Errorf("arrival = %v, want %v", a, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(Default(2))
+	m.Send(0, 0, 1, 5000)
+	m.Reset()
+	if m.NICFreeAt(0) != 0 || m.Messages != 0 || m.Bytes != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestArrivalMonotoneInSizeProperty(t *testing.T) {
+	// Property: for a fresh machine, bigger messages never arrive earlier.
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw), int(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		m1 := New(Default(2))
+		m2 := New(Default(2))
+		return m1.Send(0, 0, 1, a) <= m2.Send(0, 0, 1, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrivalAfterReadyProperty(t *testing.T) {
+	// Property: a message never arrives before its software-ready time.
+	f := func(ready uint32, size uint16, src, dst uint8) bool {
+		m := New(Default(32))
+		s, d := int(src)%32, int(dst)%32
+		return m.Send(sim.Time(ready), s, d, int(size)) >= sim.Time(ready)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestPortedMachinePresets(t *testing.T) {
+	for name, cfg := range map[string]Config{"sp2": SP2(16), "myrinet": Myrinet(16)} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	// The SP2 switch is slower per hop than MANNA's crossbars.
+	if SP2(4).HopLatency <= Default(4).HopLatency {
+		t.Error("SP2 hop latency should exceed MANNA's")
+	}
+	// A small MANNA message beats the same message on the SP2.
+	small := 64
+	if Default(4).WireTime(0, 1, small) >= SP2(4).WireTime(0, 1, small) {
+		t.Error("MANNA should deliver small messages faster than the SP2 model")
+	}
+}

@@ -1,0 +1,211 @@
+// Package neural implements the paper's third application: feed-forward
+// artificial neural networks with backpropagation, parallelised at the
+// unit level. A network has three layers (input, hidden, output) with
+// full linkage between adjacent layers; each unit computes a scalar
+// product of the previous layer's activations with its weight vector and
+// applies the sigmoid. Unit parallelism slices each layer across machine
+// nodes — "at the very end of the spectrum of parallelizable programs,
+// with a very critical ratio of computation to communication".
+package neural
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Net is a fully connected 3-layer feed-forward network with float32
+// weights ("all computations using floats for the operands", Table 3).
+type Net struct {
+	NIn, NHid, NOut int
+	// W1[j][i]: weight from input i to hidden unit j; B1[j] its bias.
+	W1 [][]float32
+	B1 []float32
+	// W2[k][j]: weight from hidden j to output unit k; B2[k] its bias.
+	W2 [][]float32
+	B2 []float32
+}
+
+// New creates a network with small random weights.
+func New(nIn, nHid, nOut int, seed int64) *Net {
+	if nIn <= 0 || nHid <= 0 || nOut <= 0 {
+		panic(fmt.Sprintf("neural: bad layer sizes %d/%d/%d", nIn, nHid, nOut))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Net{NIn: nIn, NHid: nHid, NOut: nOut}
+	n.W1, n.B1 = randMatrix(rng, nHid, nIn)
+	n.W2, n.B2 = randMatrix(rng, nOut, nHid)
+	return n
+}
+
+// Square creates the paper's configuration: u units in every layer
+// (Table 3 uses u = 80, 200, 720).
+func Square(u int, seed int64) *Net { return New(u, u, u, seed) }
+
+func randMatrix(rng *rand.Rand, rows, cols int) ([][]float32, []float32) {
+	w := make([][]float32, rows)
+	b := make([]float32, rows)
+	scale := 1 / math.Sqrt(float64(cols))
+	for j := range w {
+		w[j] = make([]float32, cols)
+		for i := range w[j] {
+			w[j][i] = float32((2*rng.Float64() - 1) * scale)
+		}
+		b[j] = float32((2*rng.Float64() - 1) * scale)
+	}
+	return w, b
+}
+
+// Sigmoid is the Θ activation of Figure 6(c).
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Dot computes a unit's net input: the scalar product of the previous
+// layer's activations with the unit's weights plus its bias. float64
+// accumulation makes the result independent of the summation grouping,
+// so sequential and unit-parallel runs agree bitwise per unit.
+func Dot(w []float32, b float32, in []float32) float32 {
+	acc := float64(b)
+	for i, wi := range w {
+		acc += float64(wi) * float64(in[i])
+	}
+	return float32(acc)
+}
+
+// UnitForward computes one unit's activation.
+func UnitForward(w []float32, b float32, in []float32) float32 {
+	return Sigmoid(Dot(w, b, in))
+}
+
+// Forward runs a full forward pass, returning hidden and output
+// activations.
+func (n *Net) Forward(x []float32) (hidden, out []float32) {
+	if len(x) != n.NIn {
+		panic(fmt.Sprintf("neural: input size %d, want %d", len(x), n.NIn))
+	}
+	hidden = make([]float32, n.NHid)
+	for j := range hidden {
+		hidden[j] = UnitForward(n.W1[j], n.B1[j], x)
+	}
+	out = make([]float32, n.NOut)
+	for k := range out {
+		out[k] = UnitForward(n.W2[k], n.B2[k], hidden)
+	}
+	return hidden, out
+}
+
+// Loss is the squared error 0.5*sum((y-t)^2).
+func Loss(y, t []float32) float64 {
+	var s float64
+	for i := range y {
+		d := float64(y[i] - t[i])
+		s += 0.5 * d * d
+	}
+	return s
+}
+
+// Gradients holds the weight and bias gradients of one sample.
+type Gradients struct {
+	DW1 [][]float32
+	DB1 []float32
+	DW2 [][]float32
+	DB2 []float32
+}
+
+// NewGradients allocates zeroed gradients shaped like n.
+func (n *Net) NewGradients() *Gradients {
+	g := &Gradients{
+		DW1: make([][]float32, n.NHid), DB1: make([]float32, n.NHid),
+		DW2: make([][]float32, n.NOut), DB2: make([]float32, n.NOut),
+	}
+	for j := range g.DW1 {
+		g.DW1[j] = make([]float32, n.NIn)
+	}
+	for k := range g.DW2 {
+		g.DW2[k] = make([]float32, n.NHid)
+	}
+	return g
+}
+
+// OutputDelta computes one output unit's error term for squared loss:
+// (y - t) * y * (1 - y).
+func OutputDelta(y, t float32) float32 { return (y - t) * y * (1 - y) }
+
+// HiddenDelta computes a hidden unit's error term from its activation and
+// the back-propagated weighted error sum.
+func HiddenDelta(h, backSum float32) float32 { return backSum * h * (1 - h) }
+
+// Backward computes the gradients of one sample given the forward
+// activations. It also returns the hidden-layer deltas (the values the
+// parallel version exchanges between the output and hidden layers).
+func (n *Net) Backward(x, hidden, out, target []float32) (*Gradients, []float32) {
+	if len(target) != n.NOut {
+		panic(fmt.Sprintf("neural: target size %d, want %d", len(target), n.NOut))
+	}
+	g := n.NewGradients()
+	deltaOut := make([]float32, n.NOut)
+	for k := range deltaOut {
+		deltaOut[k] = OutputDelta(out[k], target[k])
+		for j := range hidden {
+			g.DW2[k][j] = deltaOut[k] * hidden[j]
+		}
+		g.DB2[k] = deltaOut[k]
+	}
+	// Back-propagated sums per hidden unit, float64-accumulated so the
+	// summation grouping does not matter.
+	deltaHid := make([]float32, n.NHid)
+	for j := range deltaHid {
+		var acc float64
+		for k := range deltaOut {
+			acc += float64(n.W2[k][j]) * float64(deltaOut[k])
+		}
+		deltaHid[j] = HiddenDelta(hidden[j], float32(acc))
+		for i := range x {
+			g.DW1[j][i] = deltaHid[j] * x[i]
+		}
+		g.DB1[j] = deltaHid[j]
+	}
+	return g, deltaHid
+}
+
+// Apply updates the weights with gradient descent at learning rate lr.
+func (n *Net) Apply(g *Gradients, lr float32) {
+	for j := range n.W1 {
+		for i := range n.W1[j] {
+			n.W1[j][i] -= lr * g.DW1[j][i]
+		}
+		n.B1[j] -= lr * g.DB1[j]
+	}
+	for k := range n.W2 {
+		for j := range n.W2[k] {
+			n.W2[k][j] -= lr * g.DW2[k][j]
+		}
+		n.B2[k] -= lr * g.DB2[k]
+	}
+}
+
+// TrainSample runs one online-update step (forward + backward + apply),
+// returning the pre-update loss.
+func (n *Net) TrainSample(x, target []float32, lr float32) float64 {
+	hidden, out := n.Forward(x)
+	g, _ := n.Backward(x, hidden, out, target)
+	n.Apply(g, lr)
+	return Loss(out, target)
+}
+
+// Clone deep-copies the network (for comparing training trajectories).
+func (n *Net) Clone() *Net {
+	c := &Net{NIn: n.NIn, NHid: n.NHid, NOut: n.NOut}
+	c.W1, c.B1 = cloneMatrix(n.W1, n.B1)
+	c.W2, c.B2 = cloneMatrix(n.W2, n.B2)
+	return c
+}
+
+func cloneMatrix(w [][]float32, b []float32) ([][]float32, []float32) {
+	cw := make([][]float32, len(w))
+	for i := range w {
+		cw[i] = append([]float32(nil), w[i]...)
+	}
+	return cw, append([]float32(nil), b...)
+}

@@ -1,0 +1,201 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShapeAndRange(t *testing.T) {
+	n := New(4, 6, 3, 1)
+	x := []float32{0.2, -0.5, 0.8, 0.1}
+	h, y := n.Forward(x)
+	if len(h) != 6 || len(y) != 3 {
+		t.Fatalf("shapes: %d/%d", len(h), len(y))
+	}
+	for _, v := range append(append([]float32{}, h...), y...) {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sigmoid output %v outside (0,1)", v)
+		}
+	}
+}
+
+func TestForwardTinyHandComputed(t *testing.T) {
+	// 1-1-1 net with known weights: y = s(w2*s(w1*x+b1)+b2).
+	n := &Net{NIn: 1, NHid: 1, NOut: 1,
+		W1: [][]float32{{2}}, B1: []float32{-1},
+		W2: [][]float32{{-1.5}}, B2: []float32{0.5},
+	}
+	h, y := n.Forward([]float32{1})
+	wantH := 1 / (1 + math.Exp(-1.0))
+	if math.Abs(float64(h[0])-wantH) > 1e-6 {
+		t.Fatalf("h = %v, want %v", h[0], wantH)
+	}
+	wantY := 1 / (1 + math.Exp(-(-1.5*wantH + 0.5)))
+	if math.Abs(float64(y[0])-wantY) > 1e-6 {
+		t.Fatalf("y = %v, want %v", y[0], wantY)
+	}
+}
+
+func TestInputSizeValidation(t *testing.T) {
+	n := New(3, 2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Forward([]float32{1, 2})
+}
+
+func TestBadLayerSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 3, 3, 1)
+}
+
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	n := New(5, 4, 3, 7)
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float32, 5)
+	target := make([]float32, 3)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	for i := range target {
+		target[i] = float32(rng.Float64())
+	}
+	h, y := n.Forward(x)
+	g, _ := n.Backward(x, h, y, target)
+
+	const eps = 1e-3
+	check := func(name string, w *float32, analytic float32) {
+		orig := *w
+		*w = orig + eps
+		_, yp := n.Forward(x)
+		lp := Loss(yp, target)
+		*w = orig - eps
+		_, ym := n.Forward(x)
+		lm := Loss(ym, target)
+		*w = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-float64(analytic)) > 5e-3*(1+math.Abs(numeric)) {
+			t.Errorf("%s: analytic %v vs numeric %v", name, analytic, numeric)
+		}
+	}
+	for j := 0; j < n.NHid; j++ {
+		for i := 0; i < n.NIn; i++ {
+			check("W1", &n.W1[j][i], g.DW1[j][i])
+		}
+		check("B1", &n.B1[j], g.DB1[j])
+	}
+	for k := 0; k < n.NOut; k++ {
+		for j := 0; j < n.NHid; j++ {
+			check("W2", &n.W2[k][j], g.DW2[k][j])
+		}
+		check("B2", &n.B2[k], g.DB2[k])
+	}
+}
+
+func TestTrainXOR(t *testing.T) {
+	n := New(2, 8, 1, 42)
+	xs := [][]float32{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ts := [][]float32{{0}, {1}, {1}, {0}}
+	for epoch := 0; epoch < 4000; epoch++ {
+		for i := range xs {
+			n.TrainSample(xs[i], ts[i], 0.9)
+		}
+	}
+	for i := range xs {
+		_, y := n.Forward(xs[i])
+		if math.Abs(float64(y[0]-ts[i][0])) > 0.25 {
+			t.Fatalf("XOR(%v) = %v, want %v", xs[i], y[0], ts[i][0])
+		}
+	}
+}
+
+func TestOnlineTrainingReducesLoss(t *testing.T) {
+	n := Square(12, 3)
+	rng := rand.New(rand.NewSource(4))
+	xs := make([][]float32, 30)
+	ts := make([][]float32, 30)
+	for s := range xs {
+		xs[s] = make([]float32, 12)
+		ts[s] = make([]float32, 12)
+		for i := range xs[s] {
+			xs[s][i] = float32(rng.Float64())
+			ts[s][i] = xs[s][(i+1)%12] // learn a rotation
+		}
+	}
+	lossAt := func() float64 {
+		var l float64
+		for s := range xs {
+			_, y := n.Forward(xs[s])
+			l += Loss(y, ts[s])
+		}
+		return l
+	}
+	before := lossAt()
+	for epoch := 0; epoch < 50; epoch++ {
+		for s := range xs {
+			n.TrainSample(xs[s], ts[s], 0.5)
+		}
+	}
+	after := lossAt()
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	n := Square(5, 1)
+	c := n.Clone()
+	c.W1[0][0] += 100
+	c.B2[0] += 100
+	if n.W1[0][0] == c.W1[0][0] || n.B2[0] == c.B2[0] {
+		t.Fatal("Clone aliases weights")
+	}
+}
+
+func TestDotFloat64AccumulationGroupingInvariance(t *testing.T) {
+	// Dot must not depend on slicing: computing in two halves (with the
+	// float64 accumulator carried) equals one pass. This underpins the
+	// bitwise agreement of unit-parallel and sequential runs.
+	rng := rand.New(rand.NewSource(9))
+	w := make([]float32, 101)
+	in := make([]float32, 101)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+		in[i] = float32(rng.NormFloat64())
+	}
+	full := Dot(w, 0.5, in)
+	// The parallel version computes whole units on one node, so grouping
+	// never actually splits a dot product; this is a consistency check of
+	// the shared helper.
+	again := Dot(w, 0.5, in)
+	if full != again {
+		t.Fatal("Dot not deterministic")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	if l := Loss([]float32{1, 0}, []float32{0, 0}); l != 0.5 {
+		t.Fatalf("Loss = %v", l)
+	}
+	if l := Loss([]float32{1}, []float32{1}); l != 0 {
+		t.Fatalf("Loss = %v", l)
+	}
+}
+
+func TestUnitCostCalibration(t *testing.T) {
+	// Table 3: 32/67/222 us per unit at 80/200/720 units.
+	cases := map[int]float64{80: 32, 200: 67, 720: 222}
+	for u, want := range cases {
+		got := UnitCostFor(u).Microseconds()
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("UnitCostFor(%d) = %.1fus, want ~%.0fus", u, got, want)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package neural
+
+import (
+	"fmt"
+
+	"earth/internal/earth"
+	"earth/internal/sim"
+)
+
+// Unit parallelism on EARTH, following the paper's Section 3.3:
+//
+//   - each layer is sliced across the nodes; a node owns a contiguous
+//     range of hidden and output units and keeps their weight rows (the
+//     long-term data "maintained per node, exclusively used by the nodes
+//     and surviving the individual layer activations");
+//
+//   - communication is centralised: all nodes receive the previous
+//     layer's activations from the central node (node 0) and send their
+//     results back to it, which also synchronises the layer computations;
+//
+//   - the communication is organised as a binary tree (broadcast, gather
+//     and combining reduce), the optimisation that raised the 80-unit
+//     speedup from 8 to 12 in the paper; the earlier sequential
+//     point-to-point organisation is kept as an ablation (Tree=false);
+//
+//   - in the training configuration the backward pass adds the exchange
+//     of error values from the output to the hidden layer: each node
+//     computes the partial back-propagated sums for all hidden units over
+//     its own output units, the partials are combined by a summing tree
+//     reduce, and the result is broadcast for the hidden-layer delta and
+//     weight update ("the forward and the backward computation at the
+//     output units can be combined").
+//
+// The per-unit compute cost is calibrated to Table 3: 32/67/222 us per
+// unit for 80/200/720 units fits cost(u) = 8.67us + 0.29167us * u almost
+// exactly (predicting 218.7us at 720).
+
+// UnitCostFor returns the modelled forward cost of one unit in a net with
+// u units per layer.
+func UnitCostFor(u int) sim.Time {
+	return sim.FromMicroseconds(8.67 + 0.29167*float64(u))
+}
+
+// ParallelConfig configures a unit-parallel run.
+type ParallelConfig struct {
+	// Train selects forward+backward with online weight updates
+	// (Figure 8); false runs the forward pass only (Figure 7).
+	Train bool
+	// Tree selects tree-organised communication; false is the sequential
+	// central exchange (the paper's earlier version).
+	Tree bool
+	// Samples is the number of samples to process.
+	Samples int
+	// LR is the learning rate for training.
+	LR float32
+	// UnitCost overrides the modelled per-unit forward cost (0 =
+	// UnitCostFor(width)).
+	UnitCost sim.Time
+}
+
+// ParallelResult carries the run's outcome.
+type ParallelResult struct {
+	Stats *earth.Stats
+	// Outputs holds the output activations of every sample.
+	Outputs [][]float32
+	// Loss is the summed pre-update loss over samples (training runs).
+	Loss float64
+}
+
+// nnode is the per-node state. Fields are owned by their node.
+type nnode struct {
+	lx, lt, lh, lb []float32 // local copies of broadcast data
+	packH, packY   []float32 // packed gather buffers (tree order)
+	partial        []float32 // partial back-propagated sums
+	gotH, gotY     int       // fill counters for packed buffers (tree mode)
+	gotB           int       // reduce contributions received (tree mode)
+}
+
+// comm holds the static tree layout: node k's children are 2k+1, 2k+2.
+type comm struct {
+	p        int
+	hidOwn   []int // units owned per node
+	outOwn   []int
+	hidStart []int
+	outStart []int
+	hidSub   []int // subtree unit totals
+	outSub   []int
+	hidPerm  []int // packed position -> unit index at the root
+	outPerm  []int
+}
+
+func newComm(p, nHid, nOut int) *comm {
+	cm := &comm{p: p,
+		hidOwn: make([]int, p), outOwn: make([]int, p),
+		hidStart: make([]int, p), outStart: make([]int, p),
+		hidSub: make([]int, p), outSub: make([]int, p),
+	}
+	split := func(total int, own, start []int) {
+		for k := 0; k < p; k++ {
+			lo := k * total / p
+			hi := (k + 1) * total / p
+			own[k] = hi - lo
+			start[k] = lo
+		}
+	}
+	split(nHid, cm.hidOwn, cm.hidStart)
+	split(nOut, cm.outOwn, cm.outStart)
+	var sub func(k int, own []int, out []int) int
+	sub = func(k int, own []int, out []int) int {
+		if k >= p {
+			return 0
+		}
+		s := own[k] + sub(2*k+1, own, out) + sub(2*k+2, own, out)
+		out[k] = s
+		return s
+	}
+	sub(0, cm.hidOwn, cm.hidSub)
+	sub(0, cm.outOwn, cm.outSub)
+	cm.hidPerm = cm.perm(cm.hidOwn, cm.hidStart)
+	cm.outPerm = cm.perm(cm.outOwn, cm.outStart)
+	return cm
+}
+
+// perm maps the root's packed gather layout to natural unit indices.
+func (cm *comm) perm(own, start []int) []int {
+	var out []int
+	var walk func(k int)
+	walk = func(k int) {
+		if k >= cm.p {
+			return
+		}
+		for u := 0; u < own[k]; u++ {
+			out = append(out, start[k]+u)
+		}
+		walk(2*k + 1)
+		walk(2*k + 2)
+	}
+	walk(0)
+	return out
+}
+
+// children returns k's tree children.
+func (cm *comm) children(k int) []int {
+	var ch []int
+	if 2*k+1 < cm.p {
+		ch = append(ch, 2*k+1)
+	}
+	if 2*k+2 < cm.p {
+		ch = append(ch, 2*k+2)
+	}
+	return ch
+}
+
+// parent returns k's tree parent.
+func (cm *comm) parent(k int) int { return (k - 1) / 2 }
+
+// pstate is the whole distributed state of one run.
+type pstate struct {
+	cfg  ParallelConfig
+	net  *Net
+	cm   *comm
+	cost struct {
+		fwdUnit  sim.Time // per unit, forward phases
+		backUnit sim.Time // per unit, each of the three backward phases
+	}
+
+	// Central buffers and phase bookkeeping (owned by node 0).
+	x, target, h, y, back []float32
+	sample                int
+	samplesX, samplesT    [][]float32
+	outputs               [][]float32
+	loss                  float64
+	seqFrames             [2]*earth.Frame
+	backFrame             *earth.Frame
+	joined                int
+	updatesPending        int
+
+	nodes []*nnode
+}
+
+// ParallelRun processes samples through the network on rt with unit
+// parallelism. The inputs (and targets when training) are given per
+// sample. Weight rows are updated in place when training.
+func ParallelRun(rt earth.Runtime, net *Net, xs, ts [][]float32, cfg ParallelConfig) *ParallelResult {
+	if cfg.Samples == 0 {
+		cfg.Samples = len(xs)
+	}
+	if cfg.Samples > len(xs) {
+		panic(fmt.Sprintf("neural: %d samples requested, %d provided", cfg.Samples, len(xs)))
+	}
+	if cfg.Train && len(ts) < cfg.Samples {
+		panic("neural: training needs a target per sample")
+	}
+	if cfg.UnitCost == 0 {
+		cfg.UnitCost = UnitCostFor(net.NHid)
+	}
+	st := &pstate{
+		cfg: cfg, net: net, cm: newComm(rt.P(), net.NHid, net.NOut),
+		x: make([]float32, net.NIn), target: make([]float32, net.NOut),
+		h: make([]float32, net.NHid), y: make([]float32, net.NOut),
+		back:     make([]float32, net.NHid),
+		samplesX: xs, samplesT: ts,
+		nodes: make([]*nnode, rt.P()),
+	}
+	st.cost.fwdUnit = cfg.UnitCost
+	st.cost.backUnit = 2 * cfg.UnitCost / 3
+	for k := range st.nodes {
+		st.nodes[k] = &nnode{
+			lx: make([]float32, net.NIn), lt: make([]float32, net.NOut),
+			lh: make([]float32, net.NHid), lb: make([]float32, net.NHid),
+			packH:   make([]float32, st.cm.hidSub[k]),
+			packY:   make([]float32, st.cm.outSub[k]),
+			partial: make([]float32, net.NHid),
+		}
+	}
+
+	stats := rt.Run(func(c earth.Ctx) { st.startSample(c) })
+	return &ParallelResult{Stats: stats, Outputs: st.outputs, Loss: st.loss}
+}
+
+// startSample begins the next sample on the central node, broadcasting
+// the input (and target) down the tree.
+func (st *pstate) startSample(c earth.Ctx) {
+	if st.sample >= st.cfg.Samples {
+		return
+	}
+	copy(st.x, st.samplesX[st.sample])
+	if st.cfg.Train {
+		copy(st.target, st.samplesT[st.sample])
+		for j := range st.back {
+			st.back[j] = 0
+		}
+	}
+	payload := st.net.NIn * 4
+	if st.cfg.Train {
+		payload += st.net.NOut * 4
+	}
+	st.broadcast(c, payload, func(k int, src *nnode, dst *nnode) {
+		copy(dst.lx, src.lx)
+		copy(dst.lt, src.lt)
+	}, func(c earth.Ctx, k int) {
+		st.hiddenPhase(c, k)
+	})
+}
+
+// broadcast sends central data down the communication structure. seed:
+// node 0 copies the central buffers into its local ones first. transfer
+// copies parent-local to child-local data (executed on the child after
+// the modelled message); onArrive runs at every node (including node 0).
+func (st *pstate) broadcast(c earth.Ctx, payload int, transfer func(k int, src, dst *nnode), onArrive func(earth.Ctx, int)) {
+	// Node 0 seeds its local copies from the central buffers.
+	n0 := st.nodes[0]
+	copy(n0.lx, st.x)
+	copy(n0.lt, st.target)
+	copy(n0.lh, st.h)
+	copy(n0.lb, st.back)
+
+	if st.cm.p == 1 {
+		onArrive(c, 0)
+		return
+	}
+	if !st.cfg.Tree {
+		for k := 1; k < st.cm.p; k++ {
+			k := k
+			snap := snapshotNode(n0)
+			c.Post(earth.NodeID(k), payload, func(c earth.Ctx) {
+				transfer(k, snap, st.nodes[k])
+				onArrive(c, k)
+			})
+		}
+		onArrive(c, 0)
+		return
+	}
+	var down func(c earth.Ctx, k int)
+	down = func(c earth.Ctx, k int) {
+		for _, ch := range st.cm.children(k) {
+			ch := ch
+			snap := snapshotNode(st.nodes[k])
+			c.Post(earth.NodeID(ch), payload, func(c earth.Ctx) {
+				transfer(ch, snap, st.nodes[ch])
+				down(c, ch)
+				onArrive(c, ch)
+			})
+		}
+	}
+	down(c, 0)
+	onArrive(c, 0)
+}
+
+// snapshotNode captures a node's local buffers at message-send time (the
+// data leaves the node when the message is issued).
+func snapshotNode(n *nnode) *nnode {
+	return &nnode{
+		lx: append([]float32(nil), n.lx...),
+		lt: append([]float32(nil), n.lt...),
+		lh: append([]float32(nil), n.lh...),
+		lb: append([]float32(nil), n.lb...),
+	}
+}
+
+// hiddenPhase computes node k's hidden units and gathers them centrally.
+func (st *pstate) hiddenPhase(c earth.Ctx, k int) {
+	earth.SpawnBody(c, func(c earth.Ctx) {
+		n := st.nodes[k]
+		own := st.cm.hidOwn[k]
+		for u := 0; u < own; u++ {
+			j := st.cm.hidStart[k] + u
+			n.packH[u] = UnitForward(st.net.W1[j], st.net.B1[j], n.lx)
+		}
+		c.Compute(sim.Time(own) * st.cost.fwdUnit)
+		st.gather(c, k, phaseHidden)
+	})
+}
+
+// phase identifiers for the gather plumbing.
+type phaseID int
+
+const (
+	phaseHidden phaseID = iota
+	phaseOutput
+)
+
+// gather sends node k's packed result up the tree (or directly to the
+// central node), combining child contributions. When the root completes,
+// the next phase runs.
+func (st *pstate) gather(c earth.Ctx, k int, ph phaseID) {
+	own, sub, perm := st.cm.hidOwn, st.cm.hidSub, st.cm.hidPerm
+	pack := func(n *nnode) []float32 { return n.packH }
+	got := func(n *nnode) *int { return &n.gotH }
+	central := st.h
+	next := st.afterHidden
+	if ph == phaseOutput {
+		own, sub, perm = st.cm.outOwn, st.cm.outSub, st.cm.outPerm
+		pack = func(n *nnode) []float32 { return n.packY }
+		got = func(n *nnode) *int { return &n.gotY }
+		central = st.y
+		next = st.afterOutput
+	}
+
+	if !st.cfg.Tree {
+		// Sequential: every node sends its own slice straight to central;
+		// a central frame counts the arrivals.
+		n := st.nodes[k]
+		data := append([]float32(nil), pack(n)[:own[k]]...)
+		start := st.cm.hidStart[k]
+		if ph == phaseOutput {
+			start = st.cm.outStart[k]
+		}
+		kOwn := own[k]
+		f := st.phaseFrame(ph, next)
+		c.Put(0, kOwn*4, func() {
+			copy(central[start:start+kOwn], data)
+		}, f, 0)
+		return
+	}
+
+	// Tree mode: a node is ready to send up when its own units and both
+	// children's packed blocks have been merged.
+	n := st.nodes[k]
+	*got(n) += own[k]
+	st.trySendUp(c, k, ph, pack, got, own, sub, perm, central, next)
+}
+
+// phaseFrame lazily creates the per-sample completion frame for a
+// sequential-mode phase.
+func (st *pstate) phaseFrame(ph phaseID, next func(earth.Ctx)) *earth.Frame {
+	if st.seqFrames[ph] == nil {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, st.cm.p, st.cm.p, 0)
+		f.SetThread(0, func(c earth.Ctx) { next(c) })
+		st.seqFrames[ph] = f
+	}
+	return st.seqFrames[ph]
+}
+
+// trySendUp forwards a completed subtree block toward the root.
+func (st *pstate) trySendUp(c earth.Ctx, k int, ph phaseID,
+	pack func(*nnode) []float32, got func(*nnode) *int,
+	own, sub, perm []int, central []float32, next func(earth.Ctx)) {
+
+	n := st.nodes[k]
+	if *got(n) < sub[k] {
+		return
+	}
+	*got(n) = 0 // reset for the next sample
+	if k == 0 {
+		// Root: unpack into the central buffer in natural order.
+		for pos, unit := range perm {
+			central[unit] = pack(n)[pos]
+		}
+		next(c)
+		return
+	}
+	parent := st.cm.parent(k)
+	data := append([]float32(nil), pack(n)[:sub[k]]...)
+	// Parent layout: [own(parent)][subtree(2p+1)][subtree(2p+2)].
+	off := own[parent]
+	if k == 2*parent+2 && 2*parent+1 < st.cm.p {
+		off += sub[2*parent+1]
+	}
+	c.Post(earth.NodeID(parent), sub[k]*4, func(c earth.Ctx) {
+		pn := st.nodes[parent]
+		copy(pack(pn)[off:off+len(data)], data)
+		*got(pn) += len(data)
+		st.trySendUp(c, parent, ph, pack, got, own, sub, perm, central, next)
+	})
+}
+
+// afterHidden runs at the central node once all hidden activations are
+// gathered: broadcast them for the output layer.
+func (st *pstate) afterHidden(c earth.Ctx) {
+	st.broadcast(c, st.net.NHid*4, func(k int, src, dst *nnode) {
+		copy(dst.lh, src.lh)
+	}, func(c earth.Ctx, k int) {
+		st.outputPhase(c, k)
+	})
+}
+
+// outputPhase computes node k's output units (and, when training, their
+// deltas, weight gradients and the partial back-propagated sums).
+func (st *pstate) outputPhase(c earth.Ctx, k int) {
+	earth.SpawnBody(c, func(c earth.Ctx) {
+		n := st.nodes[k]
+		own := st.cm.outOwn[k]
+		for u := 0; u < own; u++ {
+			o := st.cm.outStart[k] + u
+			n.packY[u] = UnitForward(st.net.W2[o], st.net.B2[o], n.lh)
+		}
+		c.Compute(sim.Time(own) * st.cost.fwdUnit)
+		if st.cfg.Train {
+			// Combined forward/backward at the output units: deltas,
+			// W2 updates and the partial hidden sums.
+			for j := range n.partial {
+				n.partial[j] = 0
+			}
+			for u := 0; u < own; u++ {
+				o := st.cm.outStart[k] + u
+				d := OutputDelta(n.packY[u], n.lt[o])
+				for j := 0; j < st.net.NHid; j++ {
+					n.partial[j] += st.net.W2[o][j] * d
+					st.net.W2[o][j] -= st.cfg.LR * d * n.lh[j]
+				}
+				st.net.B2[o] -= st.cfg.LR * d
+			}
+			c.Compute(2 * sim.Time(own) * st.cost.backUnit)
+			st.reduceBack(c, k)
+		}
+		st.gather(c, k, phaseOutput)
+	})
+}
+
+// reduceBack combines the partial back-propagated sums toward the central
+// node (a summing tree reduce, or direct sends in sequential mode).
+func (st *pstate) reduceBack(c earth.Ctx, k int) {
+	bytes := st.net.NHid * 4
+	if !st.cfg.Tree {
+		n := st.nodes[k]
+		data := append([]float32(nil), n.partial...)
+		c.Put(0, bytes, func() {
+			for j := range st.back {
+				st.back[j] += data[j]
+			}
+		}, nil, 0)
+		st.seqPhaseSync2(c)
+		return
+	}
+	st.nodes[k].gotB++
+	st.trySendBack(c, k)
+}
+
+// trySendBack forwards a subtree's summed partials up the tree.
+func (st *pstate) trySendBack(c earth.Ctx, k int) {
+	n := st.nodes[k]
+	need := 1 + len(st.cm.children(k))
+	if n.gotB < need {
+		return
+	}
+	n.gotB = 0
+	if k == 0 {
+		copy(st.back, n.partial)
+		st.backReady(c)
+		return
+	}
+	parent := st.cm.parent(k)
+	data := append([]float32(nil), n.partial...)
+	c.Post(earth.NodeID(parent), st.net.NHid*4, func(c earth.Ctx) {
+		pn := st.nodes[parent]
+		for j := range pn.partial {
+			pn.partial[j] += data[j]
+		}
+		pn.gotB++
+		st.trySendBack(c, parent)
+	})
+}
+
+// seqPhaseSync2 counts back-reduce completions in sequential mode.
+func (st *pstate) seqPhaseSync2(c earth.Ctx) {
+	if st.backFrame == nil {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, st.cm.p, st.cm.p, 0)
+		f.SetThread(0, func(c earth.Ctx) { st.backReady(c) })
+		st.backFrame = f
+	}
+	c.Sync(st.backFrame, 0)
+}
+
+// afterOutput runs at the central node once the outputs are gathered:
+// record the sample (and its loss), then either finish the sample
+// (forward-only) or wait for the backward exchange.
+func (st *pstate) afterOutput(c earth.Ctx) {
+	out := append([]float32(nil), st.y...)
+	st.outputs = append(st.outputs, out)
+	if st.cfg.Train {
+		st.loss += Loss(st.y, st.target)
+	}
+	c.Compute(sim.Time(st.net.NOut) * 100 * sim.Nanosecond) // global error calc
+	st.phaseDone(c)
+}
+
+// backReady runs at the central node when the summed back-propagated
+// values are available: broadcast them for the hidden update.
+func (st *pstate) backReady(c earth.Ctx) {
+	st.phaseDone(c)
+}
+
+// phaseDone joins the output gather and (when training) the back reduce;
+// the slower of the two advances the sample.
+func (st *pstate) phaseDone(c earth.Ctx) {
+	st.joined++
+	need := 1
+	if st.cfg.Train {
+		need = 2
+	}
+	if st.joined < need {
+		return
+	}
+	st.joined = 0
+	if !st.cfg.Train {
+		st.sample++
+		st.startSample(c)
+		return
+	}
+	// Broadcast the summed partials and run the hidden update.
+	st.updatesPending = st.cm.p
+	st.broadcast(c, st.net.NHid*4, func(k int, src, dst *nnode) {
+		copy(dst.lb, src.lb)
+	}, func(c earth.Ctx, k int) {
+		st.hiddenUpdate(c, k)
+	})
+}
+
+// hiddenUpdate computes node k's hidden deltas and applies its W1 rows'
+// gradient update, then reports completion.
+func (st *pstate) hiddenUpdate(c earth.Ctx, k int) {
+	earth.SpawnBody(c, func(c earth.Ctx) {
+		n := st.nodes[k]
+		own := st.cm.hidOwn[k]
+		for u := 0; u < own; u++ {
+			j := st.cm.hidStart[k] + u
+			d := HiddenDelta(n.packH[u], n.lb[j])
+			for i := 0; i < st.net.NIn; i++ {
+				st.net.W1[j][i] -= st.cfg.LR * d * n.lx[i]
+			}
+			st.net.B1[j] -= st.cfg.LR * d
+		}
+		c.Compute(sim.Time(own) * st.cost.backUnit)
+		c.Post(0, 8, func(c earth.Ctx) {
+			st.updatesPending--
+			if st.updatesPending == 0 {
+				st.sample++
+				st.startSample(c)
+			}
+		})
+	})
+}

@@ -1,0 +1,216 @@
+package neural
+
+import (
+	"fmt"
+
+	"earth/internal/earth"
+	"earth/internal/sim"
+)
+
+// Sample parallelism, the alternative the paper contrasts with unit
+// parallelism in Section 3.3: "running several neural networks in
+// parallel, each processing different subsets of the samples in batch
+// mode (without any communication); only at the end of the training phase
+// is information exchanged". The frequently used hybrid approach —
+// "repeatedly presenting small batches and performing an update after
+// every batch" — is the BatchSize knob: BatchSize == len(samples) is pure
+// sample parallelism (one exchange per epoch), smaller batches
+// synchronise more often and converge in fewer presentations, trading
+// communication for update freshness. BatchSize == 1 degenerates to
+// online updates with no intra-sample parallelism (that regime is what
+// unit parallelism is for).
+//
+// Every node holds a replica of the network; a batch is split across
+// nodes; per-node gradient sums travel up a combining tree to node 0,
+// which applies the update and broadcasts the new weights.
+
+// SampleConfig configures sample-parallel training.
+type SampleConfig struct {
+	// BatchSize is the number of samples per global weight update
+	// (default: all samples — pure sample parallelism).
+	BatchSize int
+	// Epochs is the number of passes over the sample set (default 1).
+	Epochs int
+	// LR is the learning rate.
+	LR float32
+	// UnitCost overrides the per-unit forward compute model (0 =
+	// UnitCostFor(width)).
+	UnitCost sim.Time
+}
+
+// SampleResult carries the outcome of a sample-parallel run.
+type SampleResult struct {
+	Stats *earth.Stats
+	// Loss is the summed pre-update loss of the final epoch.
+	Loss float64
+	// Updates counts global weight updates performed.
+	Updates int
+}
+
+// gradBytes is the wire size of a full gradient (or weight) exchange.
+func gradBytes(n *Net) int {
+	return 4 * (n.NHid*n.NIn + n.NHid + n.NOut*n.NHid + n.NOut)
+}
+
+// addGradients accumulates src into dst.
+func addGradients(dst, src *Gradients) {
+	for j := range dst.DW1 {
+		for i := range dst.DW1[j] {
+			dst.DW1[j][i] += src.DW1[j][i]
+		}
+		dst.DB1[j] += src.DB1[j]
+	}
+	for k := range dst.DW2 {
+		for j := range dst.DW2[k] {
+			dst.DW2[k][j] += src.DW2[k][j]
+		}
+		dst.DB2[k] += src.DB2[k]
+	}
+}
+
+// TrainBatch is the sequential reference: accumulate the gradients of one
+// batch at fixed weights, then apply the summed update once. Returns the
+// batch's pre-update loss.
+func (n *Net) TrainBatch(xs, ts [][]float32, lr float32) float64 {
+	acc := n.NewGradients()
+	var loss float64
+	for s := range xs {
+		h, y := n.Forward(xs[s])
+		g, _ := n.Backward(xs[s], h, y, ts[s])
+		addGradients(acc, g)
+		loss += Loss(y, ts[s])
+	}
+	n.Apply(acc, lr)
+	return loss
+}
+
+// SampleParallelTrain trains net on rt with sample parallelism. Every
+// node trains a replica; node 0's replica is `net` itself (updated in
+// place). The result is numerically equal to sequential TrainBatch with
+// the same batch size up to float32 summation grouping of the gradient
+// (the per-node partial sums are combined in node order).
+func SampleParallelTrain(rt earth.Runtime, net *Net, xs, ts [][]float32, cfg SampleConfig) *SampleResult {
+	if len(xs) == 0 || len(xs) != len(ts) {
+		panic(fmt.Sprintf("neural: bad sample set (%d inputs, %d targets)", len(xs), len(ts)))
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = len(xs)
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.UnitCost == 0 {
+		cfg.UnitCost = UnitCostFor(net.NHid)
+	}
+	p := rt.P()
+	// Replicas: node 0 uses net itself; others deep-copy. Owner-only
+	// access per replica.
+	replicas := make([]*Net, p)
+	replicas[0] = net
+	for i := 1; i < p; i++ {
+		replicas[i] = net.Clone()
+	}
+	// Per-node partial gradients for the current batch (owner-only).
+	partials := make([]*Gradients, p)
+
+	st := &SampleResult{}
+	perSample := 4 * sim.Time(net.NHid) * cfg.UnitCost // fwd+bwd, two layers
+
+	stats := rt.Run(func(c earth.Ctx) {
+		epoch, start := 0, 0
+		var runBatch func(c earth.Ctx)
+		var applyAndNext func(c earth.Ctx, summed *Gradients, batchLoss float64)
+
+		runBatch = func(c earth.Ctx) {
+			end := start + cfg.BatchSize
+			if end > len(xs) {
+				end = len(xs)
+			}
+			batch := end - start
+			// Scatter: every node learns the batch range (the samples are
+			// data-parallel inputs, replicated like the training set).
+			join := earth.NewFrame(0, 1, 1)
+			join.InitSync(0, p, 0, 0)
+			var batchLoss float64
+			join.SetThread(0, func(c earth.Ctx) {
+				// Combine the per-node partial gradients in node order, so
+				// the float32 summation grouping is deterministic.
+				summed := net.NewGradients()
+				for w := 0; w < p; w++ {
+					if partials[w] != nil {
+						addGradients(summed, partials[w])
+					}
+				}
+				applyAndNext(c, summed, batchLoss)
+			})
+			for w := 0; w < p; w++ {
+				w := w
+				lo := start + w*batch/p
+				hi := start + (w+1)*batch/p
+				c.Invoke(earth.NodeID(w), 16, func(c earth.Ctx) {
+					rep := replicas[w]
+					acc := rep.NewGradients()
+					var loss float64
+					for s := lo; s < hi; s++ {
+						h, y := rep.Forward(xs[s])
+						g, _ := rep.Backward(xs[s], h, y, ts[s])
+						addGradients(acc, g)
+						loss += Loss(y, ts[s])
+					}
+					partials[w] = acc
+					c.Compute(sim.Time(hi-lo) * perSample)
+					// Ship the partial gradient to node 0 and report the
+					// loss; the join thread combines in node order.
+					lw := loss
+					c.Put(0, gradBytes(net), func() {
+						batchLoss += lw
+					}, join, 0)
+				})
+			}
+		}
+
+		applyAndNext = func(c earth.Ctx, summed *Gradients, batchLoss float64) {
+			st.Updates++
+			if epoch == cfg.Epochs-1 {
+				st.Loss += batchLoss
+			}
+			// Apply on node 0's replica, then broadcast the update to the
+			// other replicas (weight exchange).
+			replicas[0].Apply(summed, cfg.LR)
+			bcast := earth.NewFrame(0, 1, 1)
+			if p > 1 {
+				bcast.InitSync(0, p-1, 0, 0)
+			} else {
+				bcast.InitSync(0, 1, 0, 0)
+			}
+			next := func(c earth.Ctx) {
+				end := start + cfg.BatchSize
+				if end >= len(xs) {
+					start = 0
+					epoch++
+					if epoch == cfg.Epochs {
+						return
+					}
+				} else {
+					start = end
+				}
+				runBatch(c)
+			}
+			bcast.SetThread(0, next)
+			if p == 1 {
+				c.Sync(bcast, 0)
+				return
+			}
+			for w := 1; w < p; w++ {
+				w := w
+				c.Put(earth.NodeID(w), gradBytes(net), func() {
+					replicas[w].Apply(summed, cfg.LR)
+				}, bcast, 0)
+			}
+		}
+
+		runBatch(c)
+	})
+	st.Stats = stats
+	return st
+}

@@ -1,0 +1,116 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func gf7Ring() *Ring { return NewRingMod(Lex{}, 7, "x", "y") }
+
+func TestNewRingModRejectsComposite(t *testing.T) {
+	for _, p := range []int64{0, 1, 4, 9, 15} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("modulus %d accepted", p)
+				}
+			}()
+			NewRingMod(Lex{}, p, "x")
+		}()
+	}
+}
+
+func TestModularCoefficientsStayReduced(t *testing.T) {
+	r := gf7Ring()
+	p := r.MustParse("5*x + 4")
+	q := r.MustParse("6*x + 5")
+	s := p.Add(q) // 11x + 9 = 4x + 2 mod 7
+	want := r.MustParse("4*x + 2")
+	if !s.Equal(want) {
+		t.Fatalf("Add mod 7 = %v, want %v", s, want)
+	}
+	m := p.Mul(q) // 30x^2 + 25x + 24x + 20 = 2x^2 + 0x + 6
+	wantM := r.MustParse("2*x^2 + 6")
+	if !m.Equal(wantM) {
+		t.Fatalf("Mul mod 7 = %v, want %v", m, wantM)
+	}
+}
+
+func TestModularNegIsPositiveRepresentative(t *testing.T) {
+	r := gf7Ring()
+	n := r.MustParse("x").Neg() // -1 = 6 mod 7
+	if n.LeadCoef().Cmp(big.NewRat(6, 1)) != 0 {
+		t.Fatalf("-x mod 7 has coef %v, want 6", n.LeadCoef())
+	}
+}
+
+func TestModularInverse(t *testing.T) {
+	r := gf7Ring()
+	p := r.MustParse("3*x + 1")
+	m := p.Monic() // 3^-1 = 5 mod 7 -> x + 5
+	want := r.MustParse("x + 5")
+	if !m.Equal(want) {
+		t.Fatalf("Monic = %v, want %v", m, want)
+	}
+}
+
+func TestModularDenominatorCleared(t *testing.T) {
+	r := gf7Ring()
+	// 1/2 mod 7 = 4.
+	p := r.MustParse("1/2*x")
+	if p.LeadCoef().Cmp(big.NewRat(4, 1)) != 0 {
+		t.Fatalf("1/2 mod 7 = %v, want 4", p.LeadCoef())
+	}
+}
+
+func TestModularFieldLawsProperty(t *testing.T) {
+	r := NewRingMod(Lex{}, 31, "x", "y", "z")
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 40; i++ {
+		a := randPoly(r, rng, 5, 3)
+		b := randPoly(r, rng, 5, 3)
+		c := randPoly(r, rng, 5, 3)
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			t.Fatal("distributivity fails mod 31")
+		}
+		if !a.Sub(a).IsZero() {
+			t.Fatal("a-a != 0 mod 31")
+		}
+		if !a.IsZero() {
+			m := a.Monic()
+			if m.LeadCoef().Cmp(big.NewRat(1, 1)) != 0 {
+				t.Fatal("Monic not monic mod 31")
+			}
+		}
+	}
+}
+
+func TestModularNormalForm(t *testing.T) {
+	r := NewRingMod(Lex{}, 101, "x", "y")
+	f := r.MustParse("x^2*y + x*y^2 + y^2")
+	G := []*Poly{r.MustParse("x*y - 1"), r.MustParse("y^2 - 1")}
+	nf, _ := NormalForm(f, G)
+	if got := nf.String(); got != "x + y + 1" {
+		t.Fatalf("NormalForm mod 101 = %q", got)
+	}
+}
+
+func TestModularSPolyReduction(t *testing.T) {
+	// g*h reduces to zero mod [g] over GF(p) too.
+	r := NewRingMod(GRevLex{}, 101, "x", "y", "z")
+	g := r.MustParse("x*y - z")
+	h := r.MustParse("x^2 + 2*y + 100")
+	if !ReducesToZero(g.Mul(h), []*Poly{g}) {
+		t.Fatal("exact division fails mod 101")
+	}
+}
+
+func TestQModReturnsNilModulus(t *testing.T) {
+	if testRing().Mod() != nil {
+		t.Fatal("Q ring has a modulus")
+	}
+	if gf7Ring().Mod().Int64() != 7 {
+		t.Fatal("GF(7) ring lost its modulus")
+	}
+}

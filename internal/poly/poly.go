@@ -1,0 +1,317 @@
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Ring is a polynomial ring Q[x1..xn] equipped with a monomial order.
+type Ring struct {
+	vars   []string
+	ord    Order
+	mod    *big.Int // prime modulus, nil over Q (see field.go)
+	modInt int64    // mod as int64 for fast-path arithmetic, 0 over Q
+}
+
+// NewRing builds a ring over the given variables. Variable position is
+// significance order for Lex (earlier = more significant).
+func NewRing(ord Order, vars ...string) *Ring {
+	if len(vars) == 0 {
+		panic("poly: ring needs at least one variable")
+	}
+	seen := map[string]bool{}
+	for _, v := range vars {
+		if v == "" || seen[v] {
+			panic(fmt.Sprintf("poly: bad or duplicate variable %q", v))
+		}
+		seen[v] = true
+	}
+	return &Ring{vars: append([]string(nil), vars...), ord: ord}
+}
+
+// N returns the number of variables.
+func (r *Ring) N() int { return len(r.vars) }
+
+// Vars returns the variable names.
+func (r *Ring) Vars() []string { return append([]string(nil), r.vars...) }
+
+// Order returns the ring's monomial order.
+func (r *Ring) Order() Order { return r.ord }
+
+// VarIndex returns the position of a variable name, or -1.
+func (r *Ring) VarIndex(name string) int {
+	for i, v := range r.vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Term is one coefficient-monomial pair. Coef is treated as immutable.
+type Term struct {
+	Coef *big.Rat
+	Mono Mono
+}
+
+// Poly is a polynomial: nonzero terms sorted in strictly descending
+// monomial order. The zero polynomial has no terms. Polynomials are
+// immutable: all operations return new values.
+type Poly struct {
+	ring  *Ring
+	terms []Term
+}
+
+// Zero returns the zero polynomial.
+func (r *Ring) Zero() *Poly { return &Poly{ring: r} }
+
+// Const returns the constant polynomial q.
+func (r *Ring) Const(q *big.Rat) *Poly {
+	if q.Sign() == 0 {
+		return r.Zero()
+	}
+	c := r.cnorm(new(big.Rat).Set(q))
+	if c.Sign() == 0 {
+		return r.Zero()
+	}
+	return &Poly{ring: r, terms: []Term{{Coef: c, Mono: NewMono(r.N())}}}
+}
+
+// ConstInt returns the constant polynomial n.
+func (r *Ring) ConstInt(n int64) *Poly { return r.Const(big.NewRat(n, 1)) }
+
+// Var returns the polynomial x_i.
+func (r *Ring) Var(i int) *Poly {
+	m := NewMono(r.N())
+	m[i] = 1
+	return &Poly{ring: r, terms: []Term{{Coef: big.NewRat(1, 1), Mono: m}}}
+}
+
+// FromTerms builds a polynomial from arbitrary (possibly unsorted,
+// duplicated or zero) terms; the input Rats and Monos are copied.
+func (r *Ring) FromTerms(ts []Term) *Poly {
+	p := r.Zero()
+	for _, t := range ts {
+		if t.Coef.Sign() == 0 {
+			continue
+		}
+		c := r.cnorm(new(big.Rat).Set(t.Coef))
+		if c.Sign() == 0 {
+			continue
+		}
+		one := &Poly{ring: r, terms: []Term{{Coef: c, Mono: t.Mono.Clone()}}}
+		p = p.Add(one)
+	}
+	return p
+}
+
+// Ring returns the polynomial's ring.
+func (p *Poly) Ring() *Ring { return p.ring }
+
+// IsZero reports whether p is the zero polynomial.
+func (p *Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// NumTerms returns the number of (nonzero) terms.
+func (p *Poly) NumTerms() int { return len(p.terms) }
+
+// Terms returns the term slice (callers must not mutate it).
+func (p *Poly) Terms() []Term { return p.terms }
+
+// LeadTerm returns the leading term. Panics on zero.
+func (p *Poly) LeadTerm() Term {
+	if p.IsZero() {
+		panic("poly: leading term of zero polynomial")
+	}
+	return p.terms[0]
+}
+
+// LeadMono returns the leading monomial. Panics on zero.
+func (p *Poly) LeadMono() Mono { return p.LeadTerm().Mono }
+
+// LeadCoef returns the leading coefficient. Panics on zero.
+func (p *Poly) LeadCoef() *big.Rat { return p.LeadTerm().Coef }
+
+// TotalDeg returns the maximum total degree of any term; -1 for zero.
+func (p *Poly) TotalDeg() int {
+	d := -1
+	for _, t := range p.terms {
+		if td := t.Mono.TotalDeg(); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// Bytes models the polynomial's size in its compacted vector
+// representation: 8 bytes per coefficient plus 4 bytes per exponent entry
+// (the quantity Table 2 reports as "mean size of polynomial").
+func (p *Poly) Bytes() int { return len(p.terms) * (8 + 4*p.ring.N()) }
+
+// Clone returns a deep copy.
+func (p *Poly) Clone() *Poly {
+	q := &Poly{ring: p.ring, terms: make([]Term, len(p.terms))}
+	for i, t := range p.terms {
+		q.terms[i] = Term{Coef: new(big.Rat).Set(t.Coef), Mono: t.Mono.Clone()}
+	}
+	return q
+}
+
+// Equal reports structural equality (same terms, same coefficients).
+func (p *Poly) Equal(q *Poly) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for i := range p.terms {
+		if p.terms[i].Coef.Cmp(q.terms[i].Coef) != 0 || !p.terms[i].Mono.Equal(q.terms[i].Mono) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Poly) checkRing(q *Poly) {
+	if p.ring != q.ring {
+		panic("poly: mixed-ring operation")
+	}
+}
+
+// Add returns p + q by sorted-merge of term lists.
+func (p *Poly) Add(q *Poly) *Poly {
+	p.checkRing(q)
+	ord := p.ring.ord
+	out := make([]Term, 0, len(p.terms)+len(q.terms))
+	i, j := 0, 0
+	for i < len(p.terms) && j < len(q.terms) {
+		switch ord.Compare(p.terms[i].Mono, q.terms[j].Mono) {
+		case 1:
+			out = append(out, Term{Coef: new(big.Rat).Set(p.terms[i].Coef), Mono: p.terms[i].Mono.Clone()})
+			i++
+		case -1:
+			out = append(out, Term{Coef: new(big.Rat).Set(q.terms[j].Coef), Mono: q.terms[j].Mono.Clone()})
+			j++
+		default:
+			c := p.ring.cadd(p.terms[i].Coef, q.terms[j].Coef)
+			if c.Sign() != 0 {
+				out = append(out, Term{Coef: c, Mono: p.terms[i].Mono.Clone()})
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(p.terms); i++ {
+		out = append(out, Term{Coef: new(big.Rat).Set(p.terms[i].Coef), Mono: p.terms[i].Mono.Clone()})
+	}
+	for ; j < len(q.terms); j++ {
+		out = append(out, Term{Coef: new(big.Rat).Set(q.terms[j].Coef), Mono: q.terms[j].Mono.Clone()})
+	}
+	return &Poly{ring: p.ring, terms: out}
+}
+
+// Neg returns -p.
+func (p *Poly) Neg() *Poly {
+	q := &Poly{ring: p.ring, terms: make([]Term, len(p.terms))}
+	for i, t := range p.terms {
+		q.terms[i] = Term{Coef: p.ring.cneg(t.Coef), Mono: t.Mono.Clone()}
+	}
+	return q
+}
+
+// Sub returns p - q.
+func (p *Poly) Sub(q *Poly) *Poly { return p.Add(q.Neg()) }
+
+// MulTerm returns p * (c * m). A zero c yields zero.
+func (p *Poly) MulTerm(c *big.Rat, m Mono) *Poly {
+	if c.Sign() == 0 || p.IsZero() {
+		return p.ring.Zero()
+	}
+	q := &Poly{ring: p.ring, terms: make([]Term, len(p.terms))}
+	for i, t := range p.terms {
+		q.terms[i] = Term{Coef: p.ring.cmul(t.Coef, c), Mono: t.Mono.Mul(m)}
+	}
+	return q
+}
+
+// MulScalar returns c * p.
+func (p *Poly) MulScalar(c *big.Rat) *Poly { return p.MulTerm(c, NewMono(p.ring.N())) }
+
+// Mul returns p * q.
+func (p *Poly) Mul(q *Poly) *Poly {
+	p.checkRing(q)
+	out := p.ring.Zero()
+	for _, t := range p.terms {
+		out = out.Add(q.MulTerm(t.Coef, t.Mono))
+	}
+	return out
+}
+
+// Monic returns p scaled so its leading coefficient is 1. Panics on zero.
+func (p *Poly) Monic() *Poly {
+	return p.MulScalar(p.ring.cinv(p.LeadCoef()))
+}
+
+// String renders the polynomial in human/parser-compatible syntax.
+func (p *Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	for i, t := range p.terms {
+		c := t.Coef
+		neg := c.Sign() < 0
+		abs := new(big.Rat).Abs(c)
+		if i == 0 {
+			if neg {
+				b.WriteString("-")
+			}
+		} else if neg {
+			b.WriteString(" - ")
+		} else {
+			b.WriteString(" + ")
+		}
+		mono := p.monoString(t.Mono)
+		switch {
+		case mono == "":
+			b.WriteString(abs.RatString())
+		case abs.Cmp(big.NewRat(1, 1)) == 0:
+			b.WriteString(mono)
+		default:
+			b.WriteString(abs.RatString())
+			b.WriteString("*")
+			b.WriteString(mono)
+		}
+	}
+	return b.String()
+}
+
+func (p *Poly) monoString(m Mono) string {
+	var parts []string
+	for i, e := range m {
+		switch {
+		case e == 1:
+			parts = append(parts, p.ring.vars[i])
+		case e > 1:
+			parts = append(parts, fmt.Sprintf("%s^%d", p.ring.vars[i], e))
+		}
+	}
+	return strings.Join(parts, "*")
+}
+
+// Eval evaluates p at the given variable assignment (one value per ring
+// variable) using exact rational arithmetic.
+func (p *Poly) Eval(vals []*big.Rat) *big.Rat {
+	if len(vals) != p.ring.N() {
+		panic("poly: Eval arity mismatch")
+	}
+	sum := new(big.Rat)
+	for _, t := range p.terms {
+		term := new(big.Rat).Set(t.Coef)
+		for i, e := range t.Mono {
+			for k := 0; k < e; k++ {
+				term = p.ring.cmul(term, vals[i])
+			}
+		}
+		sum = p.ring.cadd(sum, term)
+	}
+	return sum
+}

@@ -1,0 +1,247 @@
+package poly
+
+import (
+	"container/heap"
+	"math/big"
+)
+
+// This file implements the multivariate division algorithm and
+// S-polynomials — the computational core of Buchberger's algorithm. A
+// "reduction" of a polynomial against the current basis is the unit of
+// work the paper's Gröbner application parallelises.
+//
+// Reduction runs on a workspace (a monomial-keyed coefficient map plus a
+// lazy max-heap of monomials) so that one reduction step costs
+// O(|g| log n) instead of rebuilding the whole polynomial. Over GF(p) the
+// coefficients are raw int64 residues, avoiding big.Rat entirely in the
+// hot loop.
+
+// ReduceStats reports the work a reduction performed, which the
+// application layer uses to charge modelled compute time (reduction times
+// "potentially vary by several orders of magnitude").
+type ReduceStats struct {
+	// Steps counts single reduction steps (one divisor application).
+	Steps int
+	// TermOps counts term-level arithmetic operations, the dominant cost.
+	TermOps int
+}
+
+// SPoly returns the S-polynomial of f and g:
+//
+//	S(f,g) = (lcm/lt(f))*f - (lcm/lt(g))*g,  lcm = LCM(lm(f), lm(g)).
+//
+// Both inputs must be nonzero.
+func SPoly(f, g *Poly) *Poly {
+	f.checkRing(g)
+	lf, lg := f.LeadTerm(), g.LeadTerm()
+	lcm := lf.Mono.LCM(lg.Mono)
+	cf := f.ring.cinv(lf.Coef)
+	cg := g.ring.cinv(lg.Coef)
+	a := f.MulTerm(cf, lcm.Div(lf.Mono))
+	b := g.MulTerm(cg, lcm.Div(lg.Mono))
+	return a.Sub(b)
+}
+
+// monoKey encodes a monomial as a comparable map key (two bytes per
+// exponent, which bounds exponents at 65535 — far beyond any computation
+// this library performs).
+func monoKey(m Mono) string {
+	b := make([]byte, 2*len(m))
+	for i, e := range m {
+		b[2*i] = byte(e >> 8)
+		b[2*i+1] = byte(e)
+	}
+	return string(b)
+}
+
+// monoHeap is a lazy max-heap of monomials under a ring order. Stale
+// entries (monomials whose workspace coefficient has become zero) are
+// skipped at pop time.
+type monoHeap struct {
+	ord Order
+	ms  []Mono
+}
+
+func (h *monoHeap) Len() int           { return len(h.ms) }
+func (h *monoHeap) Less(i, j int) bool { return h.ord.Compare(h.ms[i], h.ms[j]) > 0 }
+func (h *monoHeap) Swap(i, j int)      { h.ms[i], h.ms[j] = h.ms[j], h.ms[i] }
+func (h *monoHeap) Push(x any)         { h.ms = append(h.ms, x.(Mono)) }
+func (h *monoHeap) Pop() any {
+	n := len(h.ms)
+	m := h.ms[n-1]
+	h.ms = h.ms[:n-1]
+	return m
+}
+
+// NormalForm reduces f completely modulo the basis G: the result has no
+// term divisible by any leading monomial of G. It returns the normal form
+// and reduction statistics. Zero and nil polynomials in G are ignored.
+//
+// The classical invariant holds: f = (combination of G) + result.
+func NormalForm(f *Poly, G []*Poly) (*Poly, ReduceStats) {
+	if f.ring.modInt != 0 {
+		return normalFormMod(f, G)
+	}
+	return normalFormRat(f, G)
+}
+
+// findReducer returns some g in G whose leading monomial divides m,
+// preferring the one with the fewest terms (cheapest step), or nil.
+func findReducer(m Mono, G []*Poly) *Poly {
+	var best *Poly
+	for _, g := range G {
+		if g == nil || g.IsZero() {
+			continue
+		}
+		if g.LeadMono().Divides(m) && (best == nil || g.NumTerms() < best.NumTerms()) {
+			best = g
+		}
+	}
+	return best
+}
+
+// normalFormRat is the generic (Q) reduction engine.
+func normalFormRat(f *Poly, G []*Poly) (*Poly, ReduceStats) {
+	var st ReduceStats
+	ring := f.ring
+	ws := make(map[string]*big.Rat, f.NumTerms()*2)
+	h := &monoHeap{ord: ring.ord}
+	add := func(m Mono, c *big.Rat) {
+		k := monoKey(m)
+		if cur, ok := ws[k]; ok {
+			cur.Add(cur, c)
+		} else {
+			ws[k] = new(big.Rat).Set(c)
+			heap.Push(h, m)
+		}
+	}
+	for _, t := range f.terms {
+		add(t.Mono, t.Coef)
+	}
+	var rem []Term
+	for h.Len() > 0 {
+		m := heap.Pop(h).(Mono)
+		k := monoKey(m)
+		c, ok := ws[k]
+		if !ok || c.Sign() == 0 {
+			delete(ws, k)
+			continue // stale entry
+		}
+		delete(ws, k)
+		g := findReducer(m, G)
+		if g == nil {
+			rem = append(rem, Term{Coef: c, Mono: m})
+			st.TermOps++
+			continue
+		}
+		// Subtract (c / lc(g)) * (m / lm(g)) * g; the lead cancels exactly.
+		glt := g.LeadTerm()
+		q := new(big.Rat).Quo(c, glt.Coef)
+		shift := m.Div(glt.Mono)
+		for _, gt := range g.terms[1:] {
+			delta := new(big.Rat).Mul(q, gt.Coef)
+			delta.Neg(delta)
+			add(gt.Mono.Mul(shift), delta)
+		}
+		st.Steps++
+		st.TermOps += g.NumTerms()
+	}
+	// rem was produced in strictly descending order (heap pops).
+	out := &Poly{ring: ring, terms: rem}
+	return out, st
+}
+
+// normalFormMod is the GF(p) reduction engine with int64 residues.
+func normalFormMod(f *Poly, G []*Poly) (*Poly, ReduceStats) {
+	var st ReduceStats
+	ring := f.ring
+	p := ring.modInt
+	ws := make(map[string]int64, f.NumTerms()*2)
+	h := &monoHeap{ord: ring.ord}
+	add := func(m Mono, c int64) {
+		k := monoKey(m)
+		if cur, ok := ws[k]; ok {
+			ws[k] = (cur + c) % p
+		} else {
+			ws[k] = c % p
+			heap.Push(h, m)
+		}
+	}
+	for _, t := range f.terms {
+		add(t.Mono, t.Coef.Num().Int64())
+	}
+	var rem []Term
+	for h.Len() > 0 {
+		m := heap.Pop(h).(Mono)
+		k := monoKey(m)
+		c, ok := ws[k]
+		if !ok {
+			continue
+		}
+		c = ((c % p) + p) % p
+		if c == 0 {
+			delete(ws, k)
+			continue
+		}
+		delete(ws, k)
+		g := findReducer(m, G)
+		if g == nil {
+			rem = append(rem, Term{Coef: new(big.Rat).SetInt64(c), Mono: m})
+			st.TermOps++
+			continue
+		}
+		glt := g.LeadTerm()
+		q := c * modInverse(glt.Coef.Num().Int64(), p) % p
+		shift := m.Div(glt.Mono)
+		for _, gt := range g.terms[1:] {
+			delta := p - q*gt.Coef.Num().Int64()%p // -q*coef mod p, in [0, p]
+			add(gt.Mono.Mul(shift), delta)
+		}
+		st.Steps++
+		st.TermOps += g.NumTerms()
+	}
+	out := &Poly{ring: ring, terms: rem}
+	return out, st
+}
+
+// modInverse returns a^-1 mod p for prime p via Fermat exponentiation.
+func modInverse(a, p int64) int64 {
+	a = ((a % p) + p) % p
+	if a == 0 {
+		panic("poly: modular inverse of zero")
+	}
+	// a^(p-2) mod p with p < 2^31 so products fit int64.
+	result := int64(1)
+	base := a
+	e := p - 2
+	for e > 0 {
+		if e&1 == 1 {
+			result = result * base % p
+		}
+		base = base * base % p
+		e >>= 1
+	}
+	return result
+}
+
+// ReducesToZero reports whether f reduces to zero modulo G (the Buchberger
+// criterion test for one S-polynomial).
+func ReducesToZero(f *Poly, G []*Poly) bool {
+	nf, _ := NormalForm(f, G)
+	return nf.IsZero()
+}
+
+// LeadReducible reports whether any polynomial of G can reduce f's leading
+// term.
+func LeadReducible(f *Poly, G []*Poly) bool {
+	if f.IsZero() {
+		return false
+	}
+	lm := f.LeadMono()
+	for _, g := range G {
+		if g != nil && !g.IsZero() && g.LeadMono().Divides(lm) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package rewrite
+
+import (
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/earth/simrt"
+)
+
+func s3System(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem([][2]string{{"aa", ""}, {"bb", ""}, {"ababab", ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParallelCompleteMatchesSequential(t *testing.T) {
+	s := s3System(t)
+	seq, _, err := Complete(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{2, 4, 8} {
+		rt := simrt.New(earth.Config{Nodes: nodes, Seed: 5})
+		res, err := ParallelComplete(rt, s, ParallelConfig{})
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if !res.System.IsConfluent() {
+			t.Fatalf("nodes=%d: result not confluent", nodes)
+		}
+		// The canonical (interreduced) systems must be identical.
+		if len(res.System.Rules) != len(seq.Rules) {
+			t.Fatalf("nodes=%d: %d rules vs %d", nodes, len(res.System.Rules), len(seq.Rules))
+		}
+		for i := range seq.Rules {
+			if res.System.Rules[i] != seq.Rules[i] {
+				t.Fatalf("nodes=%d: rule %d differs: %v vs %v",
+					nodes, i, res.System.Rules[i], seq.Rules[i])
+			}
+		}
+		if res.PairsProcessed == 0 {
+			t.Fatalf("nodes=%d: no pairs processed", nodes)
+		}
+	}
+}
+
+func TestParallelCompleteNormalFormsS3(t *testing.T) {
+	rt := simrt.New(earth.Config{Nodes: 5, Seed: 2})
+	res, err := ParallelComplete(rt, s3System(t), ParallelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfs := res.System.EnumerateNormalForms("ab", 6)
+	if len(nfs) != 6 {
+		t.Fatalf("S3 normal forms = %v", nfs)
+	}
+}
+
+func TestParallelCompleteOnLiveRuntime(t *testing.T) {
+	s := s3System(t)
+	seq, _, _ := Complete(s, Options{})
+	rt := livert.New(earth.Config{Nodes: 4, Seed: 3})
+	res, err := ParallelComplete(rt, s, ParallelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.System.Rules) != len(seq.Rules) {
+		t.Fatalf("live: %d rules vs %d", len(res.System.Rules), len(seq.Rules))
+	}
+}
+
+func TestParallelCompleteSpeedsUp(t *testing.T) {
+	// A larger group: the dihedral-ish <a,b | a^2, b^7, (ab)^2>? Use
+	// Z2 x Z7 via commuting generators to keep completion finite and busy.
+	s, err := NewSystem([][2]string{
+		{"aa", ""}, {"bbbbbbb", ""}, {"ba", "ab"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(nodes int) float64 {
+		rt := simrt.New(earth.Config{Nodes: nodes, Seed: 1})
+		res, err := ParallelComplete(rt, s, ParallelConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Stats.Elapsed)
+	}
+	one, eight := run(2), run(8)
+	if eight >= one {
+		t.Fatalf("no speedup: %v vs %v", eight, one)
+	}
+}
+
+func TestParallelCompleteTooFewNodes(t *testing.T) {
+	rt := simrt.New(earth.Config{Nodes: 1, Seed: 1})
+	if _, err := ParallelComplete(rt, s3System(t), ParallelConfig{}); err == nil {
+		t.Fatal("1-node run accepted (needs workers + maintenance)")
+	}
+}

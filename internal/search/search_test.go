@@ -1,0 +1,201 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/earth/simrt"
+)
+
+func engines(nodes int, seed int64) map[string]earth.Runtime {
+	cfg := earth.Config{Nodes: nodes, Seed: seed}
+	return map[string]earth.Runtime{
+		"simrt":  simrt.New(cfg),
+		"livert": livert.New(cfg),
+	}
+}
+
+func TestQueensKnownCounts(t *testing.T) {
+	want := map[int]int64{4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352}
+	for name, rt := range engines(6, 1) {
+		for n, w := range want {
+			res := Count(rt, &Queens{N: n}, CountConfig{SpawnDepth: 2})
+			if res.Total != w {
+				t.Fatalf("%s: queens(%d) = %d, want %d", name, n, res.Total, w)
+			}
+		}
+	}
+}
+
+func TestPolymerKnownSAWCounts(t *testing.T) {
+	for name, rt := range engines(4, 2) {
+		for steps := 1; steps <= 5; steps++ {
+			res := Count(rt, &Polymer{Steps: steps}, CountConfig{SpawnDepth: 2})
+			if res.Total != KnownSAW3D[steps-1] {
+				t.Fatalf("%s: SAW(%d) = %d, want %d", name, steps, res.Total, KnownSAW3D[steps-1])
+			}
+		}
+	}
+}
+
+func TestCountVisitedReasonable(t *testing.T) {
+	rt := simrt.New(earth.Config{Nodes: 4, Seed: 3})
+	res := Count(rt, &Queens{N: 6}, CountConfig{SpawnDepth: 3})
+	if res.Visited <= res.Total {
+		t.Fatalf("visited %d <= solutions %d", res.Visited, res.Total)
+	}
+	if res.Stats.TotalThreads() == 0 {
+		t.Fatal("no tasks ran")
+	}
+}
+
+func TestCountSpawnDepthInvariance(t *testing.T) {
+	// The answer must not depend on the task granularity.
+	var totals []int64
+	var visits []int64
+	for _, depth := range []int{1, 2, 5, 50} {
+		rt := simrt.New(earth.Config{Nodes: 4, Seed: 4})
+		res := Count(rt, &Queens{N: 7}, CountConfig{SpawnDepth: depth})
+		totals = append(totals, res.Total)
+		visits = append(visits, res.Visited)
+	}
+	for i := 1; i < len(totals); i++ {
+		if totals[i] != totals[0] {
+			t.Fatalf("total varies with SpawnDepth: %v", totals)
+		}
+		if visits[i] != visits[0] {
+			t.Fatalf("visited varies with SpawnDepth: %v", visits)
+		}
+	}
+}
+
+func TestTSPMatchesBruteForce(t *testing.T) {
+	for name, rt := range engines(5, 5) {
+		for _, n := range []int{5, 7, 8} {
+			tsp := RandomTSP(n, int64(n)*13)
+			want := tsp.BruteForce()
+			res := BranchAndBound(rt, tsp, BBConfig{})
+			if math.Abs(res.Best-want) > 1e-9 {
+				t.Fatalf("%s: TSP(%d) = %v, want %v", name, n, res.Best, want)
+			}
+			if res.Improvements == 0 {
+				t.Fatalf("%s: no incumbent updates recorded", name)
+			}
+		}
+	}
+}
+
+func TestTSPPruningReducesWork(t *testing.T) {
+	tsp := RandomTSP(9, 7)
+	// With a good initial incumbent, far fewer nodes are expanded.
+	rtA := simrt.New(earth.Config{Nodes: 4, Seed: 1})
+	open := BranchAndBound(rtA, tsp, BBConfig{})
+	rtB := simrt.New(earth.Config{Nodes: 4, Seed: 1})
+	primed := BranchAndBound(rtB, tsp, BBConfig{Initial: open.Best * 1.0000001})
+	if primed.Expanded >= open.Expanded {
+		t.Fatalf("priming did not prune: %d vs %d expansions", primed.Expanded, open.Expanded)
+	}
+	if math.Abs(primed.Best-open.Best) > 1e-9 {
+		t.Fatalf("priming changed the optimum: %v vs %v", primed.Best, open.Best)
+	}
+}
+
+func TestTSPParallelSpeedup(t *testing.T) {
+	tsp := RandomTSP(10, 11)
+	run := func(nodes int) (float64, float64) {
+		rt := simrt.New(earth.Config{Nodes: nodes, Seed: 2})
+		res := BranchAndBound(rt, tsp, BBConfig{})
+		return res.Best, float64(res.Stats.Elapsed)
+	}
+	b1, t1 := run(1)
+	b8, t8 := run(8)
+	if math.Abs(b1-b8) > 1e-9 {
+		t.Fatalf("optimum differs across machine sizes: %v vs %v", b1, b8)
+	}
+	if t8 >= t1 {
+		t.Fatalf("no speedup: %v vs %v", t8, t1)
+	}
+}
+
+func TestNewTSPValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for ragged matrix")
+		}
+	}()
+	NewTSP([][]float64{{0, 1}, {1}})
+}
+
+func TestPolymerChildrenAreSelfAvoiding(t *testing.T) {
+	p := &Polymer{Steps: 4}
+	n := p.Root()
+	for depth := 0; depth < 4; depth++ {
+		kids := p.Children(n)
+		if len(kids) == 0 {
+			t.Fatal("walk stuck unexpectedly")
+		}
+		n = kids[0]
+		seen := map[point3]bool{}
+		for _, q := range n.path {
+			if seen[q] {
+				t.Fatalf("self-intersecting walk: %v", n.path)
+			}
+			seen[q] = true
+		}
+	}
+	// First step has all 6 directions; second has 5 (no immediate return).
+	if got := len(p.Children(p.Root())); got != 6 {
+		t.Fatalf("root children = %d, want 6", got)
+	}
+	second := p.Children(p.Children(p.Root())[0])
+	if len(second) != 5 {
+		t.Fatalf("second-step children = %d, want 5", len(second))
+	}
+}
+
+func TestCubeFillMatchesBruteForce(t *testing.T) {
+	// Known: the cube graph Q3 has 144 directed Hamiltonian paths, so 18
+	// start at any fixed corner.
+	p2 := &CubeFill{Edge: 2}
+	if got := p2.BruteForceCubeFill(); got != 18 {
+		t.Fatalf("2^3 cube fills = %d, want 18", got)
+	}
+	for name, rt := range engines(4, 11) {
+		edges := []int{2}
+		if !testing.Short() {
+			// Edge 3 enumerates millions of confined walks; exercised in
+			// full runs only when explicitly requested via -run.
+			_ = edges
+		}
+		for _, edge := range edges {
+			p := &CubeFill{Edge: edge}
+			want := p.BruteForceCubeFill()
+			res := Count(rt, p, CountConfig{SpawnDepth: 3})
+			if res.Total != want {
+				t.Fatalf("%s: edge %d fills = %d, want %d", name, edge, res.Total, want)
+			}
+		}
+	}
+}
+
+func TestCubeFillChildrenStayInCube(t *testing.T) {
+	p := &CubeFill{Edge: 2}
+	n := p.Root()
+	for i := 0; i < 7; i++ {
+		kids := p.Children(n)
+		if len(kids) == 0 {
+			break
+		}
+		n = kids[0]
+		for _, q := range n.path {
+			if q.x < 0 || q.y < 0 || q.z < 0 || q.x > 1 || q.y > 1 || q.z > 1 {
+				t.Fatalf("walk escaped the cube: %v", n.path)
+			}
+		}
+	}
+	if len(n.path) != 8 {
+		t.Fatalf("greedy walk length %d, want 8 on the 2-cube", len(n.path))
+	}
+}

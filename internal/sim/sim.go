@@ -1,0 +1,167 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), which makes a run fully
+// deterministic for a given program: there is no dependence on map iteration
+// order, goroutine interleaving or wall-clock time.
+//
+// Virtual time is measured in nanoseconds and represented by Time. The
+// helpers Microseconds/Milliseconds/Seconds build durations in the units
+// the EARTH paper reports.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in (or duration of) virtual time, in nanoseconds.
+type Time int64
+
+// Duration construction helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Microseconds returns d expressed as a float64 number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns d expressed as a float64 number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns d expressed as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromMicroseconds converts a float64 microsecond count to a Time.
+func FromMicroseconds(us float64) Time { return Time(math.Round(us * float64(Microsecond))) }
+
+// FromMilliseconds converts a float64 millisecond count to a Time.
+func FromMilliseconds(ms float64) Time { return Time(math.Round(ms * float64(Millisecond))) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h eventHeap) isEmpty() bool      { return len(h) == 0 }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use. Engines are not safe for concurrent use: all events run on the
+// calling goroutine of Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	// Events counts the total number of events dispatched by Run.
+	Events uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it would corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.pq.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+// Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the current event completes. Pending events
+// remain queued; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue is empty or Stop
+// is called. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.pq.isEmpty() && !e.stopped {
+		ev := e.pq.popEvent()
+		e.now = ev.at
+		e.Events++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then advances the
+// clock to deadline (if it is ahead of the last event) and returns.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.pq.isEmpty() && !e.stopped && e.pq.peek().at <= deadline {
+		ev := e.pq.popEvent()
+		e.now = ev.at
+		e.Events++
+		ev.fn()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Step dispatches exactly one event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if e.pq.isEmpty() {
+		return false
+	}
+	ev := e.pq.popEvent()
+	e.now = ev.at
+	e.Events++
+	ev.fn()
+	return true
+}

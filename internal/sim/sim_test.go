@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	ran := false
+	e.After(5, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []Time
+	times := []Time{50, 10, 30, 20, 40, 10}
+	for _, tm := range times {
+		tm := tm
+		e.At(tm, func() { order = append(order, tm) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken events not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var trace []string
+	e.At(10, func() {
+		trace = append(trace, "a")
+		e.After(5, func() { trace = append(trace, "c") })
+		e.After(0, func() { trace = append(trace, "b") })
+	})
+	end := e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if end != 15 {
+		t.Fatalf("end = %d, want 15", end)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestStopAndResume(t *testing.T) {
+	e := New()
+	var n int
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			n++
+			if n == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 5 {
+		t.Fatalf("ran %d events before stop, want 5", n)
+	}
+	e.Run()
+	if n != 10 {
+		t.Fatalf("ran %d events after resume, want 10", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var n int
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i*10), func() { n++ })
+	}
+	e.RunUntil(55)
+	if n != 5 {
+		t.Fatalf("ran %d events, want 5", n)
+	}
+	if e.Now() != 55 {
+		t.Fatalf("Now = %d, want 55 (advanced to deadline)", e.Now())
+	}
+	e.Run()
+	if n != 10 {
+		t.Fatalf("ran %d events total, want 10", n)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenEmpty(t *testing.T) {
+	e := New()
+	e.RunUntil(1234)
+	if e.Now() != 1234 {
+		t.Fatalf("Now = %d, want 1234", e.Now())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	var n int
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue reported true")
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Property: regardless of the (random) scheduling pattern, the observed
+	// clock at each event is non-decreasing and every event runs.
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		var last Time = -1
+		ran := 0
+		var schedule func(depth int, d Time)
+		schedule = func(depth int, d Time) {
+			e.After(d, func() {
+				if e.Now() < last {
+					t.Errorf("clock went backwards: %d -> %d", last, e.Now())
+				}
+				last = e.Now()
+				ran++
+				if depth > 0 && rng.Intn(2) == 0 {
+					schedule(depth-1, Time(rng.Intn(50)))
+					ran-- // will be re-counted when nested event runs
+					ran++
+				}
+			})
+		}
+		want := len(raw)
+		for _, r := range raw {
+			schedule(0, Time(r))
+		}
+		e.Run()
+		return ran >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical runs must produce identical traces.
+	run := func() []Time {
+		e := New()
+		rng := rand.New(rand.NewSource(42))
+		var trace []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			e.After(Time(rng.Intn(100)), func() {
+				trace = append(trace, e.Now())
+				if depth < 3 {
+					spawn(depth + 1)
+					spawn(depth + 1)
+				}
+			})
+		}
+		spawn(0)
+		spawn(0)
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in   Time
+		us   float64
+		ms   float64
+		s    float64
+		text string
+	}{
+		{1500 * Microsecond, 1500, 1.5, 0.0015, "1.500ms"},
+		{2 * Second, 2e6, 2000, 2, "2.000s"},
+		{750, 0.75, 0.00075, 7.5e-7, "750ns"},
+		{3 * Microsecond, 3, 0.003, 3e-6, "3.000us"},
+	}
+	for _, c := range cases {
+		if got := c.in.Microseconds(); got != c.us {
+			t.Errorf("%d.Microseconds() = %g, want %g", int64(c.in), got, c.us)
+		}
+		if got := c.in.Milliseconds(); got != c.ms {
+			t.Errorf("%d.Milliseconds() = %g, want %g", int64(c.in), got, c.ms)
+		}
+		if got := c.in.Seconds(); got != c.s {
+			t.Errorf("%d.Seconds() = %g, want %g", int64(c.in), got, c.s)
+		}
+		if got := c.in.String(); got != c.text {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.text)
+		}
+	}
+	if got := FromMicroseconds(2.5); got != 2500 {
+		t.Errorf("FromMicroseconds(2.5) = %d", got)
+	}
+	if got := FromMilliseconds(7.82); got != 7820000 {
+		t.Errorf("FromMilliseconds(7.82) = %d", got)
+	}
+}
+
+func TestFromRoundTripProperty(t *testing.T) {
+	f := func(us uint32) bool {
+		return FromMicroseconds(float64(us)) == Time(us)*Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%97), func() {})
+		if e.Pending() > 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,104 @@
+// Package trace renders EARTH run statistics as text: per-node busy bars
+// and message/steal summaries, plus a time-bucketed utilisation profile
+// when a sampling callback is wired into an application. It is the
+// lightweight analysis companion to the simulator (the 1997 toolchain had
+// nothing of the sort; every EARTH paper hand-drew these).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"earth/internal/earth"
+	"earth/internal/sim"
+)
+
+// BarWidth is the width of rendered utilisation bars.
+const BarWidth = 40
+
+// RenderStats draws a per-node summary of a run: a busy-fraction bar and
+// the traffic counters.
+func RenderStats(st *earth.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed %v over %d nodes, utilisation %.0f%%\n",
+		st.Elapsed, len(st.Nodes), 100*st.Utilization())
+	for i, n := range st.Nodes {
+		frac := 0.0
+		if st.Elapsed > 0 {
+			frac = float64(n.Busy) / float64(st.Elapsed)
+		}
+		if frac > 1 {
+			frac = 1 // handler-path (SU) time can exceed the EU window
+		}
+		fill := int(frac*BarWidth + 0.5)
+		bar := strings.Repeat("#", fill) + strings.Repeat(".", BarWidth-fill)
+		fmt.Fprintf(&b, "node %2d |%s| busy %6.1f%%  threads %6d  msgs %6d  steals %4d\n",
+			i, bar, 100*frac, n.ThreadsRun, n.MsgsSent, n.TokensStolen)
+	}
+	return b.String()
+}
+
+// Profile accumulates a time-bucketed activity histogram: applications
+// call Tick from task boundaries; Render shows where in the run the work
+// happened (the poor man's Gantt chart).
+type Profile struct {
+	bucket  sim.Time
+	buckets []int
+}
+
+// NewProfile creates a profile with the given bucket width.
+func NewProfile(bucket sim.Time) *Profile {
+	if bucket <= 0 {
+		panic("trace: bucket width must be positive")
+	}
+	return &Profile{bucket: bucket}
+}
+
+// Tick records activity of the given duration ending at virtual time t.
+// Tick is not safe for concurrent use: under livert, call it only from
+// one node's context or merge per-node profiles.
+func (p *Profile) Tick(t sim.Time, work sim.Time) {
+	i := int(t / p.bucket)
+	for len(p.buckets) <= i {
+		p.buckets = append(p.buckets, 0)
+	}
+	p.buckets[i] += int(work)
+}
+
+// Buckets returns the raw histogram.
+func (p *Profile) Buckets() []int { return p.buckets }
+
+// Render draws the activity histogram, normalised to its peak.
+func (p *Profile) Render() string {
+	if len(p.buckets) == 0 {
+		return "(empty profile)\n"
+	}
+	peak := 0
+	for _, v := range p.buckets {
+		if v > peak {
+			peak = v
+		}
+	}
+	var b strings.Builder
+	for i, v := range p.buckets {
+		fill := 0
+		if peak > 0 {
+			fill = v * BarWidth / peak
+		}
+		fmt.Fprintf(&b, "%10v |%s\n", sim.Time(i)*p.bucket, strings.Repeat("#", fill))
+	}
+	return b.String()
+}
+
+// Merge folds another profile (same bucket width) into p.
+func (p *Profile) Merge(q *Profile) {
+	if p.bucket != q.bucket {
+		panic("trace: merging profiles with different bucket widths")
+	}
+	for i, v := range q.buckets {
+		for len(p.buckets) <= i {
+			p.buckets = append(p.buckets, 0)
+		}
+		p.buckets[i] += v
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/earth/simrt"
+	"earth/internal/sim"
+)
+
+func TestRenderStats(t *testing.T) {
+	rt := simrt.New(earth.Config{Nodes: 3, Seed: 1})
+	st := rt.Run(func(c earth.Ctx) {
+		for i := 0; i < 6; i++ {
+			c.Token(8, func(c earth.Ctx) { c.Compute(sim.Millisecond) })
+		}
+	})
+	out := RenderStats(st)
+	for _, want := range []string{"node  0", "node  2", "busy", "elapsed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "|") < 6 { // two bars per node line
+		t.Errorf("bars missing:\n%s", out)
+	}
+}
+
+func TestProfileTickAndRender(t *testing.T) {
+	p := NewProfile(sim.Millisecond)
+	p.Tick(500*sim.Microsecond, 100)
+	p.Tick(2500*sim.Microsecond, 300)
+	p.Tick(2600*sim.Microsecond, 300)
+	b := p.Buckets()
+	if len(b) != 3 || b[0] != 100 || b[1] != 0 || b[2] != 600 {
+		t.Fatalf("buckets = %v", b)
+	}
+	out := p.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[2], strings.Repeat("#", BarWidth)) {
+		t.Errorf("peak bucket not full width:\n%s", out)
+	}
+}
+
+func TestProfileMerge(t *testing.T) {
+	a := NewProfile(sim.Millisecond)
+	b := NewProfile(sim.Millisecond)
+	a.Tick(0, 5)
+	b.Tick(0, 7)
+	b.Tick(3*sim.Millisecond, 2)
+	a.Merge(b)
+	got := a.Buckets()
+	if got[0] != 12 || got[3] != 2 {
+		t.Fatalf("merged = %v", got)
+	}
+}
+
+func TestProfileMergeMismatchedBucketsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewProfile(1).Merge(NewProfile(2))
+}
+
+func TestNewProfileValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewProfile(0)
+}
+
+func TestEmptyProfileRender(t *testing.T) {
+	if out := NewProfile(1).Render(); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}
