@@ -6,12 +6,22 @@
 //	earthsim -app eigen|groebner|nn [-nodes N] [-costs earth|mp300|mp500|mp1000]
 //	         [-seed S] [-input Lazard|Katsura-4|Katsura-5] [-units U] [-train]
 //	         [-balancer steal|random|roundrobin|none] [-distributed] [-live]
+//	         [-trace out.json] [-metrics] [-bars] [-stats-json out.json]
+//	         [-sample DUR]
+//
+// Observability: -trace writes a Chrome trace-event JSON file (open it in
+// Perfetto or chrome://tracing), -metrics prints per-operation latency and
+// size histograms, -bars prints the per-node utilisation bars, and
+// -stats-json writes the run statistics (and metrics, when enabled) as
+// machine-readable JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"earth/internal/earth"
 	"earth/internal/earth/livert"
@@ -20,6 +30,7 @@ import (
 	"earth/internal/groebner"
 	"earth/internal/harness"
 	"earth/internal/neural"
+	"earth/internal/obs"
 	"earth/internal/rewrite"
 	"earth/internal/search"
 	"earth/internal/sim"
@@ -37,7 +48,12 @@ func main() {
 	balancer := flag.String("balancer", "steal", "token balancer: steal, random, roundrobin, none")
 	distributed := flag.Bool("distributed", false, "Gröbner: decentralised pair queues")
 	live := flag.Bool("live", false, "run on the goroutine engine instead of the simulator")
-	showTrace := flag.Bool("trace", false, "print per-node utilisation bars")
+	showBars := flag.Bool("bars", false, "print per-node utilisation bars")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-compatible)")
+	showMetrics := flag.Bool("metrics", false, "print per-operation latency/size histograms")
+	statsJSON := flag.String("stats-json", "", "write run statistics (and metrics) as JSON")
+	sample := flag.Duration("sample", 500*time.Microsecond,
+		"utilisation sampling period under the simulator (0 disables)")
 	flag.Parse()
 
 	var costs earth.CostModel
@@ -66,7 +82,28 @@ func main() {
 	default:
 		fail("unknown balancer %q", *balancer)
 	}
+
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder()
+	}
+	var met *obs.Metrics
+	if *showMetrics || *statsJSON != "" {
+		met = obs.NewMetrics()
+	}
 	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal}
+	if rec != nil || met != nil {
+		// Multi drops the nil collector(s); with neither enabled the
+		// Tracer stays nil and the engines skip all event emission.
+		if rec != nil && met != nil {
+			cfg.Tracer = obs.Multi(rec, met)
+		} else if rec != nil {
+			cfg.Tracer = rec
+		} else {
+			cfg.Tracer = met
+		}
+		cfg.UtilSamplePeriod = sim.Time(sample.Nanoseconds())
+	}
 	var rt earth.Runtime
 	if *live {
 		rt = livert.New(cfg)
@@ -74,16 +111,14 @@ func main() {
 		rt = simrt.New(cfg)
 	}
 
+	var st *earth.Stats
 	switch *app {
 	case "eigen":
 		m, tol := harness.EigenWorkload(*seed)
 		res := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol})
 		fmt.Printf("eigenvalues=%d tasks=%d depth=[%d,%d]\n",
 			len(res.Eigenvalues), res.Tasks, res.MinDepth, res.MaxDepth)
-		fmt.Println(res.Stats)
-		if *showTrace {
-			fmt.Print(trace.RenderStats(res.Stats))
-		}
+		st = res.Stats
 	case "groebner":
 		in := groebner.InputByName(*input)
 		if in == nil {
@@ -104,10 +139,7 @@ func main() {
 		fmt.Printf("basis=%d pairs=%d added=%d speedup=%.2f\n",
 			len(res.Basis.Polys), res.PairsProcessed, res.Added,
 			float64(base)/float64(res.Stats.Elapsed))
-		fmt.Println(res.Stats)
-		if *showTrace {
-			fmt.Print(trace.RenderStats(res.Stats))
-		}
+		st = res.Stats
 	case "nn":
 		xs := make([][]float32, 4)
 		ts := make([][]float32, 4)
@@ -123,10 +155,7 @@ func main() {
 			neural.ParallelConfig{Train: *train, Tree: true, LR: 0.1})
 		fmt.Printf("samples=%d per-sample=%v\n", len(res.Outputs),
 			res.Stats.Elapsed/sim.Time(len(res.Outputs)))
-		fmt.Println(res.Stats)
-		if *showTrace {
-			fmt.Print(trace.RenderStats(res.Stats))
-		}
+		st = res.Stats
 	case "kb":
 		sys, err := rewrite.NewSystem([][2]string{{"aa", ""}, {"bb", ""}, {"ababab", ""}})
 		if err != nil {
@@ -138,28 +167,57 @@ func main() {
 		}
 		fmt.Printf("rules=%d pairs=%d added=%d conflicts=%d\n",
 			len(res.System.Rules), res.PairsProcessed, res.RulesAdded, res.Rejected)
-		fmt.Println(res.Stats)
-		if *showTrace {
-			fmt.Print(trace.RenderStats(res.Stats))
-		}
+		st = res.Stats
 	case "tsp":
 		tsp := search.RandomTSP(11, *seed)
 		res := search.BranchAndBound(rt, tsp, search.BBConfig{})
 		fmt.Printf("optimum=%.4f expanded=%d improvements=%d\n",
 			res.Best, res.Expanded, res.Improvements)
-		fmt.Println(res.Stats)
-		if *showTrace {
-			fmt.Print(trace.RenderStats(res.Stats))
-		}
+		st = res.Stats
 	case "polymer":
 		res := search.Count(rt, &search.Polymer{Steps: 8}, search.CountConfig{SpawnDepth: 3})
 		fmt.Printf("walks=%d visited=%d\n", res.Total, res.Visited)
-		fmt.Println(res.Stats)
-		if *showTrace {
-			fmt.Print(trace.RenderStats(res.Stats))
-		}
+		st = res.Stats
 	default:
 		fail("unknown app %q", *app)
+	}
+
+	fmt.Println(st)
+	if *showBars {
+		fmt.Print(trace.RenderStats(st))
+	}
+	if *showMetrics {
+		fmt.Print(met.Render())
+	}
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fail("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %d events to %s\n", rec.Len(), *tracePath)
+	}
+	if *statsJSON != "" {
+		out := struct {
+			App     string       `json:"app"`
+			Nodes   int          `json:"nodes"`
+			Seed    int64        `json:"seed"`
+			Live    bool         `json:"live"`
+			Stats   *earth.Stats `json:"stats"`
+			Metrics *obs.Metrics `json:"metrics,omitempty"`
+		}{*app, *nodes, *seed, *live, st, met}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*statsJSON, append(b, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
 	}
 }
 

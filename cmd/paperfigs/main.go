@@ -4,13 +4,17 @@
 // Usage:
 //
 //	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations]
-//	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S]
+//	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-json out.json]
 //
 // The paper used 20 runs per Gröbner configuration; -runs 20 reproduces
 // that (slower). The default of 5 gives stable means in seconds.
+// -json additionally writes the reports — including the numeric series
+// behind each figure — as machine-readable JSON, so plots can be
+// regenerated without reparsing the text output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ func main() {
 	runs := flag.Int("runs", 5, "repeated runs per Gröbner configuration")
 	nodes := flag.String("nodes", "", "comma-separated node counts (default paper sweep)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	jsonPath := flag.String("json", "", "write reports (with figure series) as JSON")
 	flag.Parse()
 
 	cfg := harness.Config{Runs: *runs, Seed: *seed}
@@ -80,5 +85,16 @@ func main() {
 	}
 	for _, r := range reports {
 		fmt.Println(r)
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

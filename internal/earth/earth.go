@@ -177,6 +177,16 @@ type Config struct {
 	// noise (cache effects, DRAM refresh...) that makes real parallel runs
 	// indeterministic; it is the source of the min/max spread in Figure 4.
 	JitterPct float64
+	// Tracer, when non-nil, receives one Event per runtime action (see
+	// events.go). Under simrt the stream is deterministic for a given
+	// Config; under livert events carry wall-clock times and arrive
+	// concurrently. A nil Tracer costs the engines a single pointer
+	// check per emission site.
+	Tracer Tracer
+	// UtilSamplePeriod, when positive and a Tracer is installed, makes
+	// simrt emit EvUtilSample events for every node once per period of
+	// virtual time (built-in utilisation profiling; livert ignores it).
+	UtilSamplePeriod sim.Time
 }
 
 // withDefaults normalises a Config.

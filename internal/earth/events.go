@@ -1,0 +1,168 @@
+package earth
+
+import "earth/internal/sim"
+
+// This file defines the event-level observability layer shared by both
+// engines. A Tracer installed on Config receives one typed Event per
+// runtime action: thread dispatches, sync-slot signals, the legs of every
+// split-phase communication, token spawns and the steal protocol.
+// Timestamps are virtual nanoseconds under simrt and wall-clock
+// nanoseconds since run start under livert, so the same consumers (the
+// Chrome-trace recorder and the metrics collector in internal/obs) work
+// on both engines.
+//
+// When Config.Tracer is nil the engines skip every emission behind a
+// single pointer check; an uninstrumented run pays nothing.
+
+// EventKind identifies the runtime action an Event reports.
+type EventKind uint8
+
+const (
+	// EvThreadRun reports one executed thread body: Time is the dispatch
+	// instant, Dur the run length, Wait the delay between the thread
+	// becoming ready (spawn, sync fire, message arrival) and its dispatch,
+	// and Cause what enabled it.
+	EvThreadRun EventKind = iota
+	// EvHandlerRun reports an active-message handler executed on the
+	// Synchronization-Unit/handler path (Ctx.Post deliveries).
+	EvHandlerRun
+	// EvSyncSignal reports a sync-slot decrement processed on the slot's
+	// home node. Peer is the signalling node (== Node for local syncs).
+	EvSyncSignal
+	// EvGetSend/EvGetDeliver are the two ends of a split-phase remote
+	// read: the request leaving the requester, and the response data
+	// landing back on it. Dur on the deliver event is the full round
+	// trip; Bytes is the payload size.
+	EvGetSend
+	EvGetDeliver
+	// EvPutSend/EvPutDeliver are the two ends of a split-phase remote
+	// write (DATA_SYNC/BLKMOV). Dur on the deliver event is the one-way
+	// latency from issue to the write executing at the owner.
+	EvPutSend
+	EvPutDeliver
+	// EvInvokeSend/EvInvokeDeliver are the two ends of a remote INVOKE:
+	// Dur on the deliver event is the latency from issue to the body
+	// entering the target's ready queue.
+	EvInvokeSend
+	EvInvokeDeliver
+	// EvPostSend reports an active-message Post leaving its sender; the
+	// matching execution appears as EvHandlerRun on the target.
+	EvPostSend
+	// EvTokenSpawn reports a TOKEN creation. Peer is the placement target
+	// for the random/round-robin balancers, or -1 when the token is
+	// pooled locally for stealing.
+	EvTokenSpawn
+	// EvStealRequest/EvStealGrant/EvStealMiss trace the work-stealing
+	// protocol from the thief's perspective: a request sent to a victim, a
+	// stolen token arriving (Dur = round trip from request or deposit),
+	// and a request that found the victim's pool empty.
+	EvStealRequest
+	EvStealGrant
+	EvStealMiss
+	// EvUtilSample is a periodic utilisation sample emitted by simrt when
+	// Config.UtilSamplePeriod is set: Dur is the busy time the node
+	// accrued during the sample window ending at Time.
+	EvUtilSample
+
+	numEventKinds
+)
+
+// KindCount is the number of defined event kinds, for consumers that
+// aggregate per kind.
+const KindCount = int(numEventKinds)
+
+var eventKindNames = [numEventKinds]string{
+	EvThreadRun:     "thread",
+	EvHandlerRun:    "handler",
+	EvSyncSignal:    "sync",
+	EvGetSend:       "get.send",
+	EvGetDeliver:    "get.deliver",
+	EvPutSend:       "put.send",
+	EvPutDeliver:    "put.deliver",
+	EvInvokeSend:    "invoke.send",
+	EvInvokeDeliver: "invoke.deliver",
+	EvPostSend:      "post.send",
+	EvTokenSpawn:    "token",
+	EvStealRequest:  "steal.request",
+	EvStealGrant:    "steal.grant",
+	EvStealMiss:     "steal.miss",
+	EvUtilSample:    "util",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Cause records what made a dispatched thread ready.
+type Cause uint8
+
+const (
+	// CauseSpawn: a local Spawn (or the program's main thread).
+	CauseSpawn Cause = iota
+	// CauseSync: a sync slot reached zero and enabled the thread.
+	CauseSync
+	// CauseInvoke: the body arrived via INVOKE.
+	CauseInvoke
+	// CauseToken: a locally created or placed token was dispatched.
+	CauseToken
+	// CauseSteal: a token stolen from another node was dispatched.
+	CauseSteal
+	// CauseHandler: an active-message handler (Post delivery).
+	CauseHandler
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	CauseSpawn:   "spawn",
+	CauseSync:    "sync",
+	CauseInvoke:  "invoke",
+	CauseToken:   "token",
+	CauseSteal:   "steal",
+	CauseHandler: "handler",
+}
+
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return "unknown"
+}
+
+// NoPeer marks the Peer field of events with no second endpoint.
+const NoPeer NodeID = -1
+
+// Event is one runtime action observed on a node. Fields that do not
+// apply to a Kind are zero (Peer is NoPeer where meaningless).
+type Event struct {
+	// Time is when the action happened: the dispatch instant for Run
+	// events, the issue instant for send events, the effect instant for
+	// deliver events, the window end for utilisation samples.
+	Time sim.Time
+	// Dur is the run length (Run events), end-to-end latency (deliver and
+	// steal-grant events) or in-window busy time (utilisation samples).
+	Dur sim.Time
+	// Wait is the ready-to-dispatch delay of Run events.
+	Wait sim.Time
+	// Node is the node the event is accounted to.
+	Node NodeID
+	// Peer is the other endpoint of a communication, or NoPeer.
+	Peer NodeID
+	// Bytes is the payload size of communication events.
+	Bytes int
+	// Kind identifies the action.
+	Kind EventKind
+	// Cause qualifies Run events (what made the work ready).
+	Cause Cause
+}
+
+// Tracer receives the event stream of a run. simrt invokes it from the
+// single simulation goroutine in deterministic order; livert invokes it
+// concurrently from every node's executor, so implementations must be
+// safe for concurrent use.
+type Tracer interface {
+	Event(Event)
+}

@@ -11,7 +11,11 @@
 //   - Cost models are ignored; Stats.Busy is measured wall time per node.
 //   - Work stealing is shared-memory style: an idle executor pops a token
 //     directly from a victim's pool under the victim's lock, rather than
-//     exchanging steal-request messages.
+//     exchanging steal-request messages. Steal events therefore appear as
+//     grants only (no request/miss protocol), with zero round-trip time.
+//   - Config.UtilSamplePeriod is ignored; with a Config.Tracer installed,
+//     events carry wall-clock nanoseconds since run start and are emitted
+//     concurrently from every executor (the Tracer must be thread-safe).
 //
 // Quiescence is detected with an outstanding-work counter covering queued
 // items, pooled tokens and in-flight messages: when it reaches zero the
@@ -32,9 +36,17 @@ import (
 // item is a unit of work executed by a node's executor goroutine.
 type item struct {
 	body    earth.ThreadBody
+	enq     sim.Time // run-relative time the work became ready
+	cause   earth.Cause
 	token   bool
 	stolen  bool
 	handler bool
+}
+
+// ltoken is a pooled load-balanced invocation.
+type ltoken struct {
+	body earth.ThreadBody
+	enq  sim.Time
 }
 
 type lnode struct {
@@ -44,7 +56,7 @@ type lnode struct {
 	mu       sync.Mutex
 	handlers []earth.ThreadBody // runtime message handlers: highest priority
 	ready    []item             // ready threads
-	tokens   []earth.ThreadBody // stealable token pool
+	tokens   []ltoken           // stealable token pool
 
 	wake chan struct{}
 	rng  *rand.Rand // accessed only by this node's executor
@@ -60,6 +72,7 @@ type lnode struct {
 type Runtime struct {
 	cfg         earth.Config
 	nodes       []*lnode
+	tr          earth.Tracer // cached cfg.Tracer; must be thread-safe
 	outstanding atomic.Int64
 	rrNext      atomic.Int64
 	done        chan struct{}
@@ -74,7 +87,7 @@ var _ earth.Runtime = (*Runtime)(nil)
 // accepted for interface compatibility but not charged.
 func New(cfg earth.Config) *Runtime {
 	cfg = cfg.WithDefaults()
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, tr: cfg.Tracer}
 	rt.nodes = make([]*lnode, cfg.Nodes)
 	for i := range rt.nodes {
 		rt.nodes[i] = &lnode{
@@ -89,6 +102,9 @@ func New(cfg earth.Config) *Runtime {
 
 // P returns the node count.
 func (rt *Runtime) P() int { return len(rt.nodes) }
+
+// now returns wall-clock nanoseconds since run start.
+func (rt *Runtime) now() sim.Time { return sim.Time(time.Since(rt.start).Nanoseconds()) }
 
 // Run executes main on node 0 and blocks until the machine is quiescent.
 func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
@@ -112,7 +128,7 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 			n.loop()
 		}(n)
 	}
-	rt.enqueue(rt.nodes[0], item{body: main})
+	rt.enqueue(rt.nodes[0], item{body: main, cause: earth.CauseSpawn})
 	<-rt.done
 	wg.Wait()
 
@@ -149,6 +165,7 @@ func (rt *Runtime) doneOne() {
 // enqueue adds a ready item on n (counted as outstanding work).
 func (rt *Runtime) enqueue(n *lnode, it item) {
 	rt.add()
+	it.enq = rt.now()
 	n.mu.Lock()
 	n.ready = append(n.ready, it)
 	n.mu.Unlock()
@@ -179,7 +196,7 @@ func (n *lnode) next() (item, bool) {
 	if len(n.handlers) > 0 {
 		h := n.handlers[0]
 		n.handlers = n.handlers[1:]
-		return item{body: h, handler: true}, true
+		return item{body: h, handler: true, cause: earth.CauseHandler}, true
 	}
 	if len(n.ready) > 0 {
 		it := n.ready[0]
@@ -187,9 +204,9 @@ func (n *lnode) next() (item, bool) {
 		return it, true
 	}
 	if len(n.tokens) > 0 {
-		b := n.tokens[len(n.tokens)-1]
+		tk := n.tokens[len(n.tokens)-1]
 		n.tokens = n.tokens[:len(n.tokens)-1]
-		return item{body: b, token: true}, true
+		return item{body: tk.body, enq: tk.enq, token: true, cause: earth.CauseToken}, true
 	}
 	return item{}, false
 }
@@ -208,10 +225,17 @@ func (n *lnode) steal() (item, bool) {
 		}
 		v.mu.Lock()
 		if len(v.tokens) > 0 {
-			b := v.tokens[0]
+			tk := v.tokens[0]
 			v.tokens = v.tokens[1:]
 			v.mu.Unlock()
-			return item{body: b, token: true, stolen: true}, true
+			if n.rt.tr != nil {
+				// Shared-memory steal: a direct pool pop, so the "grant"
+				// has no request leg and no round trip.
+				n.rt.tr.Event(earth.Event{Time: n.rt.now(), Node: n.id, Peer: v.id,
+					Kind: earth.EvStealGrant})
+			}
+			return item{body: tk.body, enq: n.rt.now(), token: true, stolen: true,
+				cause: earth.CauseSteal}, true
 		}
 		v.mu.Unlock()
 	}
@@ -236,10 +260,12 @@ func (n *lnode) loop() {
 			}
 		}
 		t0 := time.Now()
+		start := sim.Time(t0.Sub(n.rt.start).Nanoseconds())
 		c := &ctx{rt: n.rt, n: n}
 		it.body(c)
 		c.dead = true
-		n.busy += time.Since(t0)
+		d := time.Since(t0)
+		n.busy += d
 		if !it.handler {
 			n.threadsRun++
 		}
@@ -248,6 +274,18 @@ func (n *lnode) loop() {
 			if it.stolen {
 				n.tokensStolen++
 			}
+		}
+		if n.rt.tr != nil {
+			kind := earth.EvThreadRun
+			if it.handler {
+				kind = earth.EvHandlerRun
+			}
+			wait := start - it.enq
+			if it.handler || wait < 0 {
+				wait = 0
+			}
+			n.rt.tr.Event(earth.Event{Time: start, Node: n.id, Peer: earth.NoPeer,
+				Kind: kind, Dur: sim.Time(d.Nanoseconds()), Wait: wait, Cause: it.cause})
 		}
 		n.rt.doneOne()
 		select {
@@ -258,11 +296,15 @@ func (n *lnode) loop() {
 	}
 }
 
-// decSlot must run on f's home executor.
-func (n *lnode) decSlot(f *earth.Frame, slot int) {
+// decSlot must run on f's home executor; from is the signalling node.
+func (n *lnode) decSlot(from earth.NodeID, f *earth.Frame, slot int) {
 	n.syncs++
+	if n.rt.tr != nil {
+		n.rt.tr.Event(earth.Event{Time: n.rt.now(), Node: n.id, Peer: from,
+			Kind: earth.EvSyncSignal})
+	}
 	if fired, th := f.Dec(slot); fired {
-		n.rt.enqueue(n, item{body: f.ThreadBody(th)})
+		n.rt.enqueue(n, item{body: f.ThreadBody(th), cause: earth.CauseSync})
 	}
 }
 
@@ -283,7 +325,7 @@ func (c *ctx) check() {
 
 func (c *ctx) Node() earth.NodeID { return c.n.id }
 func (c *ctx) P() int             { return len(c.rt.nodes) }
-func (c *ctx) Now() sim.Time      { return sim.Time(time.Since(c.rt.start).Nanoseconds()) }
+func (c *ctx) Now() sim.Time      { return c.rt.now() }
 func (c *ctx) Rand() *rand.Rand   { return c.n.rng }
 
 // Compute is a no-op: under livert real computation takes real time.
@@ -299,17 +341,18 @@ func (c *ctx) Spawn(f *earth.Frame, thread int) {
 	if f.Home != c.n.id {
 		panic(fmt.Sprintf("livert: Spawn of frame on node %d from node %d", f.Home, c.n.id))
 	}
-	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread)})
+	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread), cause: earth.CauseSpawn})
 }
 
 func (c *ctx) Sync(f *earth.Frame, slot int) {
 	c.check()
 	home := c.rt.nodes[f.Home]
+	from := c.n.id
 	if home == c.n {
-		home.decSlot(f, slot)
+		home.decSlot(from, f, slot)
 		return
 	}
-	c.rt.enqueueHandler(home, func(earth.Ctx) { home.decSlot(f, slot) })
+	c.rt.enqueueHandler(home, func(earth.Ctx) { home.decSlot(from, f, slot) })
 }
 
 func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, slot int) {
@@ -323,8 +366,18 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 		}
 		return
 	}
+	src := c.n.id
+	issue := rt.now()
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: owner,
+			Kind: earth.EvPutSend, Bytes: nbytes})
+	}
 	rt.enqueueHandler(dst, func(hc earth.Ctx) {
 		write()
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.now(), Node: owner, Peer: src,
+				Kind: earth.EvPutDeliver, Bytes: nbytes, Dur: rt.now() - issue})
+		}
 		if f != nil {
 			hc.Sync(f, slot)
 		}
@@ -343,10 +396,19 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 		}
 		return
 	}
+	issue := rt.now()
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: issue, Node: src.id, Peer: owner,
+			Kind: earth.EvGetSend, Bytes: nbytes})
+	}
 	rt.enqueueHandler(dst, func(earth.Ctx) {
 		deliver := read()
 		rt.enqueueHandler(src, func(hc earth.Ctx) {
 			deliver()
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: rt.now(), Node: src.id, Peer: owner,
+					Kind: earth.EvGetDeliver, Bytes: nbytes, Dur: rt.now() - issue})
+			}
 			if f != nil {
 				hc.Sync(f, slot)
 			}
@@ -356,13 +418,25 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 
 func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 	c.check()
-	c.rt.enqueue(c.rt.nodes[nodeID], item{body: body})
+	rt := c.rt
+	src := c.n.id
+	if rt.tr != nil && nodeID != src {
+		issue := rt.now()
+		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: nodeID,
+			Kind: earth.EvInvokeSend, Bytes: argBytes})
+	}
+	rt.enqueue(rt.nodes[nodeID], item{body: body, cause: earth.CauseInvoke})
 }
 
 // Post delivers handler on the target's high-priority handler queue.
 func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) {
 	c.check()
-	c.rt.enqueueHandler(c.rt.nodes[nodeID], handler)
+	rt := c.rt
+	if rt.tr != nil && nodeID != c.n.id {
+		rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: nodeID,
+			Kind: earth.EvPostSend, Bytes: argBytes})
+	}
+	rt.enqueueHandler(rt.nodes[nodeID], handler)
 }
 
 func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
@@ -370,14 +444,28 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 	rt := c.rt
 	switch rt.cfg.Balancer {
 	case earth.BalanceRandomPlace:
-		rt.enqueue(rt.nodes[c.n.rng.Intn(len(rt.nodes))], item{body: body, token: true})
+		target := earth.NodeID(c.n.rng.Intn(len(rt.nodes)))
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: target,
+				Kind: earth.EvTokenSpawn, Bytes: argBytes})
+		}
+		rt.enqueue(rt.nodes[target], item{body: body, token: true, cause: earth.CauseToken})
 	case earth.BalanceRoundRobin:
 		i := int(rt.rrNext.Add(1)-1) % len(rt.nodes)
-		rt.enqueue(rt.nodes[i], item{body: body, token: true})
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: earth.NodeID(i),
+				Kind: earth.EvTokenSpawn, Bytes: argBytes})
+		}
+		rt.enqueue(rt.nodes[i], item{body: body, token: true, cause: earth.CauseToken})
 	default: // BalanceSteal, BalanceNone: pool locally
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: earth.NoPeer,
+				Kind: earth.EvTokenSpawn, Bytes: argBytes})
+		}
 		rt.add()
+		tk := ltoken{body: body, enq: rt.now()}
 		c.n.mu.Lock()
-		c.n.tokens = append(c.n.tokens, body)
+		c.n.tokens = append(c.n.tokens, tk)
 		c.n.mu.Unlock()
 		c.n.poke()
 	}

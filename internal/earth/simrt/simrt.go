@@ -17,7 +17,10 @@
 // the processor (the message-passing models of the paper's Section 3.2),
 // the node's next dispatch is additionally delayed by that cost.
 //
-// A run is fully deterministic for a given Config (including Seed).
+// A run is fully deterministic for a given Config (including Seed). With a
+// Config.Tracer installed, the engine additionally emits one earth.Event
+// per runtime action, in deterministic order, timestamped in virtual time;
+// without one, every emission site is a single nil check.
 package simrt
 
 import (
@@ -39,15 +42,18 @@ const stealReqBytes = 8
 // item is a unit of dispatchable work on a node.
 type item struct {
 	body     earth.ThreadBody
-	recvCost sim.Time // receiver-side software overhead charged at dispatch
-	token    bool     // counts as a token execution in stats
-	stolen   bool     // token obtained from another node
+	recvCost sim.Time    // receiver-side software overhead charged at dispatch
+	enq      sim.Time    // virtual time the work became ready (for Wait tracing)
+	cause    earth.Cause // what made it ready
+	token    bool        // counts as a token execution in stats
+	stolen   bool        // token obtained from another node
 }
 
 // token is a load-balanced invocation waiting in a node's pool.
 type token struct {
 	body     earth.ThreadBody
 	argBytes int
+	enq      sim.Time // deposit time
 }
 
 // node is the simulated per-node state.
@@ -63,16 +69,26 @@ type node struct {
 	parked   bool // waiting on the thief list
 	rng      *rand.Rand
 	stats    earth.NodeStats
+	// spans records busy intervals for utilisation sampling; only
+	// maintained while runSampled drives the loop.
+	spans []span
 }
+
+// span is one busy interval of a node in virtual time.
+type span struct{ start, end sim.Time }
 
 // Runtime is a simulated EARTH machine.
 type Runtime struct {
-	cfg     earth.Config
-	eng     *sim.Engine
-	mach    *manna.Machine
-	nodes   []*node
-	thieves []earth.NodeID // parked idle nodes, FIFO
-	rrNext  int            // round-robin placement cursor
+	cfg   earth.Config
+	eng   *sim.Engine
+	mach  *manna.Machine
+	nodes []*node
+	tr    earth.Tracer // cached cfg.Tracer; nil disables all emission
+	// sampling is true while runSampled drives the loop; it makes the
+	// Busy accrual points also record spans for window attribution.
+	sampling bool
+	thieves  []earth.NodeID // parked idle nodes, FIFO
+	rrNext   int            // round-robin placement cursor
 	// tokensInPools tracks the global token population, so idle nodes only
 	// hunt when there is something to find.
 	tokensInPools int
@@ -96,6 +112,7 @@ func New(cfg earth.Config) *Runtime {
 		eng:   sim.New(),
 		mach:  manna.New(mc),
 		nodes: make([]*node, cfg.Nodes),
+		tr:    cfg.Tracer,
 	}
 	for i := range rt.nodes {
 		rt.nodes[i] = &node{
@@ -133,8 +150,12 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 			rt.thieves = append(rt.thieves, n.id)
 		}
 	}
-	rt.enqueue(rt.nodes[0], item{body: main})
-	rt.eng.Run()
+	rt.enqueue(rt.nodes[0], item{body: main, cause: earth.CauseSpawn})
+	if rt.tr != nil && rt.cfg.UtilSamplePeriod > 0 {
+		rt.runSampled()
+	} else {
+		rt.eng.Run()
+	}
 	st := &earth.Stats{
 		Elapsed: rt.eng.Now(),
 		Nodes:   make([]earth.NodeStats, len(rt.nodes)),
@@ -144,6 +165,59 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		st.Nodes[i] = n.stats
 	}
 	return st
+}
+
+// runSampled drives the event loop one step at a time so per-node
+// utilisation can be sampled at fixed virtual-time boundaries without
+// polluting the event queue (a self-rescheduling sampler event would
+// prevent quiescence). Nodes record busy spans while sampling is on, and
+// each window's sample is the total span overlap with that window, so a
+// long-running thread contributes to every window it covers rather than
+// lumping into the window of its dispatch event. Spans always begin at
+// the current event time, so windows already emitted can never gain
+// retroactive work.
+func (rt *Runtime) runSampled() {
+	period := rt.cfg.UtilSamplePeriod
+	rt.sampling = true
+	defer func() { rt.sampling = false }()
+	next := period
+	for rt.eng.Step() {
+		for rt.eng.Now() >= next {
+			w0 := next - period
+			for _, n := range rt.nodes {
+				var busy sim.Time
+				keep := n.spans[:0]
+				for _, s := range n.spans {
+					lo, hi := s.start, s.end
+					if lo < w0 {
+						lo = w0
+					}
+					if hi > next {
+						hi = next
+					}
+					if hi > lo {
+						busy += hi - lo
+					}
+					if s.end > next {
+						keep = append(keep, s)
+					}
+				}
+				n.spans = keep
+				rt.tr.Event(earth.Event{
+					Time: next, Node: n.id, Peer: earth.NoPeer,
+					Kind: earth.EvUtilSample, Dur: busy,
+				})
+			}
+			next += period
+		}
+	}
+}
+
+// addSpan records a busy interval for utilisation sampling.
+func (n *node) addSpan(rt *Runtime, start, end sim.Time) {
+	if rt.sampling && end > start {
+		n.spans = append(n.spans, span{start, end})
+	}
 }
 
 // enqueue places it on n's ready queue and kicks the dispatch chain if the
@@ -178,7 +252,7 @@ func (rt *Runtime) dispatch(n *node) {
 		tk := n.tokens[len(n.tokens)-1]
 		n.tokens = n.tokens[:len(n.tokens)-1]
 		rt.tokensInPools--
-		it = item{body: tk.body, token: true}
+		it = item{body: tk.body, token: true, enq: tk.enq, cause: earth.CauseToken}
 	default:
 		n.running = false
 		rt.trySteal(n)
@@ -190,12 +264,19 @@ func (rt *Runtime) dispatch(n *node) {
 	it.body(c)
 	c.dead = true
 	n.stats.Busy += c.cursor - start
+	n.addSpan(rt, start, c.cursor)
 	n.stats.ThreadsRun++
 	if it.token {
 		n.stats.TokensRun++
 		if it.stolen {
 			n.stats.TokensStolen++
 		}
+	}
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{
+			Time: start, Node: n.id, Peer: earth.NoPeer, Kind: earth.EvThreadRun,
+			Dur: c.cursor - start, Wait: start - it.enq, Cause: it.cause,
+		})
 	}
 	if c.cursor > start {
 		rt.eng.At(c.cursor, func() { rt.dispatch(n) })
@@ -207,10 +288,18 @@ func (rt *Runtime) dispatch(n *node) {
 // runHandlerBody executes an active-message handler on n's handler path.
 func (rt *Runtime) runHandlerBody(n *node, recvCost sim.Time, body earth.ThreadBody) {
 	rt.handler(n, recvCost, func() {
-		hc := &ctx{rt: rt, n: n, cursor: rt.eng.Now()}
+		start := rt.eng.Now()
+		hc := &ctx{rt: rt, n: n, cursor: start}
 		body(hc)
 		hc.dead = true
-		n.stats.Busy += hc.cursor - rt.eng.Now()
+		n.stats.Busy += hc.cursor - start
+		n.addSpan(rt, start, hc.cursor)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{
+				Time: start, Node: n.id, Peer: earth.NoPeer, Kind: earth.EvHandlerRun,
+				Dur: hc.cursor - start, Cause: earth.CauseHandler,
+			})
+		}
 	})
 }
 
@@ -219,6 +308,7 @@ func (rt *Runtime) runHandlerBody(n *node, recvCost sim.Time, body earth.ThreadB
 // the CPU on receive, the node's next dispatch is delayed correspondingly.
 func (rt *Runtime) handler(n *node, recvCost sim.Time, effect func()) {
 	n.stats.Busy += recvCost
+	n.addSpan(rt, rt.eng.Now(), rt.eng.Now()+recvCost)
 	if rt.consumesCPUOnRecv() {
 		n.cpuDebt += recvCost
 	}
@@ -237,21 +327,27 @@ func (rt *Runtime) consumesCPUOnRecv() bool {
 	return rt.cfg.Costs.SyncRecv >= 50*sim.Microsecond
 }
 
-// deliverSync routes a sync signal to f's home node; from must already have
-// paid the send-side cost. Called at the arrival event.
-func (rt *Runtime) deliverSync(f *earth.Frame, slot int) {
+// deliverSync routes a sync signal sent by node from to f's home node; the
+// sender must already have paid the send-side cost. Called at the arrival
+// event.
+func (rt *Runtime) deliverSync(from earth.NodeID, f *earth.Frame, slot int) {
 	n := rt.nodes[f.Home]
 	rt.handler(n, rt.cfg.Costs.SpawnLocal, func() {
-		rt.decSlot(n, f, slot)
+		rt.decSlot(n, from, rt.eng.Now(), f, slot)
 	})
 }
 
 // decSlot decrements a slot on its home node and enqueues the enabled
-// thread when it fires.
-func (rt *Runtime) decSlot(n *node, f *earth.Frame, slot int) {
+// thread when it fires. at is the virtual time of the decrement (the
+// caller's cursor for local syncs, the handler effect time for remote
+// ones); from is the signalling node.
+func (rt *Runtime) decSlot(n *node, from earth.NodeID, at sim.Time, f *earth.Frame, slot int) {
 	n.stats.Syncs++
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: at, Node: n.id, Peer: from, Kind: earth.EvSyncSignal})
+	}
 	if fired, th := f.Dec(slot); fired {
-		rt.enqueue(n, item{body: f.ThreadBody(th)})
+		rt.enqueue(n, item{body: f.ThreadBody(th), enq: at, cause: earth.CauseSync})
 	}
 }
 
@@ -274,14 +370,25 @@ func (rt *Runtime) depositToken(n *node, cursor sim.Time, tk token) sim.Time {
 		thief := rt.nodes[thiefID]
 		thief.parked = false
 		cursor += rt.cfg.Costs.AsyncSend
+		issue := cursor
 		arrival := rt.send(cursor, n.id, thiefID, tk.argBytes)
 		rt.eng.At(arrival, func() {
 			rt.handler(thief, rt.cfg.Costs.RecvCost(tk.argBytes, false), func() {
-				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true})
+				if rt.tr != nil {
+					// A parked thief receiving a fresh deposit is a grant
+					// with no preceding request; Dur is the ship latency.
+					rt.tr.Event(earth.Event{
+						Time: rt.eng.Now(), Node: thiefID, Peer: n.id,
+						Kind: earth.EvStealGrant, Dur: rt.eng.Now() - issue, Bytes: tk.argBytes,
+					})
+				}
+				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true,
+					enq: rt.eng.Now(), cause: earth.CauseSteal})
 			})
 		})
 		return cursor
 	}
+	tk.enq = cursor
 	n.tokens = append(n.tokens, tk)
 	rt.tokensInPools++
 	if !n.running {
@@ -307,8 +414,15 @@ func (rt *Runtime) trySteal(n *node) {
 		return
 	}
 	n.stealing = true
-	reqArrival := rt.send(rt.eng.Now()+rt.cfg.Costs.AsyncSend, n.id, victim.id, stealReqBytes)
-	rt.eng.At(reqArrival, func() { rt.serveSteal(victim, n) })
+	issue := rt.eng.Now() + rt.cfg.Costs.AsyncSend
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{
+			Time: issue, Node: n.id, Peer: victim.id,
+			Kind: earth.EvStealRequest, Bytes: stealReqBytes,
+		})
+	}
+	reqArrival := rt.send(issue, n.id, victim.id, stealReqBytes)
+	rt.eng.At(reqArrival, func() { rt.serveSteal(victim, n, issue) })
 }
 
 // pickVictim returns a random node with a non-empty token pool, or nil.
@@ -327,11 +441,18 @@ func (rt *Runtime) pickVictim(thief *node) *node {
 
 // serveSteal handles a steal request arriving at victim from thief: the
 // victim's oldest token (largest subtree, for tree-shaped workloads) is
-// shipped back; if the pool emptied in flight, the thief retries.
-func (rt *Runtime) serveSteal(victim, thief *node) {
+// shipped back; if the pool emptied in flight, the thief retries. issue is
+// the virtual time the thief sent the request (for round-trip tracing).
+func (rt *Runtime) serveSteal(victim, thief *node, issue sim.Time) {
 	rt.handler(victim, rt.cfg.Costs.AsyncRecv, func() {
 		thief.stealing = false
 		if len(victim.tokens) == 0 {
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{
+					Time: rt.eng.Now(), Node: thief.id, Peer: victim.id,
+					Kind: earth.EvStealMiss,
+				})
+			}
 			rt.trySteal(thief)
 			return
 		}
@@ -342,7 +463,14 @@ func (rt *Runtime) serveSteal(victim, thief *node) {
 		arrival := rt.send(rt.eng.Now()+rt.cfg.Costs.AsyncSend, victim.id, thief.id, tk.argBytes)
 		rt.eng.At(arrival, func() {
 			rt.handler(thief, rt.cfg.Costs.RecvCost(tk.argBytes, false), func() {
-				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true})
+				if rt.tr != nil {
+					rt.tr.Event(earth.Event{
+						Time: rt.eng.Now(), Node: thief.id, Peer: victim.id,
+						Kind: earth.EvStealGrant, Dur: rt.eng.Now() - issue, Bytes: tk.argBytes,
+					})
+				}
+				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true,
+					enq: rt.eng.Now(), cause: earth.CauseSteal})
 			})
 		})
 	})
@@ -387,20 +515,21 @@ func (c *ctx) Spawn(f *earth.Frame, thread int) {
 		panic(fmt.Sprintf("simrt: Spawn of frame on node %d from node %d; use Invoke or Sync", f.Home, c.n.id))
 	}
 	c.cursor += c.rt.cfg.Costs.SpawnLocal
-	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread)})
+	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread), enq: c.cursor, cause: earth.CauseSpawn})
 }
 
 func (c *ctx) Sync(f *earth.Frame, slot int) {
 	c.check()
 	if f.Home == c.n.id {
 		c.cursor += c.rt.cfg.Costs.SpawnLocal
-		c.rt.decSlot(c.n, f, slot)
+		c.rt.decSlot(c.n, c.n.id, c.cursor, f, slot)
 		return
 	}
 	c.cursor += c.rt.cfg.Costs.AsyncSend
 	arrival := c.rt.send(c.cursor, c.n.id, f.Home, 8)
 	rt := c.rt
-	rt.eng.At(arrival, func() { rt.deliverSync(f, slot) })
+	from := c.n.id
+	rt.eng.At(arrival, func() { rt.deliverSync(from, f, slot) })
 }
 
 func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, slot int) {
@@ -416,17 +545,27 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 		return
 	}
 	c.cursor += rt.cfg.Costs.SendCost(nbytes, false)
-	arrival := rt.send(c.cursor, c.n.id, owner, nbytes)
+	issue := c.cursor
+	src := c.n.id
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: owner,
+			Kind: earth.EvPutSend, Bytes: nbytes})
+	}
+	arrival := rt.send(c.cursor, src, owner, nbytes)
 	dst := rt.nodes[owner]
 	rt.eng.At(arrival, func() {
 		rt.handler(dst, rt.cfg.Costs.RecvCost(nbytes, false), func() {
 			write()
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: owner, Peer: src,
+					Kind: earth.EvPutDeliver, Bytes: nbytes, Dur: rt.eng.Now() - issue})
+			}
 			if f != nil {
 				if f.Home == owner {
-					rt.decSlot(dst, f, slot)
+					rt.decSlot(dst, owner, rt.eng.Now(), f, slot)
 				} else {
 					arr2 := rt.send(rt.eng.Now(), owner, f.Home, 8)
-					rt.eng.At(arr2, func() { rt.deliverSync(f, slot) })
+					rt.eng.At(arr2, func() { rt.deliverSync(owner, f, slot) })
 				}
 			}
 		})
@@ -448,6 +587,11 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 	}
 	// Request leg: small message, sender pays the synchronous overhead.
 	c.cursor += rt.cfg.Costs.SendCost(0, true)
+	issue := c.cursor
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: issue, Node: src.id, Peer: owner,
+			Kind: earth.EvGetSend, Bytes: nbytes})
+	}
 	reqArrival := rt.send(c.cursor, c.n.id, owner, 8)
 	dst := rt.nodes[owner]
 	rt.eng.At(reqArrival, func() {
@@ -458,12 +602,16 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 			rt.eng.At(respArrival, func() {
 				rt.handler(src, rt.cfg.Costs.RecvCost(nbytes, false), func() {
 					deliver()
+					if rt.tr != nil {
+						rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: src.id, Peer: owner,
+							Kind: earth.EvGetDeliver, Bytes: nbytes, Dur: rt.eng.Now() - issue})
+					}
 					if f != nil {
 						if f.Home == src.id {
-							rt.decSlot(src, f, slot)
+							rt.decSlot(src, owner, rt.eng.Now(), f, slot)
 						} else {
 							arr2 := rt.send(rt.eng.Now(), src.id, f.Home, 8)
-							rt.eng.At(arr2, func() { rt.deliverSync(f, slot) })
+							rt.eng.At(arr2, func() { rt.deliverSync(src.id, f, slot) })
 						}
 					}
 				})
@@ -477,14 +625,25 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 	rt := c.rt
 	if nodeID == c.n.id {
 		c.cursor += rt.cfg.Costs.SpawnLocal
-		rt.enqueue(c.n, item{body: body})
+		rt.enqueue(c.n, item{body: body, enq: c.cursor, cause: earth.CauseInvoke})
 		return
 	}
 	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
-	arrival := rt.send(c.cursor, c.n.id, nodeID, argBytes)
+	issue := c.cursor
+	src := c.n.id
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: nodeID,
+			Kind: earth.EvInvokeSend, Bytes: argBytes})
+	}
+	arrival := rt.send(c.cursor, src, nodeID, argBytes)
 	dst := rt.nodes[nodeID]
 	rt.eng.At(arrival, func() {
-		rt.enqueue(dst, item{body: body, recvCost: rt.cfg.Costs.RecvCost(argBytes, false)})
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: nodeID, Peer: src,
+				Kind: earth.EvInvokeDeliver, Bytes: argBytes, Dur: rt.eng.Now() - issue})
+		}
+		rt.enqueue(dst, item{body: body, recvCost: rt.cfg.Costs.RecvCost(argBytes, false),
+			enq: rt.eng.Now(), cause: earth.CauseInvoke})
 	})
 }
 
@@ -506,6 +665,10 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 		return
 	}
 	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: nodeID,
+			Kind: earth.EvPostSend, Bytes: argBytes})
+	}
 	arrival := rt.send(c.cursor, c.n.id, nodeID, argBytes)
 	dst := rt.nodes[nodeID]
 	rt.eng.At(arrival, func() {
@@ -527,17 +690,30 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 		}
 		if target == c.n.id {
 			c.cursor += rt.cfg.Costs.SpawnLocal
-			rt.enqueue(c.n, item{body: body, token: true})
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: target,
+					Kind: earth.EvTokenSpawn, Bytes: argBytes})
+			}
+			rt.enqueue(c.n, item{body: body, token: true, enq: c.cursor, cause: earth.CauseToken})
 			return
 		}
 		c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: target,
+				Kind: earth.EvTokenSpawn, Bytes: argBytes})
+		}
 		arrival := rt.send(c.cursor, c.n.id, target, argBytes)
 		dst := rt.nodes[target]
 		rt.eng.At(arrival, func() {
-			rt.enqueue(dst, item{body: body, token: true, recvCost: rt.cfg.Costs.RecvCost(argBytes, false)})
+			rt.enqueue(dst, item{body: body, token: true, recvCost: rt.cfg.Costs.RecvCost(argBytes, false),
+				enq: rt.eng.Now(), cause: earth.CauseToken})
 		})
 	default: // BalanceSteal, BalanceNone
 		c.cursor += rt.cfg.Costs.SpawnLocal
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: earth.NoPeer,
+				Kind: earth.EvTokenSpawn, Bytes: argBytes})
+		}
 		c.cursor = rt.depositToken(c.n, c.cursor, token{body: body, argBytes: argBytes})
 	}
 }

@@ -1,6 +1,7 @@
 package earth
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -76,16 +77,83 @@ func (s *Stats) TotalSteals() uint64 {
 	return n
 }
 
-// Utilization returns mean busy fraction across nodes in [0,1].
+// BusyFraction returns busy/elapsed clamped to [0,1]. The clamp matters
+// under simrt, where Synchronization-Unit/handler time runs concurrently
+// with the execution unit and a saturated node's Busy can exceed the
+// makespan; an unclamped fraction would let one such node push a mean
+// utilisation above 100%.
+func BusyFraction(busy, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	f := float64(busy) / float64(elapsed)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Utilization returns the mean per-node busy fraction in [0,1], each
+// node's fraction clamped by BusyFraction.
 func (s *Stats) Utilization() float64 {
 	if s.Elapsed <= 0 || len(s.Nodes) == 0 {
 		return 0
 	}
-	var busy sim.Time
+	var sum float64
 	for i := range s.Nodes {
-		busy += s.Nodes[i].Busy
+		sum += BusyFraction(s.Nodes[i].Busy, s.Elapsed)
 	}
-	return float64(busy) / (float64(s.Elapsed) * float64(len(s.Nodes)))
+	return sum / float64(len(s.Nodes))
+}
+
+// nodeStatsJSON is the wire form of NodeStats: explicit snake_case names
+// and an explicit _ns suffix on times, so exported artifacts stay
+// readable and diffable.
+type nodeStatsJSON struct {
+	BusyNS       sim.Time `json:"busy_ns"`
+	ThreadsRun   uint64   `json:"threads_run"`
+	TokensRun    uint64   `json:"tokens_run"`
+	TokensStolen uint64   `json:"tokens_stolen"`
+	MsgsSent     uint64   `json:"msgs_sent"`
+	BytesSent    uint64   `json:"bytes_sent"`
+	Syncs        uint64   `json:"syncs"`
+}
+
+// MarshalJSON exports the run summary machine-readably: per-node
+// counters plus the derived totals, for the harness and cmd tools to
+// write as diffable artifacts.
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	nodes := make([]nodeStatsJSON, len(s.Nodes))
+	for i, n := range s.Nodes {
+		nodes[i] = nodeStatsJSON{
+			BusyNS:       n.Busy,
+			ThreadsRun:   n.ThreadsRun,
+			TokensRun:    n.TokensRun,
+			TokensStolen: n.TokensStolen,
+			MsgsSent:     n.MsgsSent,
+			BytesSent:    n.BytesSent,
+			Syncs:        n.Syncs,
+		}
+	}
+	return json.Marshal(struct {
+		ElapsedNS   sim.Time        `json:"elapsed_ns"`
+		Events      uint64          `json:"events,omitempty"`
+		Utilization float64         `json:"utilization"`
+		Threads     uint64          `json:"threads"`
+		Msgs        uint64          `json:"msgs"`
+		Bytes       uint64          `json:"bytes"`
+		Steals      uint64          `json:"steals"`
+		Nodes       []nodeStatsJSON `json:"nodes"`
+	}{
+		ElapsedNS:   s.Elapsed,
+		Events:      s.Events,
+		Utilization: s.Utilization(),
+		Threads:     s.TotalThreads(),
+		Msgs:        s.TotalMsgs(),
+		Bytes:       s.TotalBytes(),
+		Steals:      s.TotalSteals(),
+		Nodes:       nodes,
+	})
 }
 
 // String renders a compact single-run summary.

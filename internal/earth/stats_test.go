@@ -1,6 +1,7 @@
 package earth
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -35,6 +36,66 @@ func TestStatsAggregates(t *testing.T) {
 		if !strings.Contains(s, w) {
 			t.Errorf("String missing %q: %s", w, s)
 		}
+	}
+}
+
+func TestStatsUtilizationClampsOverlappedNodes(t *testing.T) {
+	// Under simrt a node's Busy includes Synchronization-Unit/handler time
+	// that overlaps the execution unit, so per-node Busy can exceed the
+	// makespan. The mean must clamp each node's fraction at 1.0 rather
+	// than report a utilisation above 100%.
+	st := &Stats{
+		Elapsed: 10 * sim.Millisecond,
+		Nodes: []NodeStats{
+			{Busy: 25 * sim.Millisecond}, // SU/EU overlap: 2.5x the makespan
+			{Busy: 5 * sim.Millisecond},
+		},
+	}
+	if u := st.Utilization(); u != 0.75 {
+		t.Errorf("Utilization = %v, want 0.75 (clamped per node)", u)
+	}
+	if u := st.Utilization(); u > 1 {
+		t.Errorf("Utilization = %v exceeds 1.0", u)
+	}
+	if f := BusyFraction(25*sim.Millisecond, 10*sim.Millisecond); f != 1 {
+		t.Errorf("BusyFraction over-unity = %v, want 1", f)
+	}
+	if f := BusyFraction(5*sim.Millisecond, 10*sim.Millisecond); f != 0.5 {
+		t.Errorf("BusyFraction = %v, want 0.5", f)
+	}
+	if f := BusyFraction(1, 0); f != 0 {
+		t.Errorf("BusyFraction with zero elapsed = %v, want 0", f)
+	}
+}
+
+func TestStatsMarshalJSON(t *testing.T) {
+	st := &Stats{
+		Elapsed: 2 * sim.Millisecond,
+		Nodes: []NodeStats{
+			{Busy: sim.Millisecond, ThreadsRun: 3, MsgsSent: 2, BytesSent: 64, Syncs: 1},
+			{Busy: 2 * sim.Millisecond, ThreadsRun: 1, TokensRun: 1, TokensStolen: 1},
+		},
+		Events: 9,
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["elapsed_ns"].(float64) != 2e6 {
+		t.Errorf("elapsed_ns = %v", got["elapsed_ns"])
+	}
+	if got["utilization"].(float64) != 0.75 {
+		t.Errorf("utilization = %v, want 0.75", got["utilization"])
+	}
+	if got["threads"].(float64) != 4 || got["steals"].(float64) != 1 {
+		t.Errorf("totals wrong: %v", got)
+	}
+	if n := len(got["nodes"].([]any)); n != 2 {
+		t.Errorf("nodes = %d", n)
 	}
 }
 

@@ -2,6 +2,7 @@ package groebner
 
 import (
 	"fmt"
+	"sort"
 
 	"earth/internal/earth"
 	"earth/internal/poly"
@@ -599,8 +600,18 @@ func (st *parState) finishInsert(c earth.Ctx, w int, idx int, nf *poly.Poly) {
 }
 
 // dispatchWaiting restarts parked workers while pairs are available.
+// Workers wake in id order: map iteration order would leak into the
+// simulated schedule and break run-to-run reproducibility.
 func (st *parState) dispatchWaiting(c earth.Ctx) {
+	if len(st.waiting) == 0 {
+		return
+	}
+	ws := make([]int, 0, len(st.waiting))
 	for w := range st.waiting {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	for _, w := range ws {
 		if len(st.pool) == 0 {
 			return
 		}

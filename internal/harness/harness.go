@@ -62,16 +62,26 @@ func (c Config) WithDefaults() Config {
 
 // Report is one regenerated table or figure.
 type Report struct {
-	ID    string // "Table 1", "Figure 4", ...
-	Title string
+	ID    string `json:"id"` // "Table 1", "Figure 4", ...
+	Title string `json:"title"`
 	// Lines holds the formatted body (tables or series).
-	Lines []string
+	Lines []string `json:"lines,omitempty"`
 	// PaperVsMeasured holds one comparison line per headline quantity.
-	PaperVsMeasured []string
+	PaperVsMeasured []string `json:"paper_vs_measured,omitempty"`
+	// Series holds the numeric curves behind the figure, so plots can be
+	// regenerated from the JSON export without reparsing Lines.
+	Series []*stats.Series `json:"series,omitempty"`
 }
 
 func (r *Report) add(format string, args ...any) {
 	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// addFigure renders the series into the report body and attaches them
+// for the JSON export.
+func (r *Report) addFigure(ss ...*stats.Series) {
+	r.add("%s", stats.Format(ss...))
+	r.Series = append(r.Series, ss...)
 }
 
 func (r *Report) compare(quantity string, paper, measured any) {
@@ -156,7 +166,7 @@ func Figure2(cfg Config) (*Report, []*stats.Series) {
 		}
 		series = append(series, s)
 	}
-	r.add("%s", stats.Format(series...))
+	r.addFigure(series...)
 	b20, _ := series[0].At(maxOf(cfg.Nodes))
 	r.compare(fmt.Sprintf("speedup at %d nodes (close to ideal)", maxOf(cfg.Nodes)),
 		"~ideal (e.g. ~19/20)", fmt.Sprintf("%.1f", b20.Mean))
@@ -245,7 +255,7 @@ func Figure4(cfg Config) (*Report, []*stats.Series) {
 	for _, in := range groebner.PaperInputs() {
 		series = append(series, groebnerSweep(cfg, in, earth.EARTHCosts(), cfg.Runs))
 	}
-	r.add("%s", stats.Format(series...))
+	r.addFigure(series...)
 	paperPeaks := map[string]string{"Lazard": "~9 @ 11 nodes", "Katsura-4": "~12 @ 12 nodes", "Katsura-5": "~12.5 @ 14 nodes"}
 	for i, in := range groebner.PaperInputs() {
 		best, at := series[i].MaxMean()
@@ -268,7 +278,7 @@ func Figure5(cfg Config) (*Report, map[string][]*stats.Series) {
 			series = append(series, groebnerSweep(cfg, in, mdl, runs))
 		}
 		out[in.Name] = series
-		r.add("%s", stats.Format(series...))
+		r.addFigure(series...)
 		peakE, _ := series[0].MaxMean()
 		peakMP, _ := series[3].MaxMean()
 		r.compare(in.Name+" EARTH vs MP-1000us peak", "EARTH scales much better",
@@ -351,7 +361,7 @@ func Figure7(cfg Config) (*Report, []*stats.Series) {
 	for _, u := range []int{80, 200, 720} {
 		series = append(series, nnSweep(cfg, u, false))
 	}
-	r.add("%s", stats.Format(series...))
+	r.addFigure(series...)
 	if p, ok := series[0].At(16); ok {
 		r.compare("80 units @ 16 nodes", "~11", fmt.Sprintf("%.1f", p.Mean))
 	}
@@ -373,7 +383,7 @@ func Figure8(cfg Config) (*Report, []*stats.Series) {
 	for _, u := range []int{80, 200, 720} {
 		series = append(series, nnSweep(cfg, u, true))
 	}
-	r.add("%s", stats.Format(series...))
+	r.addFigure(series...)
 	if p, ok := series[0].At(16); ok {
 		r.compare("80 units @ 16 nodes", "~10", fmt.Sprintf("%.1f", p.Mean))
 	}
@@ -411,7 +421,7 @@ func AblationNNTree(cfg Config) *Report {
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()
-		r.add("%s", stats.Format(s))
+		r.addFigure(s)
 		r.compare(s.Name+" max speedup", map[bool]string{true: "12", false: "8"}[tree],
 			fmt.Sprintf("%.1f @ %d", best, at))
 	}
@@ -437,7 +447,7 @@ func AblationEigenPlacement(cfg Config) *Report {
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()
-		r.add("%s", stats.Format(s))
+		r.addFigure(s)
 		r.compare(s.Name+" max speedup", map[earth.Balancer]string{
 			earth.BalanceSteal:       "close to ideal",
 			earth.BalanceRandomPlace: "~8 on 20 (Multipol)",
@@ -485,7 +495,7 @@ func AblationGroebnerScheduling(cfg Config) *Report {
 			work.Add(float64(res.PairsProcessed))
 		}
 		best, at := s.MaxMean()
-		r.add("%s", stats.Format(s))
+		r.addFigure(s)
 		r.add("%s: mean pairs processed %.0f (sequential baseline %d)", v.name, work.Mean(), seq.Trace.PairsReduced)
 		r.compare(v.name+" peak speedup", "-", fmt.Sprintf("%.1f @ %d", best, at))
 	}
@@ -573,7 +583,7 @@ func AblationNNModes(cfg Config) *Report {
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()
-		r.add("%s", stats.Format(s))
+		r.addFigure(s)
 		r.compare(m.name+" peak speedup over "+fmt.Sprint(samples)+" samples", "-", fmt.Sprintf("%.1f @ %d", best, at))
 	}
 	r.compare("ordering (comm per update)", "sample > hybrid > unit", "see series above")
@@ -601,7 +611,7 @@ func AblationSearchApps(cfg Config) *Report {
 		sp.Add(baseT / float64(res.Stats.Elapsed))
 		sTSP.AddSample(nodes, &sp)
 	}
-	r.add("%s", stats.Format(sTSP))
+	r.addFigure(sTSP)
 
 	poly := &search.Polymer{Steps: 8}
 	sPoly := &stats.Series{Name: "polymer-8"}
@@ -617,7 +627,7 @@ func AblationSearchApps(cfg Config) *Report {
 		sp.Add(baseP / float64(res.Stats.Elapsed))
 		sPoly.AddSample(nodes, &sp)
 	}
-	r.add("%s", stats.Format(sPoly))
+	r.addFigure(sPoly)
 
 	bt, at := sTSP.MaxMean()
 	bp, ap := sPoly.MaxMean()
@@ -658,7 +668,7 @@ func AblationKnuthBendix(cfg Config) *Report {
 		sp.Add(float64(base) / float64(res.Stats.Elapsed))
 		s.AddSample(nodes, &sp)
 	}
-	r.add("%s", stats.Format(s))
+	r.addFigure(s)
 	r.add("sequential: %d pairs, %d rules added, %d rewrite steps",
 		tr.PairsProcessed, tr.RulesAdded, tr.RewriteSteps)
 	best, at := s.MaxMean()
@@ -705,7 +715,7 @@ func AblationPortedMachines(cfg Config) *Report {
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()
-		r.add("%s", stats.Format(s))
+		r.addFigure(s)
 		r.compare(m.name+" peak speedup", "-", fmt.Sprintf("%.1f @ %d", best, at))
 	}
 	r.compare("network sensitivity", "EARTH tolerates even small latencies", "grain >> network costs: near-identical curves")

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -129,5 +130,38 @@ func TestConfigDefaults(t *testing.T) {
 	c := Config{}.WithDefaults()
 	if c.Runs != 5 || len(c.Nodes) == 0 || c.Seed == 0 {
 		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestReportJSONExportCarriesSeries(t *testing.T) {
+	r, series := Figure2(quickCfg())
+	if len(r.Series) != len(series) {
+		t.Fatalf("report carries %d series, figure returned %d", len(r.Series), len(series))
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string `json:"id"`
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				Nodes int     `json:"nodes"`
+				Mean  float64 `json:"mean"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "Figure 2" || len(got.Series) != 2 {
+		t.Fatalf("JSON round trip lost data: %s", b)
+	}
+	if len(got.Series[0].Points) != 2 || got.Series[0].Points[0].Nodes != 2 {
+		t.Fatalf("points not exported: %s", b)
+	}
+	if got.Series[0].Points[1].Mean <= 1 {
+		t.Fatalf("mean speedup not exported: %s", b)
 	}
 }

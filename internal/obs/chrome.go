@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"earth/internal/earth"
+)
+
+// This file exports a recorded event stream in the Chrome trace-event
+// JSON format (the "JSON Object Format" with a traceEvents array), which
+// Perfetto and chrome://tracing open directly. The mapping:
+//
+//   - one lane per node: pid 0, tid = node id, named via metadata events;
+//   - thread and handler executions become complete ("X") events with
+//     their virtual/wall duration;
+//   - communication legs, sync signals, token spawns and steal protocol
+//     steps become instant ("i") events carrying peer/bytes/latency args;
+//   - utilisation samples become counter ("C") events, one counter per
+//     node.
+//
+// Under simrt the stream and therefore the serialised bytes are fully
+// deterministic for a given Config, so a committed trace doubles as a
+// simulator regression artifact.
+
+// chromeEvent is one entry of the traceEvents array. Field order is fixed
+// by the struct, map args are sorted by encoding/json: output bytes are a
+// pure function of the event stream.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usOf converts nanoseconds to the microsecond floats Chrome expects.
+func usOf(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ChromeTrace serialises events (in emission order) as a Chrome
+// trace-event JSON document.
+func ChromeTrace(events []earth.Event) ([]byte, error) {
+	nodes := 0
+	for _, e := range events {
+		if int(e.Node) >= nodes {
+			nodes = int(e.Node) + 1
+		}
+		if e.Peer != earth.NoPeer && int(e.Peer) >= nodes {
+			nodes = int(e.Peer) + 1
+		}
+	}
+	out := make([]chromeEvent, 0, len(events)+nodes+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "earth"},
+	})
+	for i := 0; i < nodes; i++ {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", i)},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{Ts: usOf(int64(e.Time)), Pid: 0, Tid: int(e.Node)}
+		args := map[string]any{}
+		if e.Peer != earth.NoPeer {
+			args["peer"] = int(e.Peer)
+		}
+		if e.Bytes > 0 {
+			args["bytes"] = e.Bytes
+		}
+		switch e.Kind {
+		case earth.EvThreadRun, earth.EvHandlerRun:
+			ce.Name = fmt.Sprintf("%s:%s", e.Kind, e.Cause)
+			ce.Ph = "X"
+			dur := usOf(int64(e.Dur))
+			ce.Dur = &dur
+			if e.Wait > 0 {
+				args["wait_ns"] = int64(e.Wait)
+			}
+		case earth.EvUtilSample:
+			ce.Name = fmt.Sprintf("util[n%d]", int(e.Node))
+			ce.Ph = "C"
+			ce.Tid = 0
+			delete(args, "peer")
+			args["busy_ns"] = int64(e.Dur)
+		default:
+			ce.Name = e.Kind.String()
+			ce.Ph = "i"
+			ce.S = "t"
+			if e.Dur > 0 {
+				args["latency_ns"] = int64(e.Dur)
+			}
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+	return json.Marshal(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTrace writes the recorded stream as a Chrome trace-event
+// JSON document, ready for Perfetto / chrome://tracing.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	b, err := ChromeTrace(r.Events())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	if err == nil {
+		_, err = w.Write([]byte("\n"))
+	}
+	return err
+}

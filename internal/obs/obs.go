@@ -1,0 +1,91 @@
+// Package obs consumes the event stream both EARTH engines emit through
+// earth.Config.Tracer and turns it into artifacts:
+//
+//   - Recorder keeps the raw events and exports them as a Chrome
+//     trace-event JSON file (chrome.go), so any run opens in Perfetto or
+//     chrome://tracing with one lane per node;
+//   - Metrics aggregates per-operation latency/size histograms (thread
+//     run length, dispatch delay, message round trips, steal round trips)
+//     and the built-in utilisation samples, with a text renderer and a
+//     JSON export (metrics.go, hist.go).
+//
+// All consumers are safe for concurrent use, as livert emits events from
+// every node's executor goroutine; under simrt the stream is
+// deterministic, which makes exported traces byte-identical across runs
+// with the same Config and doubles as a simulator regression check.
+package obs
+
+import (
+	"sync"
+
+	"earth/internal/earth"
+)
+
+// Recorder is a Tracer that retains the full event stream in memory.
+type Recorder struct {
+	mu     sync.Mutex
+	events []earth.Event
+}
+
+var _ earth.Tracer = (*Recorder)(nil)
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Event appends e to the stream.
+func (r *Recorder) Event(e earth.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded stream in emission order.
+func (r *Recorder) Events() []earth.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]earth.Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// multi fans one event stream out to several tracers.
+type multi []earth.Tracer
+
+func (m multi) Event(e earth.Event) {
+	for _, t := range m {
+		t.Event(e)
+	}
+}
+
+// Multi combines tracers into one; nil entries are dropped. It returns
+// nil when nothing remains (so the engines keep their fast path) and the
+// tracer itself when only one remains.
+func Multi(tracers ...earth.Tracer) earth.Tracer {
+	var m multi
+	for _, t := range tracers {
+		if t != nil {
+			m = append(m, t)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}

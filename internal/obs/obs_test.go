@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/earth/simrt"
+	"earth/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// traceWorkload exercises every traced operation: tokens (with steals
+// under the steal balancer), Put with sync completion, Invoke, a remote
+// Get, a Post handler and modelled compute.
+func traceWorkload(c earth.Ctx) {
+	f := earth.NewFrame(0, 1, 1)
+	f.InitSync(0, 4, 0, 0)
+	f.SetThread(0, func(c earth.Ctx) {})
+	for i := 0; i < 4; i++ {
+		c.Token(16, func(c earth.Ctx) {
+			earth.ComputeUS(c, 50)
+			c.Put(0, 8, func() {}, f, 0)
+		})
+	}
+	c.Invoke(1, 8, func(c earth.Ctx) {
+		src := new(float64)
+		*src = 2.5
+		var v float64
+		earth.GetSyncF64(c, 2, src, &v, nil, 0)
+	})
+	c.Post(2, 8, func(c earth.Ctx) { earth.ComputeUS(c, 5) })
+}
+
+func runTracedSim(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	rt := simrt.New(earth.Config{
+		Nodes: 3, Seed: 1, Tracer: rec,
+		UtilSamplePeriod: 20 * sim.Microsecond,
+	})
+	rt.Run(traceWorkload)
+	return rec
+}
+
+func TestRecorderCollectsAllOpKinds(t *testing.T) {
+	rec := runTracedSim(t)
+	seen := map[earth.EventKind]int{}
+	for _, e := range rec.Events() {
+		seen[e.Kind]++
+	}
+	for _, k := range []earth.EventKind{
+		earth.EvThreadRun, earth.EvHandlerRun, earth.EvSyncSignal,
+		earth.EvGetSend, earth.EvGetDeliver, earth.EvPutSend, earth.EvPutDeliver,
+		earth.EvInvokeSend, earth.EvInvokeDeliver, earth.EvPostSend,
+		earth.EvTokenSpawn, earth.EvStealGrant, earth.EvUtilSample,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("no %v events recorded (saw %v)", k, seen)
+		}
+	}
+}
+
+func TestTracerDoesNotPerturbSimulation(t *testing.T) {
+	// The traced run must produce exactly the stats of an untraced run:
+	// installing a tracer may not change scheduling, timing or counters.
+	plain := simrt.New(earth.Config{Nodes: 3, Seed: 1})
+	stPlain := plain.Run(traceWorkload)
+	rec := NewRecorder()
+	traced := simrt.New(earth.Config{
+		Nodes: 3, Seed: 1, Tracer: rec, UtilSamplePeriod: 20 * sim.Microsecond,
+	})
+	stTraced := traced.Run(traceWorkload)
+	if stPlain.Elapsed != stTraced.Elapsed {
+		t.Errorf("elapsed diverged: plain %v traced %v", stPlain.Elapsed, stTraced.Elapsed)
+	}
+	if stPlain.Events != stTraced.Events {
+		t.Errorf("event count diverged: plain %d traced %d", stPlain.Events, stTraced.Events)
+	}
+	for i := range stPlain.Nodes {
+		if stPlain.Nodes[i] != stTraced.Nodes[i] {
+			t.Errorf("node %d stats diverged:\nplain  %+v\ntraced %+v",
+				i, stPlain.Nodes[i], stTraced.Nodes[i])
+		}
+	}
+}
+
+func TestChromeTraceDeterministicAndGolden(t *testing.T) {
+	a, err := ChromeTrace(runTracedSim(t).Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChromeTrace(runTracedSim(t).Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical seeds produced different Chrome traces")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	lanes := map[float64]bool{}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if tid, ok := e["tid"].(float64); ok {
+			lanes[tid] = true
+		}
+		names[e["name"].(string)] = true
+	}
+	for _, lane := range []float64{0, 1, 2} {
+		if !lanes[lane] {
+			t.Errorf("missing lane for node %v", lane)
+		}
+	}
+	for _, want := range []string{"thread:token", "put.send", "get.deliver", "steal.grant"} {
+		if !names[want] {
+			t.Errorf("missing named op event %q", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Errorf("Chrome trace deviates from golden file; if the simulator's "+
+			"schedule changed intentionally, regenerate with -update\n got %d bytes, want %d",
+			len(a), len(want))
+	}
+}
+
+func TestLivertTracerRaceFree(t *testing.T) {
+	// All executors emit concurrently into one Metrics + Recorder fan-out;
+	// run under -race (CI does) to prove the hooks are data-race free.
+	met := NewMetrics()
+	rec := NewRecorder()
+	rt := livert.New(earth.Config{Nodes: 4, Seed: 2, Tracer: Multi(met, rec)})
+	total := 0
+	var mu sync.Mutex
+	var split func(c earth.Ctx, lo, hi int)
+	split = func(c earth.Ctx, lo, hi int) {
+		if hi-lo <= 2 {
+			s := 0
+			for v := lo; v < hi; v++ {
+				s += v
+			}
+			// Hop through a guaranteed-remote node so send/deliver events
+			// are emitted concurrently from every executor; tokens may or
+			// may not be stolen, but these legs always cross nodes.
+			c.Invoke(earth.NodeID(1+lo%3), 8, func(c earth.Ctx) {
+				c.Put(0, 8, func() { mu.Lock(); total += s; mu.Unlock() }, nil, 0)
+			})
+			return
+		}
+		mid := (lo + hi) / 2
+		c.Token(16, func(c earth.Ctx) { split(c, lo, mid) })
+		c.Token(16, func(c earth.Ctx) { split(c, mid, hi) })
+	}
+	rt.Run(func(c earth.Ctx) { split(c, 1, 65) })
+	if total != 64*65/2 {
+		t.Fatalf("sum = %d, want %d", total, 64*65/2)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no events recorded from livert")
+	}
+	out := met.Render()
+	for _, want := range []string{"thread.run", "put.latency", "counts:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	m.Event(earth.Event{Kind: earth.EvThreadRun, Node: 0, Dur: 1000, Wait: 500, Cause: earth.CauseSync})
+	m.Event(earth.Event{Kind: earth.EvThreadRun, Node: 1, Dur: 3000, Wait: 100, Cause: earth.CauseSpawn})
+	m.Event(earth.Event{Kind: earth.EvGetDeliver, Node: 0, Peer: 1, Dur: 8000, Bytes: 64})
+	m.Event(earth.Event{Kind: earth.EvPutSend, Node: 0, Peer: 1, Bytes: 256})
+	m.Event(earth.Event{Kind: earth.EvUtilSample, Node: 0, Time: 1000, Dur: 700})
+	m.Event(earth.Event{Kind: earth.EvUtilSample, Node: 1, Time: 1000, Dur: 2000}) // clamped
+	m.Event(earth.Event{Kind: earth.EvUtilSample, Node: 0, Time: 2000, Dur: 0})
+	m.Event(earth.Event{Kind: earth.EvUtilSample, Node: 1, Time: 2000, Dur: 300})
+
+	if n := m.threadRun.N(); n != 2 {
+		t.Errorf("threadRun n = %d", n)
+	}
+	if n := m.syncDispatch.N(); n != 1 {
+		t.Errorf("syncDispatch n = %d (only CauseSync threads count)", n)
+	}
+	if n := m.getRTT.N(); n != 1 || m.getRTT.Max() != 8000 {
+		t.Errorf("getRTT n=%d max=%d", n, m.getRTT.Max())
+	}
+	if n := m.msgBytes.N(); n != 1 || m.msgBytes.Max() != 256 {
+		t.Errorf("msgBytes n=%d max=%d", n, m.msgBytes.Max())
+	}
+	period, wins := m.utilWindows()
+	if period != 1000 || len(wins) != 2 {
+		t.Fatalf("utilWindows = %v, %v", period, wins)
+	}
+	if wins[0] != (0.7+1.0)/2 { // second node clamped at 1.0
+		t.Errorf("window 0 = %v, want 0.85", wins[0])
+	}
+	if wins[1] != 0.15 {
+		t.Errorf("window 1 = %v, want 0.15", wins[1])
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["counts"].(map[string]any)["thread"].(float64) != 2 {
+		t.Errorf("JSON counts wrong: %s", b)
+	}
+	if len(got["histograms"].([]any)) == 0 {
+		t.Errorf("JSON histograms empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram{Name: "x", Unit: "ns"}
+	if out := h.Render(); !strings.Contains(out, "n=0") {
+		t.Errorf("empty render: %s", out)
+	}
+	for _, v := range []int64{1, 2, 3, 4, 100, 1000, 1000, 1 << 20} {
+		h.Add(v)
+	}
+	if h.N() != 8 || h.Min() != 1 || h.Max() != 1<<20 {
+		t.Errorf("n=%d min=%d max=%d", h.N(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(0); q < 1 || q > 2 {
+		t.Errorf("p0 = %d", q)
+	}
+	if q := h.Quantile(1); q > 1<<20 || q < 1<<19 {
+		t.Errorf("p100 = %d", q)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 100 {
+		t.Errorf("p50 = %d outside plausible bucket", p50)
+	}
+	out := h.Render()
+	if !strings.Contains(out, "|") || !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+	// Zero and negative values land in bucket 0 without panicking.
+	h.Add(0)
+	h.Add(-5)
+	if h.Min() != -5 {
+		t.Errorf("min after negative = %d", h.Min())
+	}
+}
+
+func TestMultiFanOutAndNilDropping(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of nothing must be nil (keeps engine fast path)")
+	}
+	a, b := NewRecorder(), NewRecorder()
+	if got := Multi(a, nil); got != a {
+		t.Error("Multi of one tracer should return it directly")
+	}
+	m := Multi(a, b)
+	m.Event(earth.Event{Kind: earth.EvThreadRun})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fan-out failed: %d, %d", a.Len(), b.Len())
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}

@@ -105,18 +105,18 @@ func (s *Sample) Spread() float64 {
 // Point is one x-position of a figure series: a node count with the
 // mean/min/max statistic of the measured speedups.
 type Point struct {
-	Nodes int
-	Mean  float64
-	Min   float64
-	Max   float64
-	Runs  int
+	Nodes int     `json:"nodes"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Runs  int     `json:"runs"`
 }
 
 // Series is a named curve in a figure: speedup (or runtime) against node
 // count, with per-point spread.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // AddSample appends a point computed from a sample of speedups at the

@@ -23,13 +23,9 @@ func RenderStats(st *earth.Stats) string {
 	fmt.Fprintf(&b, "elapsed %v over %d nodes, utilisation %.0f%%\n",
 		st.Elapsed, len(st.Nodes), 100*st.Utilization())
 	for i, n := range st.Nodes {
-		frac := 0.0
-		if st.Elapsed > 0 {
-			frac = float64(n.Busy) / float64(st.Elapsed)
-		}
-		if frac > 1 {
-			frac = 1 // handler-path (SU) time can exceed the EU window
-		}
+		// handler-path (SU) time can exceed the EU window; the shared
+		// helper clamps the fraction.
+		frac := earth.BusyFraction(n.Busy, st.Elapsed)
 		fill := int(frac*BarWidth + 0.5)
 		bar := strings.Repeat("#", fill) + strings.Repeat(".", BarWidth-fill)
 		fmt.Fprintf(&b, "node %2d |%s| busy %6.1f%%  threads %6d  msgs %6d  steals %4d\n",
