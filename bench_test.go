@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"earth/internal/earth"
@@ -33,6 +34,7 @@ func benchCfg() harness.Config {
 // --- Table 1: Eigenvalue workload characteristics -------------------------
 
 func BenchmarkTable1Eigen(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.Table1(benchCfg())
 		if len(r.PaperVsMeasured) == 0 {
@@ -44,6 +46,7 @@ func BenchmarkTable1Eigen(b *testing.B) {
 // --- Figure 2: Eigenvalue speedups ----------------------------------------
 
 func BenchmarkFigure2EigenSpeedups(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, series := harness.Figure2(benchCfg())
 		if len(series) != 2 {
@@ -55,6 +58,7 @@ func BenchmarkFigure2EigenSpeedups(b *testing.B) {
 // --- Table 2: Gröbner workload characteristics ----------------------------
 
 func BenchmarkTable2Groebner(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.Table2(benchCfg())
 		if len(r.Lines) == 0 {
@@ -67,6 +71,7 @@ func BenchmarkTable2Groebner(b *testing.B) {
 
 func BenchmarkFigure4GroebnerSpeedups(b *testing.B) {
 	cfg := benchCfg()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, series := harness.Figure4(cfg)
 		if len(series) != 3 {
@@ -75,11 +80,32 @@ func BenchmarkFigure4GroebnerSpeedups(b *testing.B) {
 	}
 }
 
+// benchmarkFigure4Workers pins the host-parallel sweep: same cells, same
+// deterministic aggregation, different pool size.
+func benchmarkFigure4Workers(b *testing.B, workers int) {
+	cfg := benchCfg()
+	cfg.Workers = workers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, series := harness.Figure4(cfg)
+		if len(series) != 3 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkHarnessFigure4Workers1(b *testing.B) { benchmarkFigure4Workers(b, 1) }
+
+func BenchmarkHarnessFigure4WorkersN(b *testing.B) {
+	benchmarkFigure4Workers(b, runtime.GOMAXPROCS(0))
+}
+
 // --- Figure 5: Gröbner under message-passing costs -------------------------
 
 func BenchmarkFigure5GroebnerMPComparison(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Nodes = []int{4, 8} // 4 cost models x inputs: keep it bench-sized
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, out := harness.Figure5(cfg)
 		if len(out) != 3 {
@@ -91,6 +117,7 @@ func BenchmarkFigure5GroebnerMPComparison(b *testing.B) {
 // --- Table 3: NN forward-pass characteristics ------------------------------
 
 func BenchmarkTable3Neural(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.Table3(benchCfg())
 		if len(r.Lines) != 3 {
@@ -102,6 +129,7 @@ func BenchmarkTable3Neural(b *testing.B) {
 // --- Figures 7 and 8: NN speedups ------------------------------------------
 
 func BenchmarkFigure7NeuralForward(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, series := harness.Figure7(benchCfg())
 		if len(series) != 3 {
@@ -111,6 +139,7 @@ func BenchmarkFigure7NeuralForward(b *testing.B) {
 }
 
 func BenchmarkFigure8NeuralTraining(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, series := harness.Figure8(benchCfg())
 		if len(series) != 3 {
@@ -123,6 +152,7 @@ func BenchmarkFigure8NeuralTraining(b *testing.B) {
 
 func BenchmarkAblationNNTreeComm(b *testing.B) {
 	cfg := harness.Config{Runs: 1, Nodes: []int{8, 16}, Seed: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.AblationNNTree(cfg)
 	}
@@ -130,6 +160,7 @@ func BenchmarkAblationNNTreeComm(b *testing.B) {
 
 func BenchmarkAblationEigenPlacement(b *testing.B) {
 	cfg := harness.Config{Runs: 1, Nodes: []int{8}, Seed: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.AblationEigenPlacement(cfg)
 	}
@@ -137,6 +168,7 @@ func BenchmarkAblationEigenPlacement(b *testing.B) {
 
 func BenchmarkAblationGroebnerScheduling(b *testing.B) {
 	cfg := harness.Config{Runs: 1, Nodes: []int{8}, Seed: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.AblationGroebnerScheduling(cfg)
 	}
@@ -177,6 +209,7 @@ func BenchmarkNormalFormModular(b *testing.B) {
 func BenchmarkBuchbergerKatsura3(b *testing.B) {
 	r := groebner.KatsuraRing(3, poly.GrLex{}, 32003)
 	F := groebner.Katsura(3, r)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := groebner.Buchberger(F, groebner.Options{}); err != nil {
 			b.Fatal(err)
@@ -198,6 +231,7 @@ func BenchmarkNeuralForward200(b *testing.B) {
 
 func BenchmarkBisect200(b *testing.B) {
 	m := eigen.Clustered(200, 21, 1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eigen.Bisect(m, 1e-5)
 	}
@@ -205,6 +239,7 @@ func BenchmarkBisect200(b *testing.B) {
 
 func BenchmarkAblationNNModes(b *testing.B) {
 	cfg := harness.Config{Runs: 1, Nodes: []int{8}, Seed: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.AblationNNModes(cfg)
 	}
@@ -212,6 +247,7 @@ func BenchmarkAblationNNModes(b *testing.B) {
 
 func BenchmarkAblationSearchApps(b *testing.B) {
 	cfg := harness.Config{Runs: 1, Nodes: []int{8}, Seed: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.AblationSearchApps(cfg)
 	}
@@ -220,6 +256,7 @@ func BenchmarkAblationSearchApps(b *testing.B) {
 func BenchmarkSearchPolymerCount(b *testing.B) {
 	rt := simrt.New(earth.Config{Nodes: 8, Seed: 1})
 	p := &search.Polymer{Steps: 6}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := search.Count(rt, p, search.CountConfig{SpawnDepth: 2})
 		if res.Total != search.KnownSAW3D[5] {
@@ -231,6 +268,7 @@ func BenchmarkSearchPolymerCount(b *testing.B) {
 func BenchmarkSearchTSPBranchAndBound(b *testing.B) {
 	rt := simrt.New(earth.Config{Nodes: 8, Seed: 1})
 	tsp := search.RandomTSP(9, 5)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		search.BranchAndBound(rt, tsp, search.BBConfig{})
 	}
@@ -256,6 +294,7 @@ func BenchmarkNeuralSampleParallel(b *testing.B) {
 		xs[s] = make([]float32, 40)
 		ts[s] = make([]float32, 40)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rt := simrt.New(earth.Config{Nodes: 8, Seed: 1})
 		neural.SampleParallelTrain(rt, neural.Square(40, 1), xs, ts,
@@ -265,6 +304,7 @@ func BenchmarkNeuralSampleParallel(b *testing.B) {
 
 func BenchmarkAblationKnuthBendix(b *testing.B) {
 	cfg := harness.Config{Runs: 1, Nodes: []int{8}, Seed: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.AblationKnuthBendix(cfg)
 	}
@@ -275,6 +315,7 @@ func BenchmarkKnuthBendixCompleteS3(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := rewrite.Complete(sys, rewrite.Options{}); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document so benchmark baselines can be committed and diffed across PRs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH_1.json
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_2.json
+//
+// The output maps each benchmark name (with the -N GOMAXPROCS suffix
+// stripped) to its ns/op, and B/op and allocs/op when -benchmem was on.
+// Names are sorted, so regenerating with unchanged performance yields a
+// byte-identical file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo-4   123   456.7 ns/op   89 B/op   10 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		res := out[m[1]]
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(results) == 0 {
+		fail("no benchmark lines found (expected `go test -bench` output)")
+	}
+
+	// encoding/json sorts map keys, but build an ordered doc explicitly so
+	// the stable-output guarantee does not hinge on that detail.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		rec, err := json.Marshal(results[n])
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, rec)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out, err := parse(strings.NewReader(`
+goos: linux
+cpu: Intel(R) Xeon(R)
+BenchmarkSimEngineSchedule/depth=16-4   50000000   24.00 ns/op   0 B/op   0 allocs/op
+BenchmarkFigure4GroebnerSpeedups        2          812488592 ns/op
+PASS
+ok   earth 3.2s
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(out), out)
+	}
+	sched, ok := out["BenchmarkSimEngineSchedule/depth=16"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", out)
+	}
+	if sched.NsPerOp != 24 || sched.BPerOp != 0 || sched.AllocsPerOp != 0 {
+		t.Fatalf("bad record: %+v", sched)
+	}
+	if out["BenchmarkFigure4GroebnerSpeedups"].NsPerOp != 812488592 {
+		t.Fatalf("bad ns/op: %+v", out["BenchmarkFigure4GroebnerSpeedups"])
+	}
+}

@@ -7,7 +7,14 @@
 //	         [-seed S] [-input Lazard|Katsura-4|Katsura-5] [-units U] [-train]
 //	         [-balancer steal|random|roundrobin|none] [-distributed] [-live]
 //	         [-trace out.json] [-metrics] [-bars] [-stats-json out.json]
-//	         [-sample DUR]
+//	         [-sample DUR] [-runs N] [-workers W]
+//
+// With -runs N > 1 the simulation repeats on fresh runtimes seeded
+// seed, seed+7919, seed+2*7919, ... and reports the elapsed virtual
+// time's mean/min/max/spread. The runs are independent simulations, so
+// they evaluate on a host worker pool (-workers, default GOMAXPROCS);
+// the summary is deterministic regardless of pool size. The sweep mode
+// excludes -live and the observability sinks, which assume one run.
 //
 // Observability: -trace writes a Chrome trace-event JSON file (open it in
 // Perfetto or chrome://tracing), -metrics prints per-operation latency and
@@ -21,6 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"earth/internal/earth"
@@ -34,6 +44,7 @@ import (
 	"earth/internal/rewrite"
 	"earth/internal/search"
 	"earth/internal/sim"
+	"earth/internal/stats"
 	"earth/internal/trace"
 )
 
@@ -54,6 +65,9 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write run statistics (and metrics) as JSON")
 	sample := flag.Duration("sample", 500*time.Microsecond,
 		"utilisation sampling period under the simulator (0 disables)")
+	jitter := flag.Float64("jitter", 0, "percent of seeded jitter on modelled operation costs")
+	runs := flag.Int("runs", 1, "repeated seeded runs; > 1 reports elapsed mean/min/max")
+	workers := flag.Int("workers", 0, "host worker pool size for -runs > 1 (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var costs earth.CostModel
@@ -91,7 +105,7 @@ func main() {
 	if *showMetrics || *statsJSON != "" {
 		met = obs.NewMetrics()
 	}
-	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal}
+	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal, JitterPct: *jitter}
 	if rec != nil || met != nil {
 		// Multi drops the nil collector(s); with neither enabled the
 		// Tracer stays nil and the engines skip all event emission.
@@ -104,83 +118,101 @@ func main() {
 		}
 		cfg.UtilSamplePeriod = sim.Time(sample.Nanoseconds())
 	}
+	runApp := func(rt earth.Runtime, verbose bool) *earth.Stats {
+		logf := func(format string, args ...any) {
+			if verbose {
+				fmt.Printf(format, args...)
+			}
+		}
+		switch *app {
+		case "eigen":
+			m, tol := harness.EigenWorkload(*seed)
+			res := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol})
+			logf("eigenvalues=%d tasks=%d depth=[%d,%d]\n",
+				len(res.Eigenvalues), res.Tasks, res.MinDepth, res.MaxDepth)
+			return res.Stats
+		case "groebner":
+			in := groebner.InputByName(*input)
+			if in == nil {
+				fail("unknown input %q", *input)
+			}
+			seq, err := groebner.Buchberger(in.F, in.Opt)
+			if err != nil {
+				fail("sequential baseline: %v", err)
+			}
+			sc := groebner.Calibrate(seq.Trace, in.PaperSeqMS)
+			res, err := groebner.ParallelBuchberger(rt, in.F, groebner.ParallelConfig{
+				Opt: in.Opt, StepCost: sc, DistributedQueues: *distributed,
+			})
+			if err != nil {
+				fail("parallel run: %v", err)
+			}
+			base := groebner.SeqVirtualTime(seq.Trace, sc)
+			logf("basis=%d pairs=%d added=%d speedup=%.2f\n",
+				len(res.Basis.Polys), res.PairsProcessed, res.Added,
+				float64(base)/float64(res.Stats.Elapsed))
+			return res.Stats
+		case "nn":
+			xs := make([][]float32, 4)
+			ts := make([][]float32, 4)
+			for s := range xs {
+				xs[s] = make([]float32, *units)
+				ts[s] = make([]float32, *units)
+				for i := range xs[s] {
+					xs[s][i] = float32((i+s)%17) / 17
+					ts[s][i] = float32((i*3+s)%13) / 13
+				}
+			}
+			res := neural.ParallelRun(rt, neural.Square(*units, *seed), xs, ts,
+				neural.ParallelConfig{Train: *train, Tree: true, LR: 0.1})
+			logf("samples=%d per-sample=%v\n", len(res.Outputs),
+				res.Stats.Elapsed/sim.Time(len(res.Outputs)))
+			return res.Stats
+		case "kb":
+			sys, err := rewrite.NewSystem([][2]string{{"aa", ""}, {"bb", ""}, {"ababab", ""}})
+			if err != nil {
+				fail("%v", err)
+			}
+			res, err := rewrite.ParallelComplete(rt, sys, rewrite.ParallelConfig{})
+			if err != nil {
+				fail("%v", err)
+			}
+			logf("rules=%d pairs=%d added=%d conflicts=%d\n",
+				len(res.System.Rules), res.PairsProcessed, res.RulesAdded, res.Rejected)
+			return res.Stats
+		case "tsp":
+			tsp := search.RandomTSP(11, *seed)
+			res := search.BranchAndBound(rt, tsp, search.BBConfig{})
+			logf("optimum=%.4f expanded=%d improvements=%d\n",
+				res.Best, res.Expanded, res.Improvements)
+			return res.Stats
+		case "polymer":
+			res := search.Count(rt, &search.Polymer{Steps: 8}, search.CountConfig{SpawnDepth: 3})
+			logf("walks=%d visited=%d\n", res.Total, res.Visited)
+			return res.Stats
+		default:
+			fail("unknown app %q", *app)
+			return nil
+		}
+	}
+
+	if *runs > 1 {
+		// The repeated runs are independent simulations evaluated on a
+		// host worker pool; only the deterministic summary is printed.
+		if *live || *tracePath != "" || *showMetrics || *showBars || *statsJSON != "" {
+			fail("-runs > 1 excludes -live, -trace, -metrics, -bars and -stats-json")
+		}
+		sweepRuns(cfg, *runs, *workers, *seed, runApp)
+		return
+	}
+
 	var rt earth.Runtime
 	if *live {
 		rt = livert.New(cfg)
 	} else {
 		rt = simrt.New(cfg)
 	}
-
-	var st *earth.Stats
-	switch *app {
-	case "eigen":
-		m, tol := harness.EigenWorkload(*seed)
-		res := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol})
-		fmt.Printf("eigenvalues=%d tasks=%d depth=[%d,%d]\n",
-			len(res.Eigenvalues), res.Tasks, res.MinDepth, res.MaxDepth)
-		st = res.Stats
-	case "groebner":
-		in := groebner.InputByName(*input)
-		if in == nil {
-			fail("unknown input %q", *input)
-		}
-		seq, err := groebner.Buchberger(in.F, in.Opt)
-		if err != nil {
-			fail("sequential baseline: %v", err)
-		}
-		sc := groebner.Calibrate(seq.Trace, in.PaperSeqMS)
-		res, err := groebner.ParallelBuchberger(rt, in.F, groebner.ParallelConfig{
-			Opt: in.Opt, StepCost: sc, DistributedQueues: *distributed,
-		})
-		if err != nil {
-			fail("parallel run: %v", err)
-		}
-		base := groebner.SeqVirtualTime(seq.Trace, sc)
-		fmt.Printf("basis=%d pairs=%d added=%d speedup=%.2f\n",
-			len(res.Basis.Polys), res.PairsProcessed, res.Added,
-			float64(base)/float64(res.Stats.Elapsed))
-		st = res.Stats
-	case "nn":
-		xs := make([][]float32, 4)
-		ts := make([][]float32, 4)
-		for s := range xs {
-			xs[s] = make([]float32, *units)
-			ts[s] = make([]float32, *units)
-			for i := range xs[s] {
-				xs[s][i] = float32((i+s)%17) / 17
-				ts[s][i] = float32((i*3+s)%13) / 13
-			}
-		}
-		res := neural.ParallelRun(rt, neural.Square(*units, *seed), xs, ts,
-			neural.ParallelConfig{Train: *train, Tree: true, LR: 0.1})
-		fmt.Printf("samples=%d per-sample=%v\n", len(res.Outputs),
-			res.Stats.Elapsed/sim.Time(len(res.Outputs)))
-		st = res.Stats
-	case "kb":
-		sys, err := rewrite.NewSystem([][2]string{{"aa", ""}, {"bb", ""}, {"ababab", ""}})
-		if err != nil {
-			fail("%v", err)
-		}
-		res, err := rewrite.ParallelComplete(rt, sys, rewrite.ParallelConfig{})
-		if err != nil {
-			fail("%v", err)
-		}
-		fmt.Printf("rules=%d pairs=%d added=%d conflicts=%d\n",
-			len(res.System.Rules), res.PairsProcessed, res.RulesAdded, res.Rejected)
-		st = res.Stats
-	case "tsp":
-		tsp := search.RandomTSP(11, *seed)
-		res := search.BranchAndBound(rt, tsp, search.BBConfig{})
-		fmt.Printf("optimum=%.4f expanded=%d improvements=%d\n",
-			res.Best, res.Expanded, res.Improvements)
-		st = res.Stats
-	case "polymer":
-		res := search.Count(rt, &search.Polymer{Steps: 8}, search.CountConfig{SpawnDepth: 3})
-		fmt.Printf("walks=%d visited=%d\n", res.Total, res.Visited)
-		st = res.Stats
-	default:
-		fail("unknown app %q", *app)
-	}
+	st := runApp(rt, true)
 
 	fmt.Println(st)
 	if *showBars {
@@ -219,6 +251,43 @@ func main() {
 			fail("%v", err)
 		}
 	}
+}
+
+// sweepRuns repeats the application on fresh runtimes with per-run seeds
+// on a bounded worker pool and prints the elapsed-time summary. Results
+// land in per-run slots, so the summary does not depend on pool size.
+func sweepRuns(cfg earth.Config, runs, workers int, seed int64, runApp func(earth.Runtime, bool) *earth.Stats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	elapsed := make([]sim.Time, runs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= runs {
+					return
+				}
+				c := cfg
+				c.Seed = seed + int64(i)*7919
+				elapsed[i] = runApp(simrt.New(c), false).Elapsed
+			}
+		}()
+	}
+	wg.Wait()
+	var sp stats.Sample
+	for _, e := range elapsed {
+		sp.Add(float64(e))
+	}
+	fmt.Printf("runs=%d elapsed mean=%v min=%v max=%v spread=%.2fx\n",
+		runs, sim.Time(sp.Mean()), sim.Time(sp.Min()), sim.Time(sp.Max()), sp.Spread())
 }
 
 func fail(format string, args ...any) {

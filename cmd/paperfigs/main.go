@@ -4,10 +4,14 @@
 // Usage:
 //
 //	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations]
-//	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-json out.json]
+//	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-workers W]
+//	          [-json out.json]
 //
 // The paper used 20 runs per Gröbner configuration; -runs 20 reproduces
 // that (slower). The default of 5 gives stable means in seconds.
+// Sweeps decompose into independent simulation cells evaluated on a
+// host worker pool (-workers, default GOMAXPROCS); the output is
+// byte-identical to -workers 1 for the same seed.
 // -json additionally writes the reports — including the numeric series
 // behind each figure — as machine-readable JSON, so plots can be
 // regenerated without reparsing the text output.
@@ -29,10 +33,11 @@ func main() {
 	runs := flag.Int("runs", 5, "repeated runs per Gröbner configuration")
 	nodes := flag.String("nodes", "", "comma-separated node counts (default paper sweep)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "host worker pool size for sweep cells (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write reports (with figure series) as JSON")
 	flag.Parse()
 
-	cfg := harness.Config{Runs: *runs, Seed: *seed}
+	cfg := harness.Config{Runs: *runs, Seed: *seed, Workers: *workers}
 	if *nodes != "" {
 		for _, part := range strings.Split(*nodes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

@@ -21,6 +21,14 @@
 // Config.Tracer installed, the engine additionally emits one earth.Event
 // per runtime action, in deterministic order, timestamped in virtual time;
 // without one, every emission site is a single nil check.
+//
+// The implementation is tuned to minimise host-side allocation on the
+// per-event hot path: every in-flight runtime message (sync signals,
+// invoke/token arrivals, posts, put/get legs and the steal protocol) is a
+// pooled envelope whose fire closure is allocated once and recycled, node
+// ready queues and token pools are ring buffers popped in O(1), thread
+// contexts are reused, and each node's dispatch continuation is a single
+// cached closure.
 package simrt
 
 import (
@@ -49,6 +57,49 @@ type item struct {
 	stolen   bool        // token obtained from another node
 }
 
+// itemQueue is a FIFO ring buffer of dispatchable work. Pops are O(1) and
+// popped slots are zeroed so finished thread bodies are not kept alive by
+// the backing array. The buffer length is always a power of two.
+type itemQueue struct {
+	buf  []item
+	head int
+	n    int
+}
+
+func (q *itemQueue) len() int { return q.n }
+
+func (q *itemQueue) push(it item) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = it
+	q.n++
+}
+
+func (q *itemQueue) pop() item {
+	it := q.buf[q.head]
+	q.buf[q.head] = item{}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return it
+}
+
+func (q *itemQueue) grow() {
+	nb := make([]item, max(16, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+func (q *itemQueue) reset() {
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&(len(q.buf)-1)] = item{}
+	}
+	q.head, q.n = 0, 0
+}
+
 // token is a load-balanced invocation waiting in a node's pool.
 type token struct {
 	body     earth.ThreadBody
@@ -56,12 +107,64 @@ type token struct {
 	enq      sim.Time // deposit time
 }
 
+// tokenDeque is the node's token pool: a ring-buffer deque popped from the
+// back for local execution (newest-first, depth-first on task trees) and
+// from the front for steals (oldest-first, largest subtree). Both pops are
+// O(1); the buffer length is always a power of two.
+type tokenDeque struct {
+	buf  []token
+	head int
+	n    int
+}
+
+func (q *tokenDeque) len() int { return q.n }
+
+func (q *tokenDeque) push(tk token) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = tk
+	q.n++
+}
+
+func (q *tokenDeque) popFront() token {
+	tk := q.buf[q.head]
+	q.buf[q.head] = token{}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return tk
+}
+
+func (q *tokenDeque) popBack() token {
+	i := (q.head + q.n - 1) & (len(q.buf) - 1)
+	tk := q.buf[i]
+	q.buf[i] = token{}
+	q.n--
+	return tk
+}
+
+func (q *tokenDeque) grow() {
+	nb := make([]token, max(16, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+func (q *tokenDeque) reset() {
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&(len(q.buf)-1)] = token{}
+	}
+	q.head, q.n = 0, 0
+}
+
 // node is the simulated per-node state.
 type node struct {
 	id      earth.NodeID
-	ready   []item  // FIFO ready queue of threads
-	tokens  []token // local token pool (LIFO for local execution, FIFO for steals)
-	running bool    // a dispatch chain is active
+	ready   itemQueue  // FIFO ready queue of threads
+	tokens  tokenDeque // local token pool (LIFO for local execution, FIFO for steals)
+	running bool       // a dispatch chain is active
 	// cpuDebt accumulates receiver-side costs that must delay the next
 	// dispatch when the cost model consumes the processor on receive.
 	cpuDebt  sim.Time
@@ -72,10 +175,74 @@ type node struct {
 	// spans records busy intervals for utilisation sampling; only
 	// maintained while runSampled drives the loop.
 	spans []span
+	// dispatchFn is the node's dispatch continuation, allocated once and
+	// reused for every reschedule of the dispatch chain.
+	dispatchFn func()
+	// freeCtx caches the most recently retired thread context for reuse,
+	// so steady-state dispatching does not allocate.
+	freeCtx *ctx
+}
+
+// getCtx returns a reset thread context, reusing the node's retired one
+// when available.
+func (n *node) getCtx(rt *Runtime, cursor sim.Time) *ctx {
+	c := n.freeCtx
+	if c == nil {
+		c = &ctx{}
+	}
+	n.freeCtx = nil
+	*c = ctx{rt: rt, n: n, cursor: cursor}
+	return c
+}
+
+// putCtx retires a context after its body returned.
+func (n *node) putCtx(c *ctx) {
+	c.dead = true
+	n.freeCtx = c
 }
 
 // span is one busy interval of a node in virtual time.
 type span struct{ start, end sim.Time }
+
+// msgKind discriminates the pooled message envelopes.
+type msgKind uint8
+
+const (
+	msgSync       msgKind = iota // remote sync-slot decrement
+	msgThread                    // invoke or placed-token arrival: enqueue a thread
+	msgPost                      // handler-path delivery
+	msgPut                       // remote put payload arrival
+	msgGetReq                    // get request leg arriving at the owner
+	msgGetResp                   // get response leg arriving back at the requester
+	msgStealReq                  // steal request arriving at the victim
+	msgStealGrant                // stolen/deposited token arriving at the thief
+)
+
+// msg is a pooled in-flight runtime message. Every remote leg the engine
+// schedules is one envelope drawn from the runtime's free list; the fire
+// closure is allocated once per envelope and survives recycling, so
+// steady-state message traffic schedules simulator events without
+// allocating (beyond the application-level bodies the caller created).
+// Envelopes with a receiver-side cost fire in two stages: stage 0 charges
+// the cost at arrival and reschedules itself; stage 1 applies the effect.
+type msg struct {
+	rt       *Runtime
+	kind     msgKind
+	stage    uint8
+	from     earth.NodeID
+	to       earth.NodeID
+	f        *earth.Frame
+	slot     int
+	body     earth.ThreadBody
+	read     func() func()
+	write    func()
+	deliver  func()
+	recvCost sim.Time
+	issue    sim.Time
+	bytes    int
+	cause    earth.Cause
+	fire     func()
+}
 
 // Runtime is a simulated EARTH machine.
 type Runtime struct {
@@ -92,6 +259,10 @@ type Runtime struct {
 	// tokensInPools tracks the global token population, so idle nodes only
 	// hunt when there is something to find.
 	tokensInPools int
+	// msgFree is the envelope free list; victimScratch is reused by
+	// pickVictim.
+	msgFree       []*msg
+	victimScratch []*node
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -108,19 +279,48 @@ func New(cfg earth.Config) *Runtime {
 		mc.BandwidthBytesPerSec = cfg.Bandwidth
 	}
 	rt := &Runtime{
-		cfg:   cfg,
-		eng:   sim.New(),
-		mach:  manna.New(mc),
-		nodes: make([]*node, cfg.Nodes),
-		tr:    cfg.Tracer,
+		cfg:           cfg,
+		eng:           sim.New(),
+		mach:          manna.New(mc),
+		nodes:         make([]*node, cfg.Nodes),
+		tr:            cfg.Tracer,
+		victimScratch: make([]*node, 0, cfg.Nodes),
 	}
 	for i := range rt.nodes {
-		rt.nodes[i] = &node{
+		n := &node{
 			id:  earth.NodeID(i),
 			rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i))),
 		}
+		n.ready.buf = make([]item, 64)
+		n.tokens.buf = make([]token, 64)
+		n.dispatchFn = func() { rt.dispatch(n) }
+		rt.nodes[i] = n
 	}
 	return rt
+}
+
+// newMsg draws an envelope from the free list (or allocates one with its
+// permanent fire closure).
+func (rt *Runtime) newMsg() *msg {
+	if k := len(rt.msgFree); k > 0 {
+		m := rt.msgFree[k-1]
+		rt.msgFree = rt.msgFree[:k-1]
+		return m
+	}
+	m := &msg{rt: rt}
+	m.fire = func() { m.rt.fireMsg(m) }
+	return m
+}
+
+// freeMsg returns an envelope to the pool, dropping reference fields.
+func (rt *Runtime) freeMsg(m *msg) {
+	m.stage = 0
+	m.f = nil
+	m.body = nil
+	m.read = nil
+	m.write = nil
+	m.deliver = nil
+	rt.msgFree = append(rt.msgFree, m)
 }
 
 // P returns the node count.
@@ -136,8 +336,8 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 	rt.thieves = rt.thieves[:0]
 	rt.tokensInPools = 0
 	for _, n := range rt.nodes {
-		n.ready = n.ready[:0]
-		n.tokens = n.tokens[:0]
+		n.ready.reset()
+		n.tokens.reset()
 		n.running, n.stealing, n.parked = false, false, false
 		n.cpuDebt = 0
 		n.stats = earth.NodeStats{}
@@ -223,10 +423,10 @@ func (n *node) addSpan(rt *Runtime, start, end sim.Time) {
 // enqueue places it on n's ready queue and kicks the dispatch chain if the
 // node is idle. Must be called from an event context.
 func (rt *Runtime) enqueue(n *node, it item) {
-	n.ready = append(n.ready, it)
+	n.ready.push(it)
 	if !n.running {
 		n.running = true
-		rt.eng.After(0, func() { rt.dispatch(n) })
+		rt.eng.After(0, n.dispatchFn)
 	}
 }
 
@@ -237,20 +437,16 @@ func (rt *Runtime) dispatch(n *node) {
 	if n.cpuDebt > 0 {
 		d := n.cpuDebt
 		n.cpuDebt = 0
-		rt.eng.After(d, func() { rt.dispatch(n) })
+		rt.eng.After(d, n.dispatchFn)
 		return
 	}
 	var it item
 	switch {
-	case len(n.ready) > 0:
-		it = n.ready[0]
-		// Avoid holding references alive in the backing array.
-		copy(n.ready, n.ready[1:])
-		n.ready = n.ready[:len(n.ready)-1]
-	case len(n.tokens) > 0:
+	case n.ready.len() > 0:
+		it = n.ready.pop()
+	case n.tokens.len() > 0:
 		// Run own tokens newest-first (depth-first on task trees).
-		tk := n.tokens[len(n.tokens)-1]
-		n.tokens = n.tokens[:len(n.tokens)-1]
+		tk := n.tokens.popBack()
 		rt.tokensInPools--
 		it = item{body: tk.body, token: true, enq: tk.enq, cause: earth.CauseToken}
 	default:
@@ -260,11 +456,12 @@ func (rt *Runtime) dispatch(n *node) {
 	}
 
 	start := rt.eng.Now()
-	c := &ctx{rt: rt, n: n, cursor: start + rt.cfg.Costs.ThreadSwitch + it.recvCost}
+	c := n.getCtx(rt, start+rt.cfg.Costs.ThreadSwitch+it.recvCost)
 	it.body(c)
-	c.dead = true
-	n.stats.Busy += c.cursor - start
-	n.addSpan(rt, start, c.cursor)
+	end := c.cursor
+	n.putCtx(c)
+	n.stats.Busy += end - start
+	n.addSpan(rt, start, end)
 	n.stats.ThreadsRun++
 	if it.token {
 		n.stats.TokensRun++
@@ -275,47 +472,197 @@ func (rt *Runtime) dispatch(n *node) {
 	if rt.tr != nil {
 		rt.tr.Event(earth.Event{
 			Time: start, Node: n.id, Peer: earth.NoPeer, Kind: earth.EvThreadRun,
-			Dur: c.cursor - start, Wait: start - it.enq, Cause: it.cause,
+			Dur: end - start, Wait: start - it.enq, Cause: it.cause,
 		})
 	}
-	if c.cursor > start {
-		rt.eng.At(c.cursor, func() { rt.dispatch(n) })
+	if end > start {
+		rt.eng.At(end, n.dispatchFn)
 	} else {
-		rt.eng.After(0, func() { rt.dispatch(n) })
+		rt.eng.After(0, n.dispatchFn)
 	}
 }
 
-// runHandlerBody executes an active-message handler on n's handler path.
-func (rt *Runtime) runHandlerBody(n *node, recvCost sim.Time, body earth.ThreadBody) {
-	rt.handler(n, recvCost, func() {
-		start := rt.eng.Now()
-		hc := &ctx{rt: rt, n: n, cursor: start}
-		body(hc)
-		hc.dead = true
-		n.stats.Busy += hc.cursor - start
-		n.addSpan(rt, start, hc.cursor)
+// execHandlerBody runs an active-message handler body on n at the current
+// event time (the receiver-side cost has already been charged).
+func (rt *Runtime) execHandlerBody(n *node, body earth.ThreadBody) {
+	start := rt.eng.Now()
+	hc := n.getCtx(rt, start)
+	body(hc)
+	end := hc.cursor
+	n.putCtx(hc)
+	n.stats.Busy += end - start
+	n.addSpan(rt, start, end)
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{
+			Time: start, Node: n.id, Peer: earth.NoPeer, Kind: earth.EvHandlerRun,
+			Dur: end - start, Cause: earth.CauseHandler,
+		})
+	}
+}
+
+// chargeRecv accounts receiver-side software overhead at the current event
+// time. If the cost model consumes the CPU on receive, the node's next
+// dispatch is delayed correspondingly.
+func (rt *Runtime) chargeRecv(n *node, cost sim.Time) {
+	n.stats.Busy += cost
+	n.addSpan(rt, rt.eng.Now(), rt.eng.Now()+cost)
+	if rt.consumesCPUOnRecv() {
+		n.cpuDebt += cost
+	}
+}
+
+// stageRecv charges the receiver-side cost for a two-stage envelope and
+// reports whether the effect stage was deferred (rescheduled at the
+// current time plus the cost).
+func (rt *Runtime) stageRecv(m *msg, n *node, cost sim.Time) bool {
+	rt.chargeRecv(n, cost)
+	if cost > 0 {
+		m.stage = 1
+		rt.eng.After(cost, m.fire)
+		return true
+	}
+	return false
+}
+
+// fireMsg applies a message envelope at its scheduled time.
+func (rt *Runtime) fireMsg(m *msg) {
+	switch m.kind {
+	case msgSync:
+		n := rt.nodes[m.f.Home]
+		if m.stage == 0 && rt.stageRecv(m, n, rt.cfg.Costs.SpawnLocal) {
+			return
+		}
+		from, f, slot := m.from, m.f, m.slot
+		rt.freeMsg(m)
+		rt.decSlot(n, from, rt.eng.Now(), f, slot)
+
+	case msgThread:
+		dst := rt.nodes[m.to]
+		if m.cause == earth.CauseInvoke && rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
+				Kind: earth.EvInvokeDeliver, Bytes: m.bytes, Dur: rt.eng.Now() - m.issue})
+		}
+		it := item{body: m.body, recvCost: m.recvCost, enq: rt.eng.Now(),
+			cause: m.cause, token: m.cause == earth.CauseToken}
+		rt.freeMsg(m)
+		rt.enqueue(dst, it)
+
+	case msgPost:
+		n := rt.nodes[m.to]
+		if m.stage == 0 && rt.stageRecv(m, n, m.recvCost) {
+			return
+		}
+		body := m.body
+		rt.freeMsg(m)
+		rt.execHandlerBody(n, body)
+
+	case msgPut:
+		dst := rt.nodes[m.to]
+		if m.stage == 0 && rt.stageRecv(m, dst, m.recvCost) {
+			return
+		}
+		from, owner, f, slot := m.from, m.to, m.f, m.slot
+		bytes, issue, write := m.bytes, m.issue, m.write
+		rt.freeMsg(m)
+		write()
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: owner, Peer: from,
+				Kind: earth.EvPutDeliver, Bytes: bytes, Dur: rt.eng.Now() - issue})
+		}
+		if f != nil {
+			if f.Home == owner {
+				rt.decSlot(dst, owner, rt.eng.Now(), f, slot)
+			} else {
+				rt.sendSyncAt(rt.eng.Now(), owner, f, slot)
+			}
+		}
+
+	case msgGetReq:
+		owner := rt.nodes[m.to]
+		if m.stage == 0 && rt.stageRecv(m, owner, m.recvCost) {
+			return
+		}
+		// Convert the envelope in place into the response leg carrying the
+		// payload back to the requester.
+		m.deliver = m.read()
+		m.read = nil
+		m.kind = msgGetResp
+		m.stage = 0
+		m.from, m.to = m.to, m.from
+		m.recvCost = rt.cfg.Costs.RecvCost(m.bytes, false)
+		arrival := rt.send(rt.eng.Now(), owner.id, m.to, m.bytes)
+		rt.eng.At(arrival, m.fire)
+
+	case msgGetResp:
+		src := rt.nodes[m.to]
+		if m.stage == 0 && rt.stageRecv(m, src, m.recvCost) {
+			return
+		}
+		owner, f, slot := m.from, m.f, m.slot
+		bytes, issue, deliver := m.bytes, m.issue, m.deliver
+		rt.freeMsg(m)
+		deliver()
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: src.id, Peer: owner,
+				Kind: earth.EvGetDeliver, Bytes: bytes, Dur: rt.eng.Now() - issue})
+		}
+		if f != nil {
+			if f.Home == src.id {
+				rt.decSlot(src, owner, rt.eng.Now(), f, slot)
+			} else {
+				rt.sendSyncAt(rt.eng.Now(), src.id, f, slot)
+			}
+		}
+
+	case msgStealReq:
+		victim := rt.nodes[m.to]
+		if m.stage == 0 && rt.stageRecv(m, victim, rt.cfg.Costs.AsyncRecv) {
+			return
+		}
+		thief := rt.nodes[m.from]
+		thief.stealing = false
+		if victim.tokens.len() == 0 {
+			rt.freeMsg(m)
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{
+					Time: rt.eng.Now(), Node: thief.id, Peer: victim.id,
+					Kind: earth.EvStealMiss,
+				})
+			}
+			rt.trySteal(thief)
+			return
+		}
+		// Ship the victim's oldest token (largest subtree, for tree-shaped
+		// workloads) by converting the envelope into the grant leg.
+		tk := victim.tokens.popFront()
+		rt.tokensInPools--
+		arrival := rt.send(rt.eng.Now()+rt.cfg.Costs.AsyncSend, victim.id, thief.id, tk.argBytes)
+		m.kind = msgStealGrant
+		m.stage = 0
+		m.from, m.to = victim.id, thief.id
+		m.body = tk.body
+		m.bytes = tk.argBytes
+		m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
+		rt.eng.At(arrival, m.fire)
+
+	case msgStealGrant:
+		thief := rt.nodes[m.to]
+		if m.stage == 0 && rt.stageRecv(m, thief, m.recvCost) {
+			return
+		}
+		victimID, issue, bytes, body := m.from, m.issue, m.bytes, m.body
+		rt.freeMsg(m)
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{
-				Time: start, Node: n.id, Peer: earth.NoPeer, Kind: earth.EvHandlerRun,
-				Dur: hc.cursor - start, Cause: earth.CauseHandler,
+				Time: rt.eng.Now(), Node: thief.id, Peer: victimID,
+				Kind: earth.EvStealGrant, Dur: rt.eng.Now() - issue, Bytes: bytes,
 			})
 		}
-	})
-}
+		rt.enqueue(thief, item{body: body, token: true, stolen: true,
+			enq: rt.eng.Now(), cause: earth.CauseSteal})
 
-// handler runs a runtime message handler whose effect happens at the
-// current event time plus the receiver cost. If the cost model consumes
-// the CPU on receive, the node's next dispatch is delayed correspondingly.
-func (rt *Runtime) handler(n *node, recvCost sim.Time, effect func()) {
-	n.stats.Busy += recvCost
-	n.addSpan(rt, rt.eng.Now(), rt.eng.Now()+recvCost)
-	if rt.consumesCPUOnRecv() {
-		n.cpuDebt += recvCost
-	}
-	if recvCost > 0 {
-		rt.eng.After(recvCost, effect)
-	} else {
-		effect()
+	default:
+		panic(fmt.Sprintf("simrt: unknown message kind %d", m.kind))
 	}
 }
 
@@ -327,14 +674,16 @@ func (rt *Runtime) consumesCPUOnRecv() bool {
 	return rt.cfg.Costs.SyncRecv >= 50*sim.Microsecond
 }
 
-// deliverSync routes a sync signal sent by node from to f's home node; the
-// sender must already have paid the send-side cost. Called at the arrival
-// event.
-func (rt *Runtime) deliverSync(from earth.NodeID, f *earth.Frame, slot int) {
-	n := rt.nodes[f.Home]
-	rt.handler(n, rt.cfg.Costs.SpawnLocal, func() {
-		rt.decSlot(n, from, rt.eng.Now(), f, slot)
-	})
+// sendSyncAt charges the network for an 8-byte sync signal issued by from
+// at ready and schedules its pooled delivery envelope at f's home node.
+func (rt *Runtime) sendSyncAt(ready sim.Time, from earth.NodeID, f *earth.Frame, slot int) {
+	arrival := rt.send(ready, from, f.Home, 8)
+	m := rt.newMsg()
+	m.kind = msgSync
+	m.from = from
+	m.f = f
+	m.slot = slot
+	rt.eng.At(arrival, m.fire)
 }
 
 // decSlot decrements a slot on its home node and enqueues the enabled
@@ -370,30 +719,25 @@ func (rt *Runtime) depositToken(n *node, cursor sim.Time, tk token) sim.Time {
 		thief := rt.nodes[thiefID]
 		thief.parked = false
 		cursor += rt.cfg.Costs.AsyncSend
-		issue := cursor
 		arrival := rt.send(cursor, n.id, thiefID, tk.argBytes)
-		rt.eng.At(arrival, func() {
-			rt.handler(thief, rt.cfg.Costs.RecvCost(tk.argBytes, false), func() {
-				if rt.tr != nil {
-					// A parked thief receiving a fresh deposit is a grant
-					// with no preceding request; Dur is the ship latency.
-					rt.tr.Event(earth.Event{
-						Time: rt.eng.Now(), Node: thiefID, Peer: n.id,
-						Kind: earth.EvStealGrant, Dur: rt.eng.Now() - issue, Bytes: tk.argBytes,
-					})
-				}
-				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true,
-					enq: rt.eng.Now(), cause: earth.CauseSteal})
-			})
-		})
+		// A parked thief receiving a fresh deposit is a grant with no
+		// preceding request; its traced Dur is the ship latency from issue.
+		m := rt.newMsg()
+		m.kind = msgStealGrant
+		m.from, m.to = n.id, thiefID
+		m.body = tk.body
+		m.bytes = tk.argBytes
+		m.issue = cursor
+		m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
+		rt.eng.At(arrival, m.fire)
 		return cursor
 	}
 	tk.enq = cursor
-	n.tokens = append(n.tokens, tk)
+	n.tokens.push(tk)
 	rt.tokensInPools++
 	if !n.running {
 		n.running = true
-		rt.eng.After(0, func() { rt.dispatch(n) })
+		rt.eng.After(0, n.dispatchFn)
 	}
 	return cursor
 }
@@ -422,58 +766,27 @@ func (rt *Runtime) trySteal(n *node) {
 		})
 	}
 	reqArrival := rt.send(issue, n.id, victim.id, stealReqBytes)
-	rt.eng.At(reqArrival, func() { rt.serveSteal(victim, n, issue) })
+	m := rt.newMsg()
+	m.kind = msgStealReq
+	m.from, m.to = n.id, victim.id
+	m.issue = issue
+	rt.eng.At(reqArrival, m.fire)
 }
 
 // pickVictim returns a random node with a non-empty token pool, or nil.
+// The candidate list is scratch reused across calls.
 func (rt *Runtime) pickVictim(thief *node) *node {
-	candidates := make([]*node, 0, len(rt.nodes))
+	candidates := rt.victimScratch[:0]
 	for _, v := range rt.nodes {
-		if v != thief && len(v.tokens) > 0 {
+		if v != thief && v.tokens.len() > 0 {
 			candidates = append(candidates, v)
 		}
 	}
+	rt.victimScratch = candidates[:0]
 	if len(candidates) == 0 {
 		return nil
 	}
 	return candidates[thief.rng.Intn(len(candidates))]
-}
-
-// serveSteal handles a steal request arriving at victim from thief: the
-// victim's oldest token (largest subtree, for tree-shaped workloads) is
-// shipped back; if the pool emptied in flight, the thief retries. issue is
-// the virtual time the thief sent the request (for round-trip tracing).
-func (rt *Runtime) serveSteal(victim, thief *node, issue sim.Time) {
-	rt.handler(victim, rt.cfg.Costs.AsyncRecv, func() {
-		thief.stealing = false
-		if len(victim.tokens) == 0 {
-			if rt.tr != nil {
-				rt.tr.Event(earth.Event{
-					Time: rt.eng.Now(), Node: thief.id, Peer: victim.id,
-					Kind: earth.EvStealMiss,
-				})
-			}
-			rt.trySteal(thief)
-			return
-		}
-		tk := victim.tokens[0]
-		copy(victim.tokens, victim.tokens[1:])
-		victim.tokens = victim.tokens[:len(victim.tokens)-1]
-		rt.tokensInPools--
-		arrival := rt.send(rt.eng.Now()+rt.cfg.Costs.AsyncSend, victim.id, thief.id, tk.argBytes)
-		rt.eng.At(arrival, func() {
-			rt.handler(thief, rt.cfg.Costs.RecvCost(tk.argBytes, false), func() {
-				if rt.tr != nil {
-					rt.tr.Event(earth.Event{
-						Time: rt.eng.Now(), Node: thief.id, Peer: victim.id,
-						Kind: earth.EvStealGrant, Dur: rt.eng.Now() - issue, Bytes: tk.argBytes,
-					})
-				}
-				rt.enqueue(thief, item{body: tk.body, token: true, stolen: true,
-					enq: rt.eng.Now(), cause: earth.CauseSteal})
-			})
-		})
-	})
 }
 
 // ctx implements earth.Ctx for one executing thread body.
@@ -526,10 +839,7 @@ func (c *ctx) Sync(f *earth.Frame, slot int) {
 		return
 	}
 	c.cursor += c.rt.cfg.Costs.AsyncSend
-	arrival := c.rt.send(c.cursor, c.n.id, f.Home, 8)
-	rt := c.rt
-	from := c.n.id
-	rt.eng.At(arrival, func() { rt.deliverSync(from, f, slot) })
+	c.rt.sendSyncAt(c.cursor, c.n.id, f, slot)
 }
 
 func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, slot int) {
@@ -552,30 +862,21 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 			Kind: earth.EvPutSend, Bytes: nbytes})
 	}
 	arrival := rt.send(c.cursor, src, owner, nbytes)
-	dst := rt.nodes[owner]
-	rt.eng.At(arrival, func() {
-		rt.handler(dst, rt.cfg.Costs.RecvCost(nbytes, false), func() {
-			write()
-			if rt.tr != nil {
-				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: owner, Peer: src,
-					Kind: earth.EvPutDeliver, Bytes: nbytes, Dur: rt.eng.Now() - issue})
-			}
-			if f != nil {
-				if f.Home == owner {
-					rt.decSlot(dst, owner, rt.eng.Now(), f, slot)
-				} else {
-					arr2 := rt.send(rt.eng.Now(), owner, f.Home, 8)
-					rt.eng.At(arr2, func() { rt.deliverSync(owner, f, slot) })
-				}
-			}
-		})
-	})
+	m := rt.newMsg()
+	m.kind = msgPut
+	m.from, m.to = src, owner
+	m.f = f
+	m.slot = slot
+	m.write = write
+	m.bytes = nbytes
+	m.issue = issue
+	m.recvCost = rt.cfg.Costs.RecvCost(nbytes, false)
+	rt.eng.At(arrival, m.fire)
 }
 
 func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.Frame, slot int) {
 	c.check()
 	rt := c.rt
-	src := c.n
 	if owner == c.n.id {
 		c.cursor += rt.cfg.Costs.SpawnLocal
 		deliver := read()
@@ -589,35 +890,20 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 	c.cursor += rt.cfg.Costs.SendCost(0, true)
 	issue := c.cursor
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: issue, Node: src.id, Peer: owner,
+		rt.tr.Event(earth.Event{Time: issue, Node: c.n.id, Peer: owner,
 			Kind: earth.EvGetSend, Bytes: nbytes})
 	}
 	reqArrival := rt.send(c.cursor, c.n.id, owner, 8)
-	dst := rt.nodes[owner]
-	rt.eng.At(reqArrival, func() {
-		rt.handler(dst, rt.cfg.Costs.RecvCost(nbytes, true), func() {
-			deliver := read()
-			// Response leg carrying the payload.
-			respArrival := rt.send(rt.eng.Now(), owner, src.id, nbytes)
-			rt.eng.At(respArrival, func() {
-				rt.handler(src, rt.cfg.Costs.RecvCost(nbytes, false), func() {
-					deliver()
-					if rt.tr != nil {
-						rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: src.id, Peer: owner,
-							Kind: earth.EvGetDeliver, Bytes: nbytes, Dur: rt.eng.Now() - issue})
-					}
-					if f != nil {
-						if f.Home == src.id {
-							rt.decSlot(src, owner, rt.eng.Now(), f, slot)
-						} else {
-							arr2 := rt.send(rt.eng.Now(), src.id, f.Home, 8)
-							rt.eng.At(arr2, func() { rt.deliverSync(src.id, f, slot) })
-						}
-					}
-				})
-			})
-		})
-	})
+	m := rt.newMsg()
+	m.kind = msgGetReq
+	m.from, m.to = c.n.id, owner
+	m.f = f
+	m.slot = slot
+	m.read = read
+	m.bytes = nbytes
+	m.issue = issue
+	m.recvCost = rt.cfg.Costs.RecvCost(nbytes, true)
+	rt.eng.At(reqArrival, m.fire)
 }
 
 func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
@@ -636,15 +922,15 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 			Kind: earth.EvInvokeSend, Bytes: argBytes})
 	}
 	arrival := rt.send(c.cursor, src, nodeID, argBytes)
-	dst := rt.nodes[nodeID]
-	rt.eng.At(arrival, func() {
-		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: nodeID, Peer: src,
-				Kind: earth.EvInvokeDeliver, Bytes: argBytes, Dur: rt.eng.Now() - issue})
-		}
-		rt.enqueue(dst, item{body: body, recvCost: rt.cfg.Costs.RecvCost(argBytes, false),
-			enq: rt.eng.Now(), cause: earth.CauseInvoke})
-	})
+	m := rt.newMsg()
+	m.kind = msgThread
+	m.from, m.to = src, nodeID
+	m.body = body
+	m.bytes = argBytes
+	m.issue = issue
+	m.cause = earth.CauseInvoke
+	m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
+	rt.eng.At(arrival, m.fire)
 }
 
 // Post delivers handler on the target's message-handling path: its effect
@@ -660,8 +946,12 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 		// Local post: handled immediately after the current thread's
 		// current point; modelled as a local spawn on the handler path.
 		c.cursor += rt.cfg.Costs.SpawnLocal
-		at := c.cursor
-		rt.eng.At(at, func() { rt.runHandlerBody(c.n, 0, handler) })
+		m := rt.newMsg()
+		m.kind = msgPost
+		m.from, m.to = c.n.id, nodeID
+		m.body = handler
+		m.recvCost = 0
+		rt.eng.At(c.cursor, m.fire)
 		return
 	}
 	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
@@ -670,10 +960,12 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 			Kind: earth.EvPostSend, Bytes: argBytes})
 	}
 	arrival := rt.send(c.cursor, c.n.id, nodeID, argBytes)
-	dst := rt.nodes[nodeID]
-	rt.eng.At(arrival, func() {
-		rt.runHandlerBody(dst, rt.cfg.Costs.RecvCost(argBytes, false), handler)
-	})
+	m := rt.newMsg()
+	m.kind = msgPost
+	m.from, m.to = c.n.id, nodeID
+	m.body = handler
+	m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
+	rt.eng.At(arrival, m.fire)
 }
 
 func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
@@ -703,11 +995,14 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})
 		}
 		arrival := rt.send(c.cursor, c.n.id, target, argBytes)
-		dst := rt.nodes[target]
-		rt.eng.At(arrival, func() {
-			rt.enqueue(dst, item{body: body, token: true, recvCost: rt.cfg.Costs.RecvCost(argBytes, false),
-				enq: rt.eng.Now(), cause: earth.CauseToken})
-		})
+		m := rt.newMsg()
+		m.kind = msgThread
+		m.from, m.to = c.n.id, target
+		m.body = body
+		m.bytes = argBytes
+		m.cause = earth.CauseToken
+		m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
+		rt.eng.At(arrival, m.fire)
 	default: // BalanceSteal, BalanceNone
 		c.cursor += rt.cfg.Costs.SpawnLocal
 		if rt.tr != nil {

@@ -254,6 +254,7 @@ func Buchberger(F []*poly.Poly, opt Options) (*Basis, error) {
 	}
 	b := &Basis{Ring: ring}
 	u := NewUpdater(opt)
+	red := poly.NewReducer()
 	var P []Pair
 	// Seed the basis one element at a time so the criteria apply to the
 	// initial pairs as well.
@@ -273,7 +274,7 @@ func Buchberger(F []*poly.Poly, opt Options) (*Basis, error) {
 		var p Pair
 		p, P = u.SelectBest(P, ring.Order())
 		s := poly.SPoly(basis[p.I], basis[p.J])
-		nf, st := poly.NormalForm(s, basis)
+		nf, st := red.NormalForm(s, basis)
 		b.Trace.PairsReduced++
 		b.Trace.TermOps += st.TermOps
 		b.Trace.PerReduction = append(b.Trace.PerReduction, st.TermOps)

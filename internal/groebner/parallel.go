@@ -154,6 +154,10 @@ type parState struct {
 	ring    *poly.Ring
 	workers int
 	m       earth.NodeID // maintenance node
+	// red is the shared reduction workspace. All simulated-worker code
+	// runs on the single host goroutine driving the sim engine, so one
+	// workspace serves every simulated node without contention.
+	red *poly.Reducer
 
 	nodes []*parNode
 
@@ -242,6 +246,7 @@ func ParallelBuchberger(rt earth.Runtime, F []*poly.Poly, cfg ParallelConfig) (*
 		ring:      ring,
 		workers:   rt.P() - 1,
 		m:         earth.NodeID(rt.P() - 1),
+		red:       poly.NewReducer(),
 		waiting:   map[int]bool{},
 		inflight:  map[int]Pair{},
 		outstand:  map[int]int{},
@@ -425,7 +430,7 @@ func (st *parState) processPair(c earth.Ctx, w int, p Pair) {
 	n := st.nodes[w]
 	G := n.cacheList()
 	s := poly.SPoly(n.cache[p.I], n.cache[p.J])
-	nf, rst := poly.NormalForm(s, G)
+	nf, rst := st.red.NormalForm(s, G)
 	c.Compute(st.cfg.StepCost.PerPair + sim.Time(rst.TermOps)*st.cfg.StepCost.PerTermOp)
 	n.processed++
 
@@ -533,7 +538,7 @@ func (st *parState) tryInsert(c earth.Ctx) {
 // a dead one is withdrawn.
 func (st *parState) rereduce(c earth.Ctx, req insertReq) {
 	n := st.nodes[req.w]
-	nf, rst := poly.NormalForm(req.nf, n.cacheList())
+	nf, rst := st.red.NormalForm(req.nf, n.cacheList())
 	c.Compute(sim.Time(rst.TermOps) * st.cfg.StepCost.PerTermOp)
 	if nf.IsZero() {
 		n.outstanding--

@@ -20,6 +20,9 @@ package harness
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"slices"
 	"strings"
 
 	"earth/internal/earth"
@@ -44,6 +47,13 @@ type Config struct {
 	Nodes []int
 	// Seed is the base random seed.
 	Seed int64
+	// Workers bounds the host worker pool the sweeps dispatch their
+	// simulation cells to. Every (input × nodes × run × cost-model) cell
+	// is an independent simulation, so they evaluate concurrently; the
+	// results are folded back in deterministic cell order, making every
+	// Report and Series byte-identical to Workers=1 for the same seed.
+	// Default: runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // WithDefaults normalises a Config.
@@ -56,6 +66,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -154,28 +167,33 @@ func Figure2(cfg Config) (*Report, []*stats.Series) {
 	base := eigen.SeqVirtualTime(seqRes, cost)
 
 	variants := []eigen.ArgVariant{eigen.ArgsBlockMove, eigen.ArgsIndividual}
+	nN := len(cfg.Nodes)
+	elapsed := make([]sim.Time, len(variants)*nN)
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		rt := simrt.New(earth.Config{Nodes: cfg.Nodes[i%nN], Seed: cfg.Seed})
+		par := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol, Args: variants[i/nN]})
+		elapsed[i] = par.Stats.Elapsed
+	})
 	var series []*stats.Series
-	for _, v := range variants {
+	for vi, v := range variants {
 		s := &stats.Series{Name: "eigen/" + v.String()}
-		for _, nodes := range cfg.Nodes {
-			rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
-			par := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol, Args: v})
+		for ni, nodes := range cfg.Nodes {
 			var sp stats.Sample
-			sp.Add(float64(base) / float64(par.Stats.Elapsed))
+			sp.Add(float64(base) / float64(elapsed[vi*nN+ni]))
 			s.AddSample(nodes, &sp)
 		}
 		series = append(series, s)
 	}
 	r.addFigure(series...)
-	b20, _ := series[0].At(maxOf(cfg.Nodes))
-	r.compare(fmt.Sprintf("speedup at %d nodes (close to ideal)", maxOf(cfg.Nodes)),
+	b20, _ := series[0].At(slices.Max(cfg.Nodes))
+	r.compare(fmt.Sprintf("speedup at %d nodes (close to ideal)", slices.Max(cfg.Nodes)),
 		"~ideal (e.g. ~19/20)", fmt.Sprintf("%.1f", b20.Mean))
 	// The two variants must be indistinguishable (paper: "differences in
 	// runtime proved to be insignificant").
 	var maxRel float64
 	for _, p := range series[0].Points {
 		q, _ := series[1].At(p.Nodes)
-		rel := absf(p.Mean-q.Mean) / p.Mean
+		rel := math.Abs(p.Mean-q.Mean) / p.Mean
 		if rel > maxRel {
 			maxRel = rel
 		}
@@ -192,15 +210,25 @@ func Figure2(cfg Config) (*Report, []*stats.Series) {
 func Table2(cfg Config) *Report {
 	cfg = cfg.WithDefaults()
 	r := &Report{ID: "Table 2", Title: "Characteristics of the Gröbner Basis application (sequential)"}
-	for _, in := range groebner.PaperInputs() {
-		b, err := groebner.Buchberger(in.F, in.Opt)
+	ins := groebner.PaperInputs()
+	type seqRun struct {
+		b   *groebner.Basis
+		err error
+	}
+	runs := make([]seqRun, len(ins))
+	forEachCell(cfg.Workers, len(ins), func(i int) {
+		b, err := groebner.Buchberger(ins[i].F, ins[i].Opt)
+		runs[i] = seqRun{b, err}
+	})
+	for i, in := range ins {
+		b, err := runs[i].b, runs[i].err
 		if err != nil {
 			r.add("%s: ERROR %v", in.Name, err)
 			continue
 		}
 		sc := groebner.Calibrate(b.Trace, in.PaperSeqMS)
 		seq := groebner.SeqVirtualTime(b.Trace, sc)
-		meanStep := seq / sim.Time(maxi(1, b.Trace.PairsReduced))
+		meanStep := seq / sim.Time(max(1, b.Trace.PairsReduced))
 		meanBytes := groebner.MeanPolyBytes(b.Polys)
 		r.add("%-10s seq=%8.0f ms  tasks=%4d  input=%d  added=%3d  step=%7.2f ms  polyBytes=%5d",
 			in.Name, seq.Milliseconds(), b.Trace.PairsReduced, in.PaperInput,
@@ -213,37 +241,64 @@ func Table2(cfg Config) *Report {
 	return r
 }
 
-// groebnerSweep runs the parallel completion across node counts and
-// repeated seeds under one cost model, returning the speedup series.
-func groebnerSweep(cfg Config, in groebner.NamedInput, costs earth.CostModel, runs int) *stats.Series {
+// groebnerBaseline runs the sequential completion for one input and
+// returns the calibrated step costs plus the one-node virtual time.
+func groebnerBaseline(in groebner.NamedInput) (groebner.StepCost, sim.Time) {
 	seq, err := groebner.Buchberger(in.F, in.Opt)
 	if err != nil {
 		panic(err)
 	}
 	sc := groebner.Calibrate(seq.Trace, in.PaperSeqMS)
-	base := groebner.SeqVirtualTime(seq.Trace, sc)
-	s := &stats.Series{Name: fmt.Sprintf("%s/%s", in.Name, costs.Name)}
-	for _, nodes := range cfg.Nodes {
-		if nodes < 2 {
-			continue // needs workers + maintenance node
+	return sc, groebner.SeqVirtualTime(seq.Trace, sc)
+}
+
+// groebnerSweeps evaluates the full (input × cost-model × nodes × run)
+// cell grid on the worker pool and returns one speedup series per
+// (input, model) pair, input-major. The sequential baselines are pool
+// cells too, computed once per input — they are deterministic, so
+// sharing one baseline across cost models changes no reported value.
+func groebnerSweeps(cfg Config, ins []groebner.NamedInput, models []earth.CostModel, runs int) [][]*stats.Series {
+	scs := make([]groebner.StepCost, len(ins))
+	bases := make([]sim.Time, len(ins))
+	forEachCell(cfg.Workers, len(ins), func(i int) {
+		scs[i], bases[i] = groebnerBaseline(ins[i])
+	})
+	nodeList := nodesMin(cfg.Nodes, 2) // needs workers + maintenance node
+	nM, nN := len(models), len(nodeList)
+	vals := make([]float64, len(ins)*nM*nN*runs)
+	forEachCell(cfg.Workers, len(vals), func(i int) {
+		run := i % runs
+		ni := i / runs % nN
+		mi := i / (runs * nN) % nM
+		ii := i / (runs * nN * nM)
+		rt := simrt.New(earth.Config{
+			Nodes: nodeList[ni], Seed: cfg.Seed + int64(run)*7919,
+			Costs: models[mi], JitterPct: 2,
+		})
+		res, err := groebner.ParallelBuchberger(rt, ins[ii].F,
+			groebner.ParallelConfig{Opt: ins[ii].Opt, StepCost: scs[ii]})
+		if err != nil {
+			panic(err)
 		}
-		var sp stats.Sample
-		for run := 0; run < runs; run++ {
-			rt := simrt.New(earth.Config{
-				Nodes: nodes, Seed: cfg.Seed + int64(run)*7919,
-				Costs: costs, JitterPct: 2,
-			})
-			res, err := groebner.ParallelBuchberger(rt, in.F, groebner.ParallelConfig{Opt: in.Opt, StepCost: sc})
-			if err != nil {
-				panic(err)
+		vals[i] = float64(bases[ii]) / float64(res.Stats.Elapsed)
+	})
+	out := make([][]*stats.Series, len(ins))
+	for ii, in := range ins {
+		for mi, mdl := range models {
+			s := &stats.Series{Name: fmt.Sprintf("%s/%s", in.Name, mdl.Name)}
+			for ni, nodes := range nodeList {
+				at := ((ii*nM+mi)*nN + ni) * runs
+				var sp stats.Sample
+				sp.AddAll(vals[at : at+runs]...)
+				// The paper reserves one node for termination detection and
+				// draws ideal lines with and without it; we report against
+				// total nodes.
+				s.AddSample(nodes, &sp)
 			}
-			sp.Add(float64(base) / float64(res.Stats.Elapsed))
+			out[ii] = append(out[ii], s)
 		}
-		// The paper reserves one node for termination detection and draws
-		// ideal lines with and without it; we report against total nodes.
-		s.AddSample(nodes, &sp)
 	}
-	return s
+	return out
 }
 
 // Figure4 regenerates the Gröbner mean/min/max speedup curves under EARTH
@@ -252,8 +307,8 @@ func Figure4(cfg Config) (*Report, []*stats.Series) {
 	cfg = cfg.WithDefaults()
 	r := &Report{ID: "Figure 4", Title: fmt.Sprintf("Gröbner speedups, mean [min,max] over %d runs (EARTH)", cfg.Runs)}
 	var series []*stats.Series
-	for _, in := range groebner.PaperInputs() {
-		series = append(series, groebnerSweep(cfg, in, earth.EARTHCosts(), cfg.Runs))
+	for _, ss := range groebnerSweeps(cfg, groebner.PaperInputs(), []earth.CostModel{earth.EARTHCosts()}, cfg.Runs) {
+		series = append(series, ss[0])
 	}
 	r.addFigure(series...)
 	paperPeaks := map[string]string{"Lazard": "~9 @ 11 nodes", "Katsura-4": "~12 @ 12 nodes", "Katsura-5": "~12.5 @ 14 nodes"}
@@ -268,15 +323,14 @@ func Figure4(cfg Config) (*Report, []*stats.Series) {
 // under the EARTH costs and the three inflated models.
 func Figure5(cfg Config) (*Report, map[string][]*stats.Series) {
 	cfg = cfg.WithDefaults()
-	runs := maxi(1, cfg.Runs/2)
+	runs := max(1, cfg.Runs/2)
 	r := &Report{ID: "Figure 5", Title: fmt.Sprintf("Gröbner speedups under message-passing costs (mean over %d runs)", runs)}
 	models := append([]earth.CostModel{earth.EARTHCosts()}, earth.PaperMPModels()...)
+	ins := groebner.PaperInputs()
+	sweeps := groebnerSweeps(cfg, ins, models, runs)
 	out := map[string][]*stats.Series{}
-	for _, in := range groebner.PaperInputs() {
-		var series []*stats.Series
-		for _, mdl := range models {
-			series = append(series, groebnerSweep(cfg, in, mdl, runs))
-		}
+	for ii, in := range ins {
+		series := sweeps[ii]
 		out[in.Name] = series
 		r.addFigure(series...)
 		peakE, _ := series[0].MaxMean()
@@ -317,14 +371,24 @@ func nnSeqPerSample(u int, train bool, samples int) sim.Time {
 
 // Table3 regenerates the forward-pass characteristics.
 func Table3(cfg Config) *Report {
+	cfg = cfg.WithDefaults()
 	r := &Report{ID: "Table 3", Title: "Neural network forward-pass characteristics"}
 	paper := map[int]struct {
 		ms    float64
 		perUS float64
 	}{80: {5.047, 32}, 200: {26.96, 67}, 720: {319.1, 222}}
-	for _, u := range []int{80, 200, 720} {
-		per := nnSeqPerSample(u, false, 2)
-		both := nnSeqPerSample(u, true, 2)
+	widths := []int{80, 200, 720}
+	perT := make([]sim.Time, len(widths))
+	bothT := make([]sim.Time, len(widths))
+	forEachCell(cfg.Workers, 2*len(widths), func(i int) {
+		if i%2 == 0 {
+			perT[i/2] = nnSeqPerSample(widths[i/2], false, 2)
+		} else {
+			bothT[i/2] = nnSeqPerSample(widths[i/2], true, 2)
+		}
+	})
+	for wi, u := range widths {
+		per, both := perT[wi], bothT[wi]
 		perUnit := per / sim.Time(u) / 2 // two layers
 		r.add("units=%3d  forward=%8.3f ms  per-unit=%6.1f us  fwd+bwd=%8.3f ms",
 			u, per.Milliseconds(), perUnit.Microseconds(), both.Milliseconds())
@@ -336,31 +400,44 @@ func Table3(cfg Config) *Report {
 	return r
 }
 
-// nnSweep measures unit-parallel speedups for one width.
-func nnSweep(cfg Config, u int, train bool) *stats.Series {
+// nnSweeps measures unit-parallel speedups for several widths as one
+// cell grid. Per width, cell 0 is the one-node baseline and the rest
+// sweep cfg.Nodes.
+func nnSweeps(cfg Config, widths []int, train bool) []*stats.Series {
 	const samples = 4
-	base := nnSeqPerSample(u, train, samples)
-	s := &stats.Series{Name: fmt.Sprintf("nn-%d", u)}
-	xs, ts := nnSamples(u, samples)
-	for _, nodes := range cfg.Nodes {
-		rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
+	stride := 1 + len(cfg.Nodes)
+	elapsed := make([]sim.Time, len(widths)*stride)
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		u, k := widths[i/stride], i%stride
+		if k == 0 {
+			elapsed[i] = nnSeqPerSample(u, train, samples)
+			return
+		}
+		xs, ts := nnSamples(u, samples)
+		rt := simrt.New(earth.Config{Nodes: cfg.Nodes[k-1], Seed: cfg.Seed})
 		res := neural.ParallelRun(rt, neural.Square(u, 1), xs, ts,
 			neural.ParallelConfig{Train: train, Tree: true, LR: 0.1})
-		var sp stats.Sample
-		sp.Add(float64(base) * samples / float64(res.Stats.Elapsed))
-		s.AddSample(nodes, &sp)
+		elapsed[i] = res.Stats.Elapsed
+	})
+	var series []*stats.Series
+	for wi, u := range widths {
+		base := elapsed[wi*stride]
+		s := &stats.Series{Name: fmt.Sprintf("nn-%d", u)}
+		for ni, nodes := range cfg.Nodes {
+			var sp stats.Sample
+			sp.Add(float64(base) * samples / float64(elapsed[wi*stride+1+ni]))
+			s.AddSample(nodes, &sp)
+		}
+		series = append(series, s)
 	}
-	return s
+	return series
 }
 
 // Figure7 regenerates the forward-pass speedup curves.
 func Figure7(cfg Config) (*Report, []*stats.Series) {
 	cfg = cfg.WithDefaults()
 	r := &Report{ID: "Figure 7", Title: "Neural network forward-pass speedups (unit parallelism, tree communication)"}
-	var series []*stats.Series
-	for _, u := range []int{80, 200, 720} {
-		series = append(series, nnSweep(cfg, u, false))
-	}
+	series := nnSweeps(cfg, []int{80, 200, 720}, false)
 	r.addFigure(series...)
 	if p, ok := series[0].At(16); ok {
 		r.compare("80 units @ 16 nodes", "~11", fmt.Sprintf("%.1f", p.Mean))
@@ -379,10 +456,7 @@ func Figure7(cfg Config) (*Report, []*stats.Series) {
 func Figure8(cfg Config) (*Report, []*stats.Series) {
 	cfg = cfg.WithDefaults()
 	r := &Report{ID: "Figure 8", Title: "Neural network forward+backward speedups (unit parallelism, tree communication)"}
-	var series []*stats.Series
-	for _, u := range []int{80, 200, 720} {
-		series = append(series, nnSweep(cfg, u, true))
-	}
+	series := nnSweeps(cfg, []int{80, 200, 720}, true)
 	r.addFigure(series...)
 	if p, ok := series[0].At(16); ok {
 		r.compare("80 units @ 16 nodes", "~10", fmt.Sprintf("%.1f", p.Mean))
@@ -408,16 +482,27 @@ func AblationNNTree(cfg Config) *Report {
 	r := &Report{ID: "Ablation A", Title: "NN communication organisation: tree vs sequential (80 units, forward)"}
 	const samples = 4
 	u := 80
-	base := nnSeqPerSample(u, false, samples)
 	xs, _ := nnSamples(u, samples)
-	for _, tree := range []bool{true, false} {
+	trees := []bool{true, false}
+	nN := len(cfg.Nodes)
+	// Cell 0 is the sequential baseline, then one cell per (variant, nodes).
+	elapsed := make([]sim.Time, 1+len(trees)*nN)
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		if i == 0 {
+			elapsed[0] = nnSeqPerSample(u, false, samples)
+			return
+		}
+		rt := simrt.New(earth.Config{Nodes: cfg.Nodes[(i-1)%nN], Seed: cfg.Seed})
+		res := neural.ParallelRun(rt, neural.Square(u, 1), xs, nil,
+			neural.ParallelConfig{Tree: trees[(i-1)/nN]})
+		elapsed[i] = res.Stats.Elapsed
+	})
+	base := elapsed[0]
+	for ti, tree := range trees {
 		s := &stats.Series{Name: map[bool]string{true: "tree", false: "sequential"}[tree]}
-		for _, nodes := range cfg.Nodes {
-			rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
-			res := neural.ParallelRun(rt, neural.Square(u, 1), xs, nil,
-				neural.ParallelConfig{Tree: tree})
+		for ni, nodes := range cfg.Nodes {
 			var sp stats.Sample
-			sp.Add(float64(base) * samples / float64(res.Stats.Elapsed))
+			sp.Add(float64(base) * samples / float64(elapsed[1+ti*nN+ni]))
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()
@@ -437,13 +522,19 @@ func AblationEigenPlacement(cfg Config) *Report {
 	m, tol := EigenWorkload(cfg.Seed)
 	seqRes := eigen.Bisect(m, tol)
 	base := eigen.SeqVirtualTime(seqRes, eigen.SturmCostFor(m.N()))
-	for _, bal := range []earth.Balancer{earth.BalanceSteal, earth.BalanceRandomPlace} {
+	bals := []earth.Balancer{earth.BalanceSteal, earth.BalanceRandomPlace}
+	nN := len(cfg.Nodes)
+	elapsed := make([]sim.Time, len(bals)*nN)
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		rt := simrt.New(earth.Config{Nodes: cfg.Nodes[i%nN], Seed: cfg.Seed, Balancer: bals[i/nN]})
+		par := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol})
+		elapsed[i] = par.Stats.Elapsed
+	})
+	for bi, bal := range bals {
 		s := &stats.Series{Name: bal.String()}
-		for _, nodes := range cfg.Nodes {
-			rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed, Balancer: bal})
-			par := eigen.ParallelBisect(rt, m, eigen.ParallelConfig{Tol: tol})
+		for ni, nodes := range cfg.Nodes {
 			var sp stats.Sample
-			sp.Add(float64(base) / float64(par.Stats.Elapsed))
+			sp.Add(float64(base) / float64(elapsed[bi*nN+ni]))
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()
@@ -477,22 +568,30 @@ func AblationGroebnerScheduling(cfg Config) *Report {
 		{"central+unordered", groebner.ParallelConfig{Opt: in.Opt, StepCost: sc, NoOrderedCommit: true}},
 		{"distributed+ordered", groebner.ParallelConfig{Opt: in.Opt, StepCost: sc, DistributedQueues: true}},
 	}
-	for _, v := range variants {
+	nodeList := nodesMin(cfg.Nodes, 2)
+	nN := len(nodeList)
+	type cellRes struct {
+		elapsed sim.Time
+		pairs   int
+	}
+	cells := make([]cellRes, len(variants)*nN)
+	forEachCell(cfg.Workers, len(cells), func(i int) {
+		rt := simrt.New(earth.Config{Nodes: nodeList[i%nN], Seed: cfg.Seed, JitterPct: 2})
+		res, err := groebner.ParallelBuchberger(rt, in.F, variants[i/nN].pc)
+		if err != nil {
+			panic(err)
+		}
+		cells[i] = cellRes{res.Stats.Elapsed, res.PairsProcessed}
+	})
+	for vi, v := range variants {
 		s := &stats.Series{Name: v.name}
 		work := &stats.Sample{}
-		for _, nodes := range cfg.Nodes {
-			if nodes < 2 {
-				continue
-			}
-			rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed, JitterPct: 2})
-			res, err := groebner.ParallelBuchberger(rt, in.F, v.pc)
-			if err != nil {
-				panic(err)
-			}
+		for ni, nodes := range nodeList {
+			c := cells[vi*nN+ni]
 			var sp stats.Sample
-			sp.Add(float64(base) / float64(res.Stats.Elapsed))
+			sp.Add(float64(base) / float64(c.elapsed))
 			s.AddSample(nodes, &sp)
-			work.Add(float64(res.PairsProcessed))
+			work.Add(float64(c.pairs))
 		}
 		best, at := s.MaxMean()
 		r.addFigure(s)
@@ -517,30 +616,6 @@ func All(cfg Config) []*Report {
 		AblationNNTree(cfg), AblationEigenPlacement(cfg), AblationGroebnerScheduling(cfg),
 		AblationNNModes(cfg), AblationSearchApps(cfg), AblationKnuthBendix(cfg),
 		AblationPortedMachines(cfg)}
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxOf(xs []int) int {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
-		}
-	}
-	return m
-}
-
-func absf(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // AblationNNModes compares the paper's Section 3.3 parallelisation
@@ -572,14 +647,24 @@ func AblationNNModes(cfg Config) *Report {
 			return res.Stats.Elapsed
 		}},
 	}
-	for _, m := range modes {
+	// Per mode, cell 0 is the one-node baseline and the rest sweep nodes.
+	stride := 1 + len(cfg.Nodes)
+	elapsed := make([]sim.Time, len(modes)*stride)
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		k := i % stride
+		nodes := 1
+		if k > 0 {
+			nodes = cfg.Nodes[k-1]
+		}
+		rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
+		elapsed[i] = modes[i/stride].run(rt)
+	})
+	for mi, m := range modes {
 		s := &stats.Series{Name: m.name}
-		rt1 := simrt.New(earth.Config{Nodes: 1, Seed: cfg.Seed})
-		base := m.run(rt1)
-		for _, nodes := range cfg.Nodes {
-			rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
+		base := elapsed[mi*stride]
+		for ni, nodes := range cfg.Nodes {
 			var sp stats.Sample
-			sp.Add(float64(base) / float64(m.run(rt)))
+			sp.Add(float64(base) / float64(elapsed[mi*stride+1+ni]))
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()
@@ -598,36 +683,46 @@ func AblationSearchApps(cfg Config) *Report {
 	r := &Report{ID: "Ablation E", Title: "Cited search applications: TSP and polymer enumeration"}
 
 	tsp := search.RandomTSP(11, 3)
-	sTSP := &stats.Series{Name: "tsp-11"}
-	var baseT float64
-	for _, nodes := range append([]int{1}, cfg.Nodes...) {
-		rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
-		res := search.BranchAndBound(rt, tsp, search.BBConfig{})
-		if nodes == 1 {
-			baseT = float64(res.Stats.Elapsed)
-			continue
-		}
-		var sp stats.Sample
-		sp.Add(baseT / float64(res.Stats.Elapsed))
-		sTSP.AddSample(nodes, &sp)
-	}
-	r.addFigure(sTSP)
-
 	poly := &search.Polymer{Steps: 8}
-	sPoly := &stats.Series{Name: "polymer-8"}
-	var baseP float64
-	for _, nodes := range append([]int{1}, cfg.Nodes...) {
-		rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
-		res := search.Count(rt, poly, search.CountConfig{SpawnDepth: 3})
-		if nodes == 1 {
-			baseP = float64(res.Stats.Elapsed)
-			continue
-		}
-		var sp stats.Sample
-		sp.Add(baseP / float64(res.Stats.Elapsed))
-		sPoly.AddSample(nodes, &sp)
+	type app struct {
+		name string
+		run  func(rt earth.Runtime) sim.Time
 	}
-	r.addFigure(sPoly)
+	apps := []app{
+		{"tsp-11", func(rt earth.Runtime) sim.Time {
+			return search.BranchAndBound(rt, tsp, search.BBConfig{}).Stats.Elapsed
+		}},
+		{"polymer-8", func(rt earth.Runtime) sim.Time {
+			return search.Count(rt, poly, search.CountConfig{SpawnDepth: 3}).Stats.Elapsed
+		}},
+	}
+	// Per app, cell 0 is the one-node baseline; the sweep skips nodes=1
+	// (the baseline already covers it).
+	sweep := nodesMin(cfg.Nodes, 2)
+	stride := 1 + len(sweep)
+	elapsed := make([]sim.Time, len(apps)*stride)
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		k := i % stride
+		nodes := 1
+		if k > 0 {
+			nodes = sweep[k-1]
+		}
+		rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed})
+		elapsed[i] = apps[i/stride].run(rt)
+	})
+	var series []*stats.Series
+	for ai, a := range apps {
+		s := &stats.Series{Name: a.name}
+		base := float64(elapsed[ai*stride])
+		for ni, nodes := range sweep {
+			var sp stats.Sample
+			sp.Add(base / float64(elapsed[ai*stride+1+ni]))
+			s.AddSample(nodes, &sp)
+		}
+		series = append(series, s)
+		r.addFigure(s)
+	}
+	sTSP, sPoly := series[0], series[1]
 
 	bt, at := sTSP.MaxMean()
 	bp, ap := sPoly.MaxMean()
@@ -655,17 +750,19 @@ func AblationKnuthBendix(cfg Config) *Report {
 	sc := rewrite.DefaultStepCost()
 	base := sim.Time(tr.PairsProcessed)*sc.PerPair + sim.Time(tr.RewriteSteps)*sc.PerStep
 	s := &stats.Series{Name: "knuth-bendix/S3"}
-	for _, nodes := range cfg.Nodes {
-		if nodes < 2 {
-			continue
-		}
-		rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed, JitterPct: 2})
+	nodeList := nodesMin(cfg.Nodes, 2)
+	elapsed := make([]sim.Time, len(nodeList))
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		rt := simrt.New(earth.Config{Nodes: nodeList[i], Seed: cfg.Seed, JitterPct: 2})
 		res, err := rewrite.ParallelComplete(rt, sys, rewrite.ParallelConfig{StepCost: sc})
 		if err != nil {
 			panic(err)
 		}
+		elapsed[i] = res.Stats.Elapsed
+	})
+	for ni, nodes := range nodeList {
 		var sp stats.Sample
-		sp.Add(float64(base) / float64(res.Stats.Elapsed))
+		sp.Add(float64(base) / float64(elapsed[ni]))
 		s.AddSample(nodes, &sp)
 	}
 	r.addFigure(s)
@@ -684,12 +781,7 @@ func AblationPortedMachines(cfg Config) *Report {
 	cfg = cfg.WithDefaults()
 	r := &Report{ID: "Ablation G", Title: "Ported machines: MANNA vs SP2 vs Myrinet networks (Lazard)"}
 	in := *groebner.InputByName("Lazard")
-	seq, err := groebner.Buchberger(in.F, in.Opt)
-	if err != nil {
-		panic(err)
-	}
-	sc := groebner.Calibrate(seq.Trace, in.PaperSeqMS)
-	base := groebner.SeqVirtualTime(seq.Trace, sc)
+	sc, base := groebnerBaseline(in)
 	machines := []struct {
 		name string
 		mk   func(int) manna.Config
@@ -698,20 +790,24 @@ func AblationPortedMachines(cfg Config) *Report {
 		{"SP2", manna.SP2},
 		{"Myrinet", manna.Myrinet},
 	}
-	for _, m := range machines {
+	nodeList := nodesMin(cfg.Nodes, 2)
+	nN := len(nodeList)
+	elapsed := make([]sim.Time, len(machines)*nN)
+	forEachCell(cfg.Workers, len(elapsed), func(i int) {
+		nodes := nodeList[i%nN]
+		mc := machines[i/nN].mk(nodes)
+		rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed, Machine: &mc, JitterPct: 2})
+		res, err := groebner.ParallelBuchberger(rt, in.F, groebner.ParallelConfig{Opt: in.Opt, StepCost: sc})
+		if err != nil {
+			panic(err)
+		}
+		elapsed[i] = res.Stats.Elapsed
+	})
+	for mi, m := range machines {
 		s := &stats.Series{Name: m.name}
-		for _, nodes := range cfg.Nodes {
-			if nodes < 2 {
-				continue
-			}
-			mc := m.mk(nodes)
-			rt := simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed, Machine: &mc, JitterPct: 2})
-			res, err := groebner.ParallelBuchberger(rt, in.F, groebner.ParallelConfig{Opt: in.Opt, StepCost: sc})
-			if err != nil {
-				panic(err)
-			}
+		for ni, nodes := range nodeList {
 			var sp stats.Sample
-			sp.Add(float64(base) / float64(res.Stats.Elapsed))
+			sp.Add(float64(base) / float64(elapsed[mi*nN+ni]))
 			s.AddSample(nodes, &sp)
 		}
 		best, at := s.MaxMean()

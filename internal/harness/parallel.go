@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCell evaluates job(0..n-1) — one call per independent simulation
+// cell — on up to workers goroutines, returning when every cell is done.
+// Cells must be independent: each builds its own runtime and writes only
+// to its own index-addressed result slot. Completion order is arbitrary,
+// so callers aggregate the slots serially afterwards; that two-phase
+// shape is what makes a parallel sweep byte-identical to Workers=1. With
+// workers <= 1 (or a single cell) everything runs inline on the caller's
+// goroutine. A cell panic is re-raised on the caller once the pool
+// drains.
+func forEachCell(workers, n int, job func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		panics = make(chan any, 1)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case panics <- p:
+					default: // keep the first panic only
+					}
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// nodesMin returns the node counts of the sweep that are >= lo, in
+// order. Sweeps that need a minimum machine size (the Gröbner harness
+// reserves one node for maintenance) filter through this before laying
+// out their cell grids.
+func nodesMin(nodes []int, lo int) []int {
+	out := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		if n >= lo {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package poly
 
 import (
-	"container/heap"
 	"math/big"
 )
 
@@ -10,11 +9,13 @@ import (
 // "reduction" of a polynomial against the current basis is the unit of
 // work the paper's Gröbner application parallelises.
 //
-// Reduction runs on a workspace (a monomial-keyed coefficient map plus a
-// lazy max-heap of monomials) so that one reduction step costs
+// Reduction runs on a workspace (a monomial-keyed coefficient table plus
+// a lazy max-heap of monomials) so that one reduction step costs
 // O(|g| log n) instead of rebuilding the whole polynomial. Over GF(p) the
 // coefficients are raw int64 residues, avoiding big.Rat entirely in the
-// hot loop.
+// hot loop. A Reducer retains the workspace across calls, so the
+// per-reduction cost is dominated by the arithmetic itself rather than by
+// rebuilding maps, heaps and exponent vectors.
 
 // ReduceStats reports the work a reduction performed, which the
 // application layer uses to charge modelled compute time (reduction times
@@ -42,19 +43,25 @@ func SPoly(f, g *Poly) *Poly {
 	return a.Sub(b)
 }
 
-// monoKey encodes a monomial as a comparable map key (two bytes per
-// exponent, which bounds exponents at 65535 — far beyond any computation
-// this library performs).
-func monoKey(m Mono) string {
-	b := make([]byte, 2*len(m))
-	for i, e := range m {
-		b[2*i] = byte(e >> 8)
-		b[2*i+1] = byte(e)
+// appendMonoKey encodes a monomial into dst as a comparable map key (two
+// bytes per exponent, which bounds exponents at 65535 — far beyond any
+// computation this library performs).
+func appendMonoKey(dst []byte, m Mono) []byte {
+	for _, e := range m {
+		dst = append(dst, byte(e>>8), byte(e))
 	}
-	return string(b)
+	return dst
 }
 
-// monoHeap is a lazy max-heap of monomials under a ring order. Stale
+// monoKey returns the key as a fresh string (used by tests and cold paths).
+func monoKey(m Mono) string {
+	return string(appendMonoKey(make([]byte, 0, 2*len(m)), m))
+}
+
+// monoHeap is a concrete lazy max-heap of monomials under a ring order —
+// no container/heap, no interface boxing. Monomials in the heap are
+// pairwise distinct (the workspace map guards insertion), so the pop
+// order is the unique descending order regardless of heap shape. Stale
 // entries (monomials whose workspace coefficient has become zero) are
 // skipped at pop time.
 type monoHeap struct {
@@ -62,27 +69,95 @@ type monoHeap struct {
 	ms  []Mono
 }
 
-func (h *monoHeap) Len() int           { return len(h.ms) }
-func (h *monoHeap) Less(i, j int) bool { return h.ord.Compare(h.ms[i], h.ms[j]) > 0 }
-func (h *monoHeap) Swap(i, j int)      { h.ms[i], h.ms[j] = h.ms[j], h.ms[i] }
-func (h *monoHeap) Push(x any)         { h.ms = append(h.ms, x.(Mono)) }
-func (h *monoHeap) Pop() any {
-	n := len(h.ms)
-	m := h.ms[n-1]
-	h.ms = h.ms[:n-1]
-	return m
+func (h *monoHeap) len() int { return len(h.ms) }
+
+func (h *monoHeap) push(m Mono) {
+	s := append(h.ms, m)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ord.Compare(s[i], s[parent]) <= 0 {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	h.ms = s
 }
+
+func (h *monoHeap) pop() Mono {
+	s := h.ms
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil // release the exponent vector
+	s = s[:n]
+	h.ms = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.ord.Compare(s[r], s[best]) > 0 {
+			best = r
+		}
+		if h.ord.Compare(s[best], s[i]) <= 0 {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}
+
+// Reducer runs normal-form computations while retaining its internal
+// workspace — the monomial-keyed coefficient table, the monomial heap,
+// the key-encoding buffer and the exponent-vector scratch — across calls.
+// Reusing one Reducer across the reductions of a completion run removes
+// the dominant allocation sites of the GF(p) fast path. A Reducer is not
+// safe for concurrent use; the zero value is ready.
+type Reducer struct {
+	heap monoHeap
+	// ws maps an encoded monomial to its index in coefMod/coefRat.
+	// Entries are never deleted during a run: reduction only ever adds
+	// monomials strictly below the one being eliminated, so a popped
+	// monomial cannot re-enter the workspace.
+	ws      map[string]int
+	coefMod []int64
+	coefRat []*big.Rat
+	keyBuf  []byte
+	prod    Mono // scratch for base*shift exponent sums
+}
+
+// NewReducer returns an empty Reducer.
+func NewReducer() *Reducer { return &Reducer{} }
 
 // NormalForm reduces f completely modulo the basis G: the result has no
 // term divisible by any leading monomial of G. It returns the normal form
 // and reduction statistics. Zero and nil polynomials in G are ignored.
 //
 // The classical invariant holds: f = (combination of G) + result.
-func NormalForm(f *Poly, G []*Poly) (*Poly, ReduceStats) {
-	if f.ring.modInt != 0 {
-		return normalFormMod(f, G)
+func (r *Reducer) NormalForm(f *Poly, G []*Poly) (*Poly, ReduceStats) {
+	if r.ws == nil {
+		r.ws = make(map[string]int, f.NumTerms()*2)
+	} else {
+		clear(r.ws)
 	}
-	return normalFormRat(f, G)
+	r.heap.ord = f.ring.ord
+	r.heap.ms = r.heap.ms[:0]
+	if f.ring.modInt != 0 {
+		return r.normalFormMod(f, G)
+	}
+	return r.normalFormRat(f, G)
+}
+
+// NormalForm is the convenience form using a throwaway workspace. Hot
+// loops (Buchberger runs) should hold a Reducer instead.
+func NormalForm(f *Poly, G []*Poly) (*Poly, ReduceStats) {
+	var r Reducer
+	return r.NormalForm(f, G)
 }
 
 // findReducer returns some g in G whose leading monomial divides m,
@@ -100,34 +175,62 @@ func findReducer(m Mono, G []*Poly) *Poly {
 	return best
 }
 
+// lookupAdd resolves the workspace slot for base (times shift, when shift
+// is non-nil, computed into the reused scratch without allocating). It
+// returns the slot index and whether the monomial was already present; on
+// a miss the monomial is registered and pushed on the heap (cloning the
+// scratch product so the heap owns it).
+func (r *Reducer) lookupAdd(base, shift Mono) (int, bool) {
+	m := base
+	if shift != nil {
+		prod := r.prod[:0]
+		for i, e := range base {
+			prod = append(prod, e+shift[i])
+		}
+		r.prod = prod
+		m = prod
+	}
+	key := appendMonoKey(r.keyBuf[:0], m)
+	r.keyBuf = key
+	if idx, ok := r.ws[string(key)]; ok {
+		return idx, true
+	}
+	if shift != nil {
+		m = m.Clone()
+	}
+	r.heap.push(m)
+	idx := len(r.coefMod) + len(r.coefRat) // only one table is in use per call
+	r.ws[string(key)] = idx
+	return idx, false
+}
+
 // normalFormRat is the generic (Q) reduction engine.
-func normalFormRat(f *Poly, G []*Poly) (*Poly, ReduceStats) {
+func (r *Reducer) normalFormRat(f *Poly, G []*Poly) (*Poly, ReduceStats) {
 	var st ReduceStats
 	ring := f.ring
-	ws := make(map[string]*big.Rat, f.NumTerms()*2)
-	h := &monoHeap{ord: ring.ord}
-	add := func(m Mono, c *big.Rat) {
-		k := monoKey(m)
-		if cur, ok := ws[k]; ok {
+	r.coefRat = r.coefRat[:0]
+	add := func(base, shift Mono, c *big.Rat) {
+		if idx, ok := r.lookupAdd(base, shift); ok {
+			cur := r.coefRat[idx]
 			cur.Add(cur, c)
 		} else {
-			ws[k] = new(big.Rat).Set(c)
-			heap.Push(h, m)
+			// Fresh cell per entry: irreducible cells are handed to the
+			// output polynomial, so they cannot be pooled across calls.
+			r.coefRat = append(r.coefRat, new(big.Rat).Set(c))
 		}
 	}
 	for _, t := range f.terms {
-		add(t.Mono, t.Coef)
+		add(t.Mono, nil, t.Coef)
 	}
 	var rem []Term
-	for h.Len() > 0 {
-		m := heap.Pop(h).(Mono)
-		k := monoKey(m)
-		c, ok := ws[k]
-		if !ok || c.Sign() == 0 {
-			delete(ws, k)
+	for r.heap.len() > 0 {
+		m := r.heap.pop()
+		key := appendMonoKey(r.keyBuf[:0], m)
+		r.keyBuf = key
+		c := r.coefRat[r.ws[string(key)]]
+		if c.Sign() == 0 {
 			continue // stale entry
 		}
-		delete(ws, k)
 		g := findReducer(m, G)
 		if g == nil {
 			rem = append(rem, Term{Coef: c, Mono: m})
@@ -141,7 +244,7 @@ func normalFormRat(f *Poly, G []*Poly) (*Poly, ReduceStats) {
 		for _, gt := range g.terms[1:] {
 			delta := new(big.Rat).Mul(q, gt.Coef)
 			delta.Neg(delta)
-			add(gt.Mono.Mul(shift), delta)
+			add(gt.Mono, shift, delta)
 		}
 		st.Steps++
 		st.TermOps += g.NumTerms()
@@ -152,38 +255,31 @@ func normalFormRat(f *Poly, G []*Poly) (*Poly, ReduceStats) {
 }
 
 // normalFormMod is the GF(p) reduction engine with int64 residues.
-func normalFormMod(f *Poly, G []*Poly) (*Poly, ReduceStats) {
+func (r *Reducer) normalFormMod(f *Poly, G []*Poly) (*Poly, ReduceStats) {
 	var st ReduceStats
 	ring := f.ring
 	p := ring.modInt
-	ws := make(map[string]int64, f.NumTerms()*2)
-	h := &monoHeap{ord: ring.ord}
-	add := func(m Mono, c int64) {
-		k := monoKey(m)
-		if cur, ok := ws[k]; ok {
-			ws[k] = (cur + c) % p
+	r.coefMod = r.coefMod[:0]
+	add := func(base, shift Mono, c int64) {
+		if idx, ok := r.lookupAdd(base, shift); ok {
+			r.coefMod[idx] = (r.coefMod[idx] + c) % p
 		} else {
-			ws[k] = c % p
-			heap.Push(h, m)
+			r.coefMod = append(r.coefMod, c%p)
 		}
 	}
 	for _, t := range f.terms {
-		add(t.Mono, t.Coef.Num().Int64())
+		add(t.Mono, nil, t.Coef.Num().Int64())
 	}
 	var rem []Term
-	for h.Len() > 0 {
-		m := heap.Pop(h).(Mono)
-		k := monoKey(m)
-		c, ok := ws[k]
-		if !ok {
-			continue
-		}
+	for r.heap.len() > 0 {
+		m := r.heap.pop()
+		key := appendMonoKey(r.keyBuf[:0], m)
+		r.keyBuf = key
+		c := r.coefMod[r.ws[string(key)]]
 		c = ((c % p) + p) % p
 		if c == 0 {
-			delete(ws, k)
-			continue
+			continue // stale entry
 		}
-		delete(ws, k)
 		g := findReducer(m, G)
 		if g == nil {
 			rem = append(rem, Term{Coef: new(big.Rat).SetInt64(c), Mono: m})
@@ -195,7 +291,7 @@ func normalFormMod(f *Poly, G []*Poly) (*Poly, ReduceStats) {
 		shift := m.Div(glt.Mono)
 		for _, gt := range g.terms[1:] {
 			delta := p - q*gt.Coef.Num().Int64()%p // -q*coef mod p, in [0, p]
-			add(gt.Mono.Mul(shift), delta)
+			add(gt.Mono, shift, delta)
 		}
 		st.Steps++
 		st.TermOps += g.NumTerms()

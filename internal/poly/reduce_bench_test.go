@@ -1,0 +1,71 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchModSystem builds a deterministic GF(p) reduction workload: one
+// dividend and a small basis, mirroring the shape of Buchberger S-poly
+// reductions.
+func benchModSystem() (*Poly, []*Poly) {
+	r := NewRingMod(GrLex{}, 32003, "x", "y", "z")
+	rng := rand.New(rand.NewSource(11))
+	f := randPoly(r, rng, 24, 8)
+	G := []*Poly{
+		randPoly(r, rng, 6, 4),
+		randPoly(r, rng, 6, 4),
+		randPoly(r, rng, 6, 4),
+	}
+	return f, G
+}
+
+// TestReducerMatchesNormalForm pins the Reducer's reused-workspace paths
+// to the one-shot NormalForm across randomized systems over Q and GF(p):
+// interleaved calls on one Reducer must not leak state between reductions.
+func TestReducerMatchesNormalForm(t *testing.T) {
+	rings := []*Ring{
+		NewRing(GrLex{}, "x", "y", "z"),
+		NewRingMod(GrLex{}, 32003, "x", "y", "z"),
+	}
+	for _, r := range rings {
+		rng := rand.New(rand.NewSource(13))
+		red := NewReducer()
+		for i := 0; i < 50; i++ {
+			f := randPoly(r, rng, 8, 4)
+			G := []*Poly{randPoly(r, rng, 4, 3), randPoly(r, rng, 4, 3)}
+			want, wantSt := NormalForm(f, G)
+			got, gotSt := red.NormalForm(f, G)
+			if !got.Equal(want) {
+				t.Fatalf("mod=%v: Reducer NF %v != one-shot NF %v (f=%v G=%v)", r.Mod(), got, want, f, G)
+			}
+			if gotSt != wantSt {
+				t.Fatalf("mod=%v: stats %+v != %+v", r.Mod(), gotSt, wantSt)
+			}
+		}
+	}
+}
+
+// BenchmarkReducerNormalFormMod measures the GF(p) fast path with a reused
+// workspace — the configuration the Gröbner engines run. Allocations per
+// op should be bounded by the output polynomial, not the reduction volume.
+func BenchmarkReducerNormalFormMod(b *testing.B) {
+	f, G := benchModSystem()
+	red := NewReducer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red.NormalForm(f, G)
+	}
+}
+
+// BenchmarkNormalFormModOneShot is the same workload through the
+// convenience wrapper (fresh workspace per call), for comparison.
+func BenchmarkNormalFormModOneShot(b *testing.B) {
+	f, G := benchModSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NormalForm(f, G)
+	}
+}

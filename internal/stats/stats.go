@@ -20,6 +20,11 @@ type Sample struct {
 // Add appends a measurement.
 func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
 
+// AddAll appends measurements in order. Harness sweeps that evaluate
+// their cells on a worker pool use this to fold each configuration's
+// run slots back into a sample in the deterministic (run-index) order.
+func (s *Sample) AddAll(xs ...float64) { s.xs = append(s.xs, xs...) }
+
 // N returns the number of measurements.
 func (s *Sample) N() int { return len(s.xs) }
 
