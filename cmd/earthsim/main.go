@@ -8,6 +8,14 @@
 //	         [-balancer steal|random|roundrobin|none] [-distributed] [-live]
 //	         [-trace out.json] [-metrics] [-bars] [-stats-json out.json]
 //	         [-sample DUR] [-runs N] [-workers W]
+//	         [-faults PLAN] [-fault-seed S]
+//
+// -faults installs a deterministic fault plan on the simulated network
+// (message drops recovered by modelled retry/timeout, duplication
+// filtered by sequence numbers, bounded reordering, node pauses, link
+// degradation). The realisation derives from -seed unless the plan spec
+// carries seed=N or -fault-seed pins it; two invocations with the same
+// -faults and -fault-seed produce byte-identical statistics.
 //
 // With -runs N > 1 the simulation repeats on fresh runtimes seeded
 // seed, seed+7919, seed+2*7919, ... and reports the elapsed virtual
@@ -37,6 +45,7 @@ import (
 	"earth/internal/earth/livert"
 	"earth/internal/earth/simrt"
 	"earth/internal/eigen"
+	"earth/internal/faults"
 	"earth/internal/groebner"
 	"earth/internal/harness"
 	"earth/internal/neural"
@@ -68,6 +77,10 @@ func main() {
 	jitter := flag.Float64("jitter", 0, "percent of seeded jitter on modelled operation costs")
 	runs := flag.Int("runs", 1, "repeated seeded runs; > 1 reports elapsed mean/min/max")
 	workers := flag.Int("workers", 0, "host worker pool size for -runs > 1 (0 = GOMAXPROCS)")
+	faultSpec := flag.String("faults", "",
+		`fault plan, e.g. "drop=0.05,dup=0.02,reorder=0.1,window=200us,pause=2@1ms-2ms,degrade=*@0s-5msx4"`)
+	faultSeed := flag.Int64("fault-seed", 0,
+		"pin the fault realisation (0: derive from -seed, so -runs sweeps realisations)")
 	flag.Parse()
 
 	var costs earth.CostModel
@@ -106,6 +119,20 @@ func main() {
 		met = obs.NewMetrics()
 	}
 	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal, JitterPct: *jitter}
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fail("bad -faults: %v", err)
+		}
+		if *faultSeed != 0 {
+			plan.Seed = *faultSeed
+		}
+		if plan.Enabled() {
+			cfg.Faults = plan
+		}
+	} else if *faultSeed != 0 {
+		fail("-fault-seed requires -faults")
+	}
 	if rec != nil || met != nil {
 		// Multi drops the nil collector(s); with neither enabled the
 		// Tracer stays nil and the engines skip all event emission.
@@ -235,14 +262,19 @@ func main() {
 		fmt.Printf("wrote %d events to %s\n", rec.Len(), *tracePath)
 	}
 	if *statsJSON != "" {
+		faultsStr := ""
+		if cfg.Faults != nil {
+			faultsStr = cfg.Faults.String()
+		}
 		out := struct {
 			App     string       `json:"app"`
 			Nodes   int          `json:"nodes"`
 			Seed    int64        `json:"seed"`
 			Live    bool         `json:"live"`
+			Faults  string       `json:"faults,omitempty"`
 			Stats   *earth.Stats `json:"stats"`
 			Metrics *obs.Metrics `json:"metrics,omitempty"`
-		}{*app, *nodes, *seed, *live, st, met}
+		}{*app, *nodes, *seed, *live, faultsStr, st, met}
 		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fail("%v", err)

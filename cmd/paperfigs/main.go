@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations]
+//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos]
 //	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-workers W]
-//	          [-json out.json]
+//	          [-json out.json] [-faults PLAN]
+//
+// -exp chaos runs the fault-injection sweep: every workload under a
+// deterministic drop/dup/reorder plan (-faults, seed-pinnable) next to a
+// clean baseline, reporting convergence rate and slowdown per workload.
 //
 // The paper used 20 runs per Gröbner configuration; -runs 20 reproduces
 // that (slower). The default of 5 gives stable means in seconds.
@@ -25,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"earth/internal/faults"
 	"earth/internal/harness"
 )
 
@@ -35,6 +40,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	workers := flag.Int("workers", 0, "host worker pool size for sweep cells (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write reports (with figure series) as JSON")
+	faultSpec := flag.String("faults", "",
+		"fault plan for -exp chaos (default: the 5% drop + dup + reorder envelope)")
 	flag.Parse()
 
 	cfg := harness.Config{Runs: *runs, Seed: *seed, Workers: *workers}
@@ -84,6 +91,13 @@ func main() {
 			harness.AblationKnuthBendix(cfg),
 			harness.AblationPortedMachines(cfg),
 		}
+	case "chaos":
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: bad -faults: %v\n", err)
+			os.Exit(2)
+		}
+		reports = []*harness.Report{harness.FaultSweep(cfg, plan)}
 	default:
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q\n", *exp)
 		os.Exit(2)

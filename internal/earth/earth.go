@@ -44,6 +44,7 @@ package earth
 import (
 	"math/rand"
 
+	"earth/internal/faults"
 	"earth/internal/manna"
 	"earth/internal/sim"
 )
@@ -187,6 +188,17 @@ type Config struct {
 	// simrt emit EvUtilSample events for every node once per period of
 	// virtual time (built-in utilisation profiling; livert ignores it).
 	UtilSamplePeriod sim.Time
+	// Faults, when non-nil and enabled, injects deterministic seeded
+	// message faults (drop/duplicate/reorder delay, link degradation,
+	// node pauses) and activates the Retry recovery protocol. Under simrt
+	// the faulted run stays byte-reproducible for a given plan seed;
+	// under livert penalties are real wall-clock delays. Pause and
+	// degradation windows are interpreted in each engine's own clock
+	// (virtual time under simrt, wall time since run start under livert).
+	Faults *faults.Plan
+	// Retry tunes the recovery protocol used when Faults is set; zero
+	// fields take RetryPolicy defaults.
+	Retry RetryPolicy
 }
 
 // withDefaults normalises a Config.

@@ -63,6 +63,21 @@ const (
 	// Config.UtilSamplePeriod is set: Dur is the busy time the node
 	// accrued during the sample window ending at Time.
 	EvUtilSample
+	// EvFaultInjected reports a fault-plan intervention: Cause says which
+	// (CauseDrop/CauseDup/CauseDelay on the sending node of the affected
+	// message, CausePause on a paused node). Dur is the induced delay
+	// where one is modelled (total retransmit penalty, reorder hold-back,
+	// pause length).
+	EvFaultInjected
+	// EvTimedOut reports a modelled per-attempt ack timeout expiring on
+	// the sender of a dropped transmission; Dur is the armed timeout.
+	EvTimedOut
+	// EvRetry reports the retransmission following an EvTimedOut.
+	EvRetry
+	// EvRecovered reports a message landing after at least one dropped
+	// attempt: Dur is issue-to-delivery including all retransmit
+	// penalties, accounted to the receiving node.
+	EvRecovered
 
 	numEventKinds
 )
@@ -87,6 +102,10 @@ var eventKindNames = [numEventKinds]string{
 	EvStealGrant:    "steal.grant",
 	EvStealMiss:     "steal.miss",
 	EvUtilSample:    "util",
+	EvFaultInjected: "fault",
+	EvTimedOut:      "timeout",
+	EvRetry:         "retry",
+	EvRecovered:     "recovered",
 }
 
 func (k EventKind) String() string {
@@ -112,6 +131,13 @@ const (
 	CauseSteal
 	// CauseHandler: an active-message handler (Post delivery).
 	CauseHandler
+	// CauseDrop/CauseDup/CauseDelay/CausePause qualify EvFaultInjected
+	// (and the recovery events that follow a drop): which fault the plan
+	// injected.
+	CauseDrop
+	CauseDup
+	CauseDelay
+	CausePause
 
 	numCauses
 )
@@ -123,6 +149,10 @@ var causeNames = [numCauses]string{
 	CauseToken:   "token",
 	CauseSteal:   "steal",
 	CauseHandler: "handler",
+	CauseDrop:    "drop",
+	CauseDup:     "dup",
+	CauseDelay:   "delay",
+	CausePause:   "pause",
 }
 
 func (c Cause) String() string {

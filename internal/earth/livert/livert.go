@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"earth/internal/earth"
+	"earth/internal/faults"
 	"earth/internal/sim"
 )
 
@@ -66,6 +67,13 @@ type lnode struct {
 	tokensStolen uint64
 	syncs        uint64
 	busy         time.Duration
+
+	// Fault counters are atomics: senders and timers update them from
+	// arbitrary goroutines.
+	faultsInjected atomic.Uint64
+	retries        atomic.Uint64
+	recovered      atomic.Uint64
+	dupsDropped    atomic.Uint64
 }
 
 // Runtime is a real-concurrency EARTH machine.
@@ -79,6 +87,12 @@ type Runtime struct {
 	doneOnce    sync.Once
 	start       time.Time
 	running     atomic.Bool
+	// Fault injection (nil inj = clean run). Penalties are real
+	// wall-clock delays armed with timers; pause and degradation windows
+	// are interpreted in wall nanoseconds since run start.
+	inj   *faults.Injector
+	plan  *faults.Plan
+	retry earth.RetryPolicy
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -96,6 +110,11 @@ func New(cfg earth.Config) *Runtime {
 			wake: make(chan struct{}, 1),
 			rng:  rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i))),
 		}
+	}
+	if cfg.Faults.Enabled() {
+		rt.plan = cfg.Faults
+		rt.inj = faults.NewInjector(cfg.Faults, cfg.Seed)
+		rt.retry = cfg.Retry.WithDefaults()
 	}
 	return rt
 }
@@ -119,6 +138,13 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		n.handlers, n.ready, n.tokens = nil, nil, nil
 		n.threadsRun, n.tokensRun, n.tokensStolen, n.syncs = 0, 0, 0, 0
 		n.busy = 0
+		n.faultsInjected.Store(0)
+		n.retries.Store(0)
+		n.recovered.Store(0)
+		n.dupsDropped.Store(0)
+	}
+	if rt.inj != nil {
+		rt.inj.Reset()
 	}
 	var wg sync.WaitGroup
 	for _, n := range rt.nodes {
@@ -138,11 +164,15 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 	}
 	for i, n := range rt.nodes {
 		st.Nodes[i] = earth.NodeStats{
-			Busy:         sim.Time(n.busy.Nanoseconds()),
-			ThreadsRun:   n.threadsRun,
-			TokensRun:    n.tokensRun,
-			TokensStolen: n.tokensStolen,
-			Syncs:        n.syncs,
+			Busy:           sim.Time(n.busy.Nanoseconds()),
+			ThreadsRun:     n.threadsRun,
+			TokensRun:      n.tokensRun,
+			TokensStolen:   n.tokensStolen,
+			Syncs:          n.syncs,
+			FaultsInjected: n.faultsInjected.Load(),
+			Retries:        n.retries.Load(),
+			Recovered:      n.recovered.Load(),
+			DupsDropped:    n.dupsDropped.Load(),
 		}
 	}
 	return st
@@ -179,6 +209,124 @@ func (rt *Runtime) enqueueHandler(n *lnode, h earth.ThreadBody) {
 	n.handlers = append(n.handlers, h)
 	n.mu.Unlock()
 	n.poke()
+}
+
+// sendHandler routes a runtime message handler to dst, applying the
+// fault plan to remote legs when one is installed.
+func (rt *Runtime) sendHandler(src earth.NodeID, dst *lnode, h earth.ThreadBody) {
+	if rt.inj == nil || dst.id == src {
+		rt.enqueueHandler(dst, h)
+		return
+	}
+	v, delay := rt.faultVerdict(src, dst.id)
+	h = rt.dedupBody(v, src, dst, h)
+	rt.deliverAfter(delay, func() { rt.enqueueHandler(dst, h) })
+	if v.Dup {
+		rt.deliverAfter(delay+rt.retry.AttemptTimeout(0), func() { rt.enqueueHandler(dst, h) })
+	}
+}
+
+// sendItem routes a ready item (INVOKE or a placed token) to dst under
+// the fault plan. A suppressed duplicate still dispatches as an item
+// whose body is a no-op, so livert's thread counters can include
+// suppressed copies — acceptable on the wall-clock engine.
+func (rt *Runtime) sendItem(src earth.NodeID, dst *lnode, it item) {
+	if rt.inj == nil || dst.id == src {
+		rt.enqueue(dst, it)
+		return
+	}
+	v, delay := rt.faultVerdict(src, dst.id)
+	it.body = rt.dedupBody(v, src, dst, it.body)
+	rt.deliverAfter(delay, func() { rt.enqueue(dst, it) })
+	if v.Dup {
+		rt.deliverAfter(delay+rt.retry.AttemptTimeout(0), func() { rt.enqueue(dst, it) })
+	}
+}
+
+// faultVerdict draws the fault verdict for one remote message from src
+// to dst, emits the matching fault events, charges the sender's counters
+// and returns the wall-clock delivery penalty (retransmit timeouts plus
+// reorder hold-back).
+func (rt *Runtime) faultVerdict(src, dst earth.NodeID) (faults.Verdict, sim.Time) {
+	v := rt.inj.Next(rt.retry.MaxRetries)
+	sn := rt.nodes[src]
+	issue := rt.now()
+	var delay sim.Time
+	if v.Drops > 0 {
+		sn.faultsInjected.Add(1)
+		sn.retries.Add(uint64(v.Drops))
+		deadline := issue
+		for a := 0; a < v.Drops; a++ {
+			to := rt.retry.AttemptTimeout(a)
+			deadline += to
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: deadline, Node: src, Peer: dst,
+					Kind: earth.EvTimedOut, Dur: to, Cause: earth.CauseDrop})
+				rt.tr.Event(earth.Event{Time: deadline, Node: src, Peer: dst,
+					Kind: earth.EvRetry, Cause: earth.CauseDrop})
+			}
+		}
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: dst,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseDrop, Dur: deadline - issue})
+		}
+		delay = deadline - issue
+	}
+	if v.Delay > 0 {
+		sn.faultsInjected.Add(1)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: dst,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseDelay, Dur: v.Delay})
+		}
+		delay += v.Delay
+	}
+	if v.Dup {
+		sn.faultsInjected.Add(1)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: dst,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseDup})
+		}
+	}
+	return v, delay
+}
+
+// dedupBody wraps a delivered body with the sequence-numbered
+// idempotent-delivery check and recovery accounting; unfaulted messages
+// pass through untouched.
+func (rt *Runtime) dedupBody(v faults.Verdict, src earth.NodeID, dst *lnode, h earth.ThreadBody) earth.ThreadBody {
+	if !v.Faulted() {
+		return h
+	}
+	issue := rt.now()
+	return func(c earth.Ctx) {
+		if !rt.inj.FirstDelivery(v.Seq) {
+			dst.dupsDropped.Add(1)
+			return
+		}
+		if v.Drops > 0 {
+			dst.recovered.Add(1)
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: rt.now(), Node: dst.id, Peer: src,
+					Kind: earth.EvRecovered, Dur: rt.now() - issue, Cause: earth.CauseDrop})
+			}
+		}
+		h(c)
+	}
+}
+
+// deliverAfter runs deliver after the modelled wall-clock penalty. The
+// pending delivery stays counted as outstanding work, so quiescence
+// detection waits for faulted messages still in flight.
+func (rt *Runtime) deliverAfter(d sim.Time, deliver func()) {
+	if d <= 0 {
+		deliver()
+		return
+	}
+	rt.add()
+	time.AfterFunc(time.Duration(d), func() {
+		deliver()
+		rt.doneOne()
+	})
 }
 
 func (n *lnode) poke() {
@@ -257,6 +405,19 @@ func (n *lnode) loop() {
 				continue
 			case <-time.After(200 * time.Microsecond):
 				continue // re-scan pools: a victim may have deposited tokens
+			}
+		}
+		// A paused node holds its work until the window closes. Queues
+		// keep filling behind it; nothing executes.
+		if n.rt.plan.HasPause() {
+			now := n.rt.now()
+			if pu := n.rt.plan.PauseUntil(int(n.id), now); pu > now {
+				n.faultsInjected.Add(1)
+				if n.rt.tr != nil {
+					n.rt.tr.Event(earth.Event{Time: now, Node: n.id, Peer: earth.NoPeer,
+						Kind: earth.EvFaultInjected, Cause: earth.CausePause, Dur: pu - now})
+				}
+				time.Sleep(time.Duration(pu - now))
 			}
 		}
 		t0 := time.Now()
@@ -352,7 +513,7 @@ func (c *ctx) Sync(f *earth.Frame, slot int) {
 		home.decSlot(from, f, slot)
 		return
 	}
-	c.rt.enqueueHandler(home, func(earth.Ctx) { home.decSlot(from, f, slot) })
+	c.rt.sendHandler(from, home, func(earth.Ctx) { home.decSlot(from, f, slot) })
 }
 
 func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, slot int) {
@@ -372,7 +533,7 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: owner,
 			Kind: earth.EvPutSend, Bytes: nbytes})
 	}
-	rt.enqueueHandler(dst, func(hc earth.Ctx) {
+	rt.sendHandler(src, dst, func(hc earth.Ctx) {
 		write()
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{Time: rt.now(), Node: owner, Peer: src,
@@ -401,16 +562,23 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 		rt.tr.Event(earth.Event{Time: issue, Node: src.id, Peer: owner,
 			Kind: earth.EvGetSend, Bytes: nbytes})
 	}
-	rt.enqueueHandler(dst, func(earth.Ctx) {
+	rt.sendHandler(src.id, dst, func(earth.Ctx) {
 		deliver := read()
-		rt.enqueueHandler(src, func(hc earth.Ctx) {
+		rt.sendHandler(owner, src, func(earth.Ctx) {
 			deliver()
 			if rt.tr != nil {
 				rt.tr.Event(earth.Event{Time: rt.now(), Node: src.id, Peer: owner,
 					Kind: earth.EvGetDeliver, Bytes: nbytes, Dur: rt.now() - issue})
 			}
 			if f != nil {
-				hc.Sync(f, slot)
+				// The response semantically carries the sync, so the owner
+				// is the signalling node (matches simrt's accounting).
+				home := rt.nodes[f.Home]
+				if home == src {
+					home.decSlot(owner, f, slot)
+				} else {
+					rt.sendHandler(src.id, home, func(earth.Ctx) { home.decSlot(owner, f, slot) })
+				}
 			}
 		})
 	})
@@ -425,7 +593,7 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: nodeID,
 			Kind: earth.EvInvokeSend, Bytes: argBytes})
 	}
-	rt.enqueue(rt.nodes[nodeID], item{body: body, cause: earth.CauseInvoke})
+	rt.sendItem(src, rt.nodes[nodeID], item{body: body, cause: earth.CauseInvoke})
 }
 
 // Post delivers handler on the target's high-priority handler queue.
@@ -436,7 +604,7 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 		rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: nodeID,
 			Kind: earth.EvPostSend, Bytes: argBytes})
 	}
-	rt.enqueueHandler(rt.nodes[nodeID], handler)
+	rt.sendHandler(c.n.id, rt.nodes[nodeID], handler)
 }
 
 func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
@@ -449,14 +617,14 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: target,
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})
 		}
-		rt.enqueue(rt.nodes[target], item{body: body, token: true, cause: earth.CauseToken})
+		rt.sendItem(c.n.id, rt.nodes[target], item{body: body, token: true, cause: earth.CauseToken})
 	case earth.BalanceRoundRobin:
 		i := int(rt.rrNext.Add(1)-1) % len(rt.nodes)
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: earth.NodeID(i),
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})
 		}
-		rt.enqueue(rt.nodes[i], item{body: body, token: true, cause: earth.CauseToken})
+		rt.sendItem(c.n.id, rt.nodes[i], item{body: body, token: true, cause: earth.CauseToken})
 	default: // BalanceSteal, BalanceNone: pool locally
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: earth.NoPeer,

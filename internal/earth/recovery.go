@@ -1,0 +1,55 @@
+package earth
+
+import "earth/internal/sim"
+
+// RetryPolicy governs the modelled recovery protocol the engines apply
+// when a fault plan is installed: every split-phase message
+// (GET_SYNC/DATA_SYNC/BLKMOV legs, INVOKE, TOKEN shipping, sync signals,
+// posts) is covered by a per-attempt acknowledgement timeout; a lost
+// transmission is retransmitted after the timeout with capped exponential
+// backoff, and deliveries are sequence-numbered so duplicated or
+// reordered copies are idempotent.
+//
+// Under simrt the protocol is accounted in virtual time ("god view"): a
+// message the fault plan dropped k times arrives at the sum of its first
+// k attempt timeouts plus the final attempt's wire latency, and the
+// tracer sees the matching EvTimedOut/EvRetry/EvRecovered events. Under
+// livert the penalty is real wall-clock delay.
+type RetryPolicy struct {
+	// Timeout is the base per-attempt ack timeout. 0: 200µs, well above
+	// the MANNA round trip so clean traffic never times out.
+	Timeout sim.Time
+	// MaxRetries bounds retransmissions per message, and with it the
+	// worst-case delivery delay. 0: 8.
+	MaxRetries int
+	// MaxBackoff caps the backed-off timeout. 0: 32× Timeout.
+	MaxBackoff sim.Time
+}
+
+// WithDefaults normalises the policy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.Timeout <= 0 {
+		p.Timeout = 200 * sim.Microsecond
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 8
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 32 * p.Timeout
+	}
+	return p
+}
+
+// AttemptTimeout returns the ack timeout armed for the attempt-th
+// transmission (0-based): Timeout doubled per attempt, capped at
+// MaxBackoff.
+func (p RetryPolicy) AttemptTimeout(attempt int) sim.Time {
+	d := p.Timeout
+	for i := 0; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}

@@ -1,0 +1,40 @@
+package earth
+
+import (
+	"testing"
+
+	"earth/internal/sim"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.Timeout != 200*sim.Microsecond || p.MaxRetries != 8 || p.MaxBackoff != 32*p.Timeout {
+		t.Errorf("defaults: %+v", p)
+	}
+	// Explicit fields survive normalisation.
+	q := RetryPolicy{Timeout: sim.Millisecond, MaxRetries: 2, MaxBackoff: 4 * sim.Millisecond}.WithDefaults()
+	if q.Timeout != sim.Millisecond || q.MaxRetries != 2 || q.MaxBackoff != 4*sim.Millisecond {
+		t.Errorf("explicit: %+v", q)
+	}
+}
+
+func TestAttemptTimeoutBackoff(t *testing.T) {
+	p := RetryPolicy{Timeout: 100 * sim.Microsecond, MaxBackoff: 800 * sim.Microsecond}.WithDefaults()
+	want := []sim.Time{
+		100 * sim.Microsecond, // attempt 0
+		200 * sim.Microsecond,
+		400 * sim.Microsecond,
+		800 * sim.Microsecond,
+		800 * sim.Microsecond, // capped
+		800 * sim.Microsecond,
+	}
+	for i, w := range want {
+		if got := p.AttemptTimeout(i); got != w {
+			t.Errorf("AttemptTimeout(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// A huge attempt index must not overflow.
+	if got := p.AttemptTimeout(1 << 20); got != 800*sim.Microsecond {
+		t.Errorf("AttemptTimeout(big) = %v", got)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"math/rand"
 
 	"earth/internal/earth"
+	"earth/internal/faults"
 	"earth/internal/manna"
 	"earth/internal/sim"
 )
@@ -241,7 +242,11 @@ type msg struct {
 	issue    sim.Time
 	bytes    int
 	cause    earth.Cause
-	fire     func()
+	// seq is the fault-plan sequence number (0 = no plan active for this
+	// leg); drops is how many modelled retransmissions preceded delivery.
+	seq   uint64
+	drops uint16
+	fire  func()
 }
 
 // Runtime is a simulated EARTH machine.
@@ -263,6 +268,12 @@ type Runtime struct {
 	// pickVictim.
 	msgFree       []*msg
 	victimScratch []*node
+	// Fault injection (nil inj means a clean run: every fault hook is a
+	// single pointer check).
+	inj      *faults.Injector
+	plan     *faults.Plan
+	retry    earth.RetryPolicy
+	hasPause bool
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -296,6 +307,15 @@ func New(cfg earth.Config) *Runtime {
 		n.dispatchFn = func() { rt.dispatch(n) }
 		rt.nodes[i] = n
 	}
+	if cfg.Faults.Enabled() {
+		rt.plan = cfg.Faults
+		rt.inj = faults.NewInjector(cfg.Faults, cfg.Seed)
+		rt.retry = cfg.Retry.WithDefaults()
+		rt.hasPause = cfg.Faults.HasPause()
+		if cfg.Faults.HasDegrade() {
+			rt.mach.SetLinkScale(cfg.Faults.LinkScale)
+		}
+	}
 	return rt
 }
 
@@ -320,6 +340,8 @@ func (rt *Runtime) freeMsg(m *msg) {
 	m.read = nil
 	m.write = nil
 	m.deliver = nil
+	m.seq = 0
+	m.drops = 0
 	rt.msgFree = append(rt.msgFree, m)
 }
 
@@ -335,6 +357,9 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 	rt.mach.Reset()
 	rt.thieves = rt.thieves[:0]
 	rt.tokensInPools = 0
+	if rt.inj != nil {
+		rt.inj.Reset()
+	}
 	for _, n := range rt.nodes {
 		n.ready.reset()
 		n.tokens.reset()
@@ -433,6 +458,22 @@ func (rt *Runtime) enqueue(n *node, it item) {
 // dispatch pops and executes the next unit of work on n. It runs as a
 // simulator event at the node's availability time.
 func (rt *Runtime) dispatch(n *node) {
+	// A paused node defers its whole dispatch chain to the window's end.
+	// Messages still land and sync slots still fire during the pause (the
+	// Synchronization Unit keeps servicing the network); only thread
+	// execution stalls.
+	if rt.hasPause {
+		now := rt.eng.Now()
+		if pu := rt.plan.PauseUntil(int(n.id), now); pu > now {
+			n.stats.FaultsInjected++
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: now, Node: n.id, Peer: earth.NoPeer,
+					Kind: earth.EvFaultInjected, Cause: earth.CausePause, Dur: pu - now})
+			}
+			rt.eng.At(pu, n.dispatchFn)
+			return
+		}
+	}
 	// Receiver-side CPU debt delays the node.
 	if n.cpuDebt > 0 {
 		d := n.cpuDebt
@@ -524,8 +565,117 @@ func (rt *Runtime) stageRecv(m *msg, n *node, cost sim.Time) bool {
 	return false
 }
 
+// deliver schedules remote envelope m to fire at arrival, applying the
+// fault plan when one is installed. issue is when the sender-side
+// software finished.
+//
+// Recovery is accounted "god view" in virtual time: a transmission the
+// plan dropped k times arrives at issue plus the sum of its first k
+// capped-exponential ack timeouts plus the original wire latency — no
+// real timer events are scheduled, so clean portions of the run and
+// quiescence detection are untouched. A duplicated message is a cloned
+// envelope with the same sequence number one base timeout behind; the
+// receiver keeps the first copy (fireMsg's idempotent-delivery check).
+// Retransmissions do not re-charge NIC serialisation, a deliberate model
+// simplification.
+func (rt *Runtime) deliver(issue, arrival sim.Time, m *msg) {
+	if rt.inj == nil {
+		rt.eng.At(arrival, m.fire)
+		return
+	}
+	v := rt.inj.Next(rt.retry.MaxRetries)
+	m.seq = v.Seq
+	if m.issue == 0 {
+		m.issue = issue
+	}
+	sender := rt.nodes[m.from]
+	if v.Drops > 0 {
+		sender.stats.FaultsInjected++
+		sender.stats.Retries += uint64(v.Drops)
+		m.drops = uint16(v.Drops)
+		wire := arrival - issue
+		deadline := issue
+		for a := 0; a < v.Drops; a++ {
+			to := rt.retry.AttemptTimeout(a)
+			deadline += to
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+					Kind: earth.EvTimedOut, Dur: to, Bytes: m.bytes, Cause: earth.CauseDrop})
+				rt.tr.Event(earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+					Kind: earth.EvRetry, Bytes: m.bytes, Cause: earth.CauseDrop})
+			}
+		}
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: issue, Node: m.from, Peer: m.to,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseDrop, Bytes: m.bytes,
+				Dur: deadline - issue})
+		}
+		arrival = deadline + wire
+	}
+	if v.Delay > 0 {
+		sender.stats.FaultsInjected++
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: issue, Node: m.from, Peer: m.to,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseDelay, Bytes: m.bytes,
+				Dur: v.Delay})
+		}
+		arrival += v.Delay
+	}
+	if v.Dup {
+		sender.stats.FaultsInjected++
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: issue, Node: m.from, Peer: m.to,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseDup, Bytes: m.bytes})
+		}
+		d := rt.cloneMsg(m)
+		rt.eng.At(arrival+rt.retry.AttemptTimeout(0), d.fire)
+	}
+	rt.eng.At(arrival, m.fire)
+}
+
+// cloneMsg duplicates a scheduled envelope for duplicate injection. The
+// copy shares the original's closures and sequence number: whichever
+// copy fires second is suppressed by the idempotent-delivery check, so
+// the shared closures run at most once.
+func (rt *Runtime) cloneMsg(m *msg) *msg {
+	d := rt.newMsg()
+	d.kind = m.kind
+	d.stage = 0
+	d.from, d.to = m.from, m.to
+	d.f, d.slot = m.f, m.slot
+	d.body, d.read, d.write, d.deliver = m.body, m.read, m.write, m.deliver
+	d.recvCost = m.recvCost
+	d.issue = m.issue
+	d.bytes = m.bytes
+	d.cause = m.cause
+	d.seq = m.seq
+	d.drops = 0
+	return d
+}
+
 // fireMsg applies a message envelope at its scheduled time.
 func (rt *Runtime) fireMsg(m *msg) {
+	// Idempotent delivery under a fault plan: sequence-numbered envelopes
+	// are checked once, at arrival (stage 0), before any effect runs —
+	// the second copy of a duplicated message is discarded here, which is
+	// what makes duplicates and reorders safe (a doubled Sync would
+	// otherwise over-decrement its slot).
+	if m.seq != 0 && m.stage == 0 {
+		if !rt.inj.FirstDelivery(m.seq) {
+			rt.nodes[m.to].stats.DupsDropped++
+			rt.freeMsg(m)
+			return
+		}
+		if m.drops > 0 {
+			n := rt.nodes[m.to]
+			n.stats.Recovered++
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
+					Kind: earth.EvRecovered, Dur: rt.eng.Now() - m.issue, Bytes: m.bytes,
+					Cause: earth.CauseDrop})
+			}
+		}
+	}
 	switch m.kind {
 	case msgSync:
 		n := rt.nodes[m.f.Home]
@@ -583,15 +733,19 @@ func (rt *Runtime) fireMsg(m *msg) {
 			return
 		}
 		// Convert the envelope in place into the response leg carrying the
-		// payload back to the requester.
+		// payload back to the requester. The response is a fresh
+		// transmission: it gets its own fault verdict and sequence number
+		// (m.issue keeps the request's issue so EvGetDeliver's Dur stays
+		// the full round trip).
 		m.deliver = m.read()
 		m.read = nil
 		m.kind = msgGetResp
 		m.stage = 0
 		m.from, m.to = m.to, m.from
+		m.seq, m.drops = 0, 0
 		m.recvCost = rt.cfg.Costs.RecvCost(m.bytes, false)
 		arrival := rt.send(rt.eng.Now(), owner.id, m.to, m.bytes)
-		rt.eng.At(arrival, m.fire)
+		rt.deliver(rt.eng.Now(), arrival, m)
 
 	case msgGetResp:
 		src := rt.nodes[m.to]
@@ -633,17 +787,21 @@ func (rt *Runtime) fireMsg(m *msg) {
 			return
 		}
 		// Ship the victim's oldest token (largest subtree, for tree-shaped
-		// workloads) by converting the envelope into the grant leg.
+		// workloads) by converting the envelope into the grant leg. The
+		// grant is a fresh transmission with its own fault verdict; m.issue
+		// keeps the request's issue so EvStealGrant's Dur is the round trip.
 		tk := victim.tokens.popFront()
 		rt.tokensInPools--
-		arrival := rt.send(rt.eng.Now()+rt.cfg.Costs.AsyncSend, victim.id, thief.id, tk.argBytes)
+		grantIssue := rt.eng.Now() + rt.cfg.Costs.AsyncSend
+		arrival := rt.send(grantIssue, victim.id, thief.id, tk.argBytes)
 		m.kind = msgStealGrant
 		m.stage = 0
 		m.from, m.to = victim.id, thief.id
 		m.body = tk.body
 		m.bytes = tk.argBytes
+		m.seq, m.drops = 0, 0
 		m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
-		rt.eng.At(arrival, m.fire)
+		rt.deliver(grantIssue, arrival, m)
 
 	case msgStealGrant:
 		thief := rt.nodes[m.to]
@@ -681,9 +839,11 @@ func (rt *Runtime) sendSyncAt(ready sim.Time, from earth.NodeID, f *earth.Frame,
 	m := rt.newMsg()
 	m.kind = msgSync
 	m.from = from
+	m.to = f.Home
 	m.f = f
 	m.slot = slot
-	rt.eng.At(arrival, m.fire)
+	m.bytes = 8
+	rt.deliver(ready, arrival, m)
 }
 
 // decSlot decrements a slot on its home node and enqueues the enabled
@@ -729,7 +889,7 @@ func (rt *Runtime) depositToken(n *node, cursor sim.Time, tk token) sim.Time {
 		m.bytes = tk.argBytes
 		m.issue = cursor
 		m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
-		rt.eng.At(arrival, m.fire)
+		rt.deliver(cursor, arrival, m)
 		return cursor
 	}
 	tk.enq = cursor
@@ -770,7 +930,8 @@ func (rt *Runtime) trySteal(n *node) {
 	m.kind = msgStealReq
 	m.from, m.to = n.id, victim.id
 	m.issue = issue
-	rt.eng.At(reqArrival, m.fire)
+	m.bytes = stealReqBytes
+	rt.deliver(issue, reqArrival, m)
 }
 
 // pickVictim returns a random node with a non-empty token pool, or nil.
@@ -871,7 +1032,7 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 	m.bytes = nbytes
 	m.issue = issue
 	m.recvCost = rt.cfg.Costs.RecvCost(nbytes, false)
-	rt.eng.At(arrival, m.fire)
+	rt.deliver(issue, arrival, m)
 }
 
 func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.Frame, slot int) {
@@ -903,7 +1064,7 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 	m.bytes = nbytes
 	m.issue = issue
 	m.recvCost = rt.cfg.Costs.RecvCost(nbytes, true)
-	rt.eng.At(reqArrival, m.fire)
+	rt.deliver(issue, reqArrival, m)
 }
 
 func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
@@ -930,7 +1091,7 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 	m.issue = issue
 	m.cause = earth.CauseInvoke
 	m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
-	rt.eng.At(arrival, m.fire)
+	rt.deliver(issue, arrival, m)
 }
 
 // Post delivers handler on the target's message-handling path: its effect
@@ -964,8 +1125,9 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 	m.kind = msgPost
 	m.from, m.to = c.n.id, nodeID
 	m.body = handler
+	m.bytes = argBytes
 	m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
-	rt.eng.At(arrival, m.fire)
+	rt.deliver(c.cursor, arrival, m)
 }
 
 func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
@@ -1002,7 +1164,7 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 		m.bytes = argBytes
 		m.cause = earth.CauseToken
 		m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
-		rt.eng.At(arrival, m.fire)
+		rt.deliver(c.cursor, arrival, m)
 	default: // BalanceSteal, BalanceNone
 		c.cursor += rt.cfg.Costs.SpawnLocal
 		if rt.tr != nil {

@@ -28,6 +28,18 @@ type NodeStats struct {
 	BytesSent uint64
 	// Syncs counts sync-slot signals processed on this node.
 	Syncs uint64
+	// FaultsInjected counts fault-plan interventions charged to this
+	// node: dropped, duplicated or delayed messages it sent, and pause
+	// windows it served. Zero without a fault plan.
+	FaultsInjected uint64
+	// Retries counts modelled retransmissions of messages this node sent.
+	Retries uint64
+	// Recovered counts messages delivered here after at least one
+	// dropped attempt.
+	Recovered uint64
+	// DupsDropped counts duplicate deliveries suppressed here by the
+	// sequence-numbered idempotent-delivery check.
+	DupsDropped uint64
 }
 
 // Stats summarises one run.
@@ -77,6 +89,33 @@ func (s *Stats) TotalSteals() uint64 {
 	return n
 }
 
+// TotalFaults sums fault-plan interventions across nodes.
+func (s *Stats) TotalFaults() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].FaultsInjected
+	}
+	return n
+}
+
+// TotalRetries sums modelled retransmissions across nodes.
+func (s *Stats) TotalRetries() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].Retries
+	}
+	return n
+}
+
+// TotalRecovered sums recovered deliveries across nodes.
+func (s *Stats) TotalRecovered() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].Recovered
+	}
+	return n
+}
+
 // BusyFraction returns busy/elapsed clamped to [0,1]. The clamp matters
 // under simrt, where Synchronization-Unit/handler time runs concurrently
 // with the execution unit and a saturated node's Busy can exceed the
@@ -110,13 +149,35 @@ func (s *Stats) Utilization() float64 {
 // and an explicit _ns suffix on times, so exported artifacts stay
 // readable and diffable.
 type nodeStatsJSON struct {
-	BusyNS       sim.Time `json:"busy_ns"`
-	ThreadsRun   uint64   `json:"threads_run"`
-	TokensRun    uint64   `json:"tokens_run"`
-	TokensStolen uint64   `json:"tokens_stolen"`
-	MsgsSent     uint64   `json:"msgs_sent"`
-	BytesSent    uint64   `json:"bytes_sent"`
-	Syncs        uint64   `json:"syncs"`
+	BusyNS         sim.Time `json:"busy_ns"`
+	ThreadsRun     uint64   `json:"threads_run"`
+	TokensRun      uint64   `json:"tokens_run"`
+	TokensStolen   uint64   `json:"tokens_stolen"`
+	MsgsSent       uint64   `json:"msgs_sent"`
+	BytesSent      uint64   `json:"bytes_sent"`
+	Syncs          uint64   `json:"syncs"`
+	FaultsInjected uint64   `json:"faults_injected,omitempty"`
+	Retries        uint64   `json:"retries,omitempty"`
+	Recovered      uint64   `json:"recovered,omitempty"`
+	DupsDropped    uint64   `json:"dups_dropped,omitempty"`
+}
+
+// statsJSON is the wire form of Stats: per-node counters plus derived
+// totals. The fault counters are omitempty, so clean-run artifacts are
+// byte-identical to those of earlier versions.
+type statsJSON struct {
+	ElapsedNS   sim.Time        `json:"elapsed_ns"`
+	Events      uint64          `json:"events,omitempty"`
+	Utilization float64         `json:"utilization"`
+	Threads     uint64          `json:"threads"`
+	Msgs        uint64          `json:"msgs"`
+	Bytes       uint64          `json:"bytes"`
+	Steals      uint64          `json:"steals"`
+	Faults      uint64          `json:"faults,omitempty"`
+	Retries     uint64          `json:"retries,omitempty"`
+	Recovered   uint64          `json:"recovered,omitempty"`
+	DupsDropped uint64          `json:"dups_dropped,omitempty"`
+	Nodes       []nodeStatsJSON `json:"nodes"`
 }
 
 // MarshalJSON exports the run summary machine-readably: per-node
@@ -124,27 +185,24 @@ type nodeStatsJSON struct {
 // write as diffable artifacts.
 func (s *Stats) MarshalJSON() ([]byte, error) {
 	nodes := make([]nodeStatsJSON, len(s.Nodes))
+	var dups uint64
 	for i, n := range s.Nodes {
 		nodes[i] = nodeStatsJSON{
-			BusyNS:       n.Busy,
-			ThreadsRun:   n.ThreadsRun,
-			TokensRun:    n.TokensRun,
-			TokensStolen: n.TokensStolen,
-			MsgsSent:     n.MsgsSent,
-			BytesSent:    n.BytesSent,
-			Syncs:        n.Syncs,
+			BusyNS:         n.Busy,
+			ThreadsRun:     n.ThreadsRun,
+			TokensRun:      n.TokensRun,
+			TokensStolen:   n.TokensStolen,
+			MsgsSent:       n.MsgsSent,
+			BytesSent:      n.BytesSent,
+			Syncs:          n.Syncs,
+			FaultsInjected: n.FaultsInjected,
+			Retries:        n.Retries,
+			Recovered:      n.Recovered,
+			DupsDropped:    n.DupsDropped,
 		}
+		dups += n.DupsDropped
 	}
-	return json.Marshal(struct {
-		ElapsedNS   sim.Time        `json:"elapsed_ns"`
-		Events      uint64          `json:"events,omitempty"`
-		Utilization float64         `json:"utilization"`
-		Threads     uint64          `json:"threads"`
-		Msgs        uint64          `json:"msgs"`
-		Bytes       uint64          `json:"bytes"`
-		Steals      uint64          `json:"steals"`
-		Nodes       []nodeStatsJSON `json:"nodes"`
-	}{
+	return json.Marshal(statsJSON{
 		ElapsedNS:   s.Elapsed,
 		Events:      s.Events,
 		Utilization: s.Utilization(),
@@ -152,15 +210,53 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 		Msgs:        s.TotalMsgs(),
 		Bytes:       s.TotalBytes(),
 		Steals:      s.TotalSteals(),
+		Faults:      s.TotalFaults(),
+		Retries:     s.TotalRetries(),
+		Recovered:   s.TotalRecovered(),
+		DupsDropped: dups,
 		Nodes:       nodes,
 	})
 }
 
-// String renders a compact single-run summary.
+// UnmarshalJSON is the inverse of MarshalJSON: it restores the per-node
+// counters and the stored scalars (the derived totals are recomputed on
+// demand), so exported artifacts round-trip.
+func (s *Stats) UnmarshalJSON(b []byte) error {
+	var w statsJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.Elapsed = w.ElapsedNS
+	s.Events = w.Events
+	s.Nodes = make([]NodeStats, len(w.Nodes))
+	for i, n := range w.Nodes {
+		s.Nodes[i] = NodeStats{
+			Busy:           n.BusyNS,
+			ThreadsRun:     n.ThreadsRun,
+			TokensRun:      n.TokensRun,
+			TokensStolen:   n.TokensStolen,
+			MsgsSent:       n.MsgsSent,
+			BytesSent:      n.BytesSent,
+			Syncs:          n.Syncs,
+			FaultsInjected: n.FaultsInjected,
+			Retries:        n.Retries,
+			Recovered:      n.Recovered,
+			DupsDropped:    n.DupsDropped,
+		}
+	}
+	return nil
+}
+
+// String renders a compact single-run summary. The fault counters only
+// appear when a fault plan actually intervened, keeping clean-run output
+// stable.
 func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "elapsed=%v nodes=%d threads=%d msgs=%d bytes=%d steals=%d util=%.2f",
 		s.Elapsed, len(s.Nodes), s.TotalThreads(), s.TotalMsgs(), s.TotalBytes(),
 		s.TotalSteals(), s.Utilization())
+	if f := s.TotalFaults(); f > 0 {
+		fmt.Fprintf(&b, " faults=%d retries=%d recovered=%d", f, s.TotalRetries(), s.TotalRecovered())
+	}
 	return b.String()
 }

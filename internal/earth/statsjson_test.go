@@ -1,0 +1,62 @@
+package earth
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"earth/internal/sim"
+)
+
+// TestStatsJSONRoundTrip: MarshalJSON and UnmarshalJSON are inverses on
+// the persisted fields, including the fault/recovery counters.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	orig := &Stats{
+		Elapsed: 3 * sim.Millisecond,
+		Nodes: []NodeStats{
+			{Busy: sim.Millisecond, ThreadsRun: 5, MsgsSent: 4, BytesSent: 512, Syncs: 2,
+				FaultsInjected: 3, Retries: 2, Recovered: 1},
+			{Busy: 2 * sim.Millisecond, TokensRun: 7, TokensStolen: 2, DupsDropped: 4},
+		},
+		Events: 123,
+	}
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, orig) {
+		t.Errorf("round trip diverges:\n got %+v\nwant %+v", &got, orig)
+	}
+	// A second marshal must be byte-identical — the property the chaos
+	// reproducibility checks in CI rely on.
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("re-marshal diverges:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+// TestStatsJSONOmitsZeroFaultFields: clean runs serialise exactly as
+// they did before the fault fields existed.
+func TestStatsJSONOmitsZeroFaultFields(t *testing.T) {
+	st := &Stats{Elapsed: sim.Millisecond, Nodes: []NodeStats{{ThreadsRun: 1}}}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"faults", "retries", "recovered", "dups_dropped"} {
+		if strings.Contains(string(b), key) {
+			t.Errorf("clean stats JSON contains %q:\n%s", key, b)
+		}
+	}
+	if s := st.String(); strings.Contains(s, "faults=") {
+		t.Errorf("clean stats String mentions faults: %s", s)
+	}
+}

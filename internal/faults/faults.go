@@ -1,0 +1,414 @@
+// Package faults provides a deterministic, seeded fault plan for the
+// simulated MANNA network and the live runtime: per-message drop,
+// duplication and reorder-window delay probabilities, plus transient
+// link-degradation and node-pause windows.
+//
+// A Plan is pure data; an Injector owns the plan's random stream and the
+// per-run delivery bookkeeping. Every fault decision is drawn from the
+// injector's own seeded RNG, in message-issue order, so a chaos run under
+// the deterministic simulator is byte-reproducible: same plan, same seed,
+// same faults. The engines translate verdicts into their own recovery
+// machinery (capped exponential-backoff retransmits for drops,
+// sequence-numbered first-delivery-wins dedup for duplicates).
+//
+// Plans parse from a compact spec string (the -faults flag):
+//
+//	drop=0.05,dup=0.02,reorder=0.1,window=200us,seed=7
+//	pause=2@1ms-2ms            node 2 dispatches nothing in [1ms,2ms)
+//	pause=*@500us-600us        every node pauses
+//	degrade=*@0-5msx4          all links 4x slower in [0,5ms)
+//	degrade=3@1ms-2msx8        links touching node 3, 8x slower
+//
+// The package depends only on internal/sim, so every layer above it
+// (manna, earth, the engines, the harness) can import it freely.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"earth/internal/sim"
+)
+
+// Window is a time interval [From,To) during which a fault condition
+// holds on one node (or all nodes, Node == -1). For degradation windows
+// Factor is the wire-time multiplier; pause windows ignore it.
+type Window struct {
+	From, To sim.Time
+	Node     int
+	Factor   float64
+}
+
+// contains reports whether the window covers node at time at.
+func (w Window) contains(node int, at sim.Time) bool {
+	return (w.Node < 0 || w.Node == node) && at >= w.From && at < w.To
+}
+
+// Plan is a declarative fault schedule. The zero value injects nothing.
+type Plan struct {
+	// Seed feeds the injector's RNG. 0 defers to the runtime's seed, so a
+	// seed sweep explores different fault realisations automatically.
+	Seed int64
+	// Drop is the per-transmission loss probability in [0,1). Each loss
+	// costs the sender one retransmit timeout (capped exponential
+	// backoff); losses repeat until a transmission survives or the retry
+	// budget is exhausted.
+	Drop float64
+	// Dup is the probability a message is delivered twice. The duplicate
+	// carries the same sequence number and arrives one base timeout
+	// later; receivers keep the first copy.
+	Dup float64
+	// Reorder is the probability a message is held back by a uniform
+	// extra delay in (0,Window], letting later messages overtake it.
+	Reorder float64
+	// Window is the maximum reorder delay. 0 defaults to 100µs when
+	// Reorder is set.
+	Window sim.Time
+	// Degrade lists transient link-degradation windows: wire time of
+	// sends touching Window.Node (or all) is multiplied by Factor.
+	Degrade []Window
+	// Pause lists node-pause windows: the node's dispatcher stalls until
+	// the window closes (messages still land; nothing executes).
+	Pause []Window
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p *Plan) Enabled() bool {
+	return p != nil && (p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 ||
+		len(p.Degrade) > 0 || len(p.Pause) > 0)
+}
+
+// HasDegrade reports whether any link-degradation window is configured.
+func (p *Plan) HasDegrade() bool { return p != nil && len(p.Degrade) > 0 }
+
+// HasPause reports whether any node-pause window is configured.
+func (p *Plan) HasPause() bool { return p != nil && len(p.Pause) > 0 }
+
+// Validate reports an error for meaningless plans.
+func (p *Plan) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v >= 1 || v != v {
+			return fmt.Errorf("faults: %s = %v, need a probability in [0,1)", name, v)
+		}
+		return nil
+	}
+	if err := check("drop", p.Drop); err != nil {
+		return err
+	}
+	if err := check("dup", p.Dup); err != nil {
+		return err
+	}
+	if err := check("reorder", p.Reorder); err != nil {
+		return err
+	}
+	if p.Window < 0 {
+		return fmt.Errorf("faults: negative reorder window %v", p.Window)
+	}
+	for _, w := range p.Degrade {
+		if w.To <= w.From {
+			return fmt.Errorf("faults: degrade window [%v,%v) is empty", w.From, w.To)
+		}
+		if w.Factor < 1 {
+			return fmt.Errorf("faults: degrade factor %g, need >= 1", w.Factor)
+		}
+	}
+	for _, w := range p.Pause {
+		if w.To <= w.From {
+			return fmt.Errorf("faults: pause window [%v,%v) is empty", w.From, w.To)
+		}
+	}
+	return nil
+}
+
+// window returns the effective reorder window.
+func (p *Plan) window() sim.Time {
+	if p.Window > 0 {
+		return p.Window
+	}
+	return 100 * sim.Microsecond
+}
+
+// LinkScale returns the wire-time multiplier for a send from src to dst
+// starting at time at: the product of all matching degradation windows
+// (a window matches when it covers either endpoint), 1 when none match.
+// The signature matches manna's Machine.SetLinkScale hook.
+func (p *Plan) LinkScale(at sim.Time, src, dst int) float64 {
+	s := 1.0
+	for _, w := range p.Degrade {
+		if at >= w.From && at < w.To && (w.Node < 0 || w.Node == src || w.Node == dst) {
+			s *= w.Factor
+		}
+	}
+	return s
+}
+
+// PauseUntil returns the time node may resume dispatching: the end of the
+// pause window covering at, or at itself when the node is not paused.
+func (p *Plan) PauseUntil(node int, at sim.Time) sim.Time {
+	for _, w := range p.Pause {
+		if w.contains(node, at) {
+			return w.To
+		}
+	}
+	return at
+}
+
+// String renders the plan in the Parse spec grammar.
+func (p *Plan) String() string {
+	var parts []string
+	add := func(name string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", name, v))
+		}
+	}
+	add("drop", p.Drop)
+	add("dup", p.Dup)
+	add("reorder", p.Reorder)
+	if p.Window > 0 {
+		parts = append(parts, fmt.Sprintf("window=%v", time.Duration(p.Window)))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	node := func(n int) string {
+		if n < 0 {
+			return "*"
+		}
+		return strconv.Itoa(n)
+	}
+	for _, w := range p.Pause {
+		parts = append(parts, fmt.Sprintf("pause=%s@%v-%v",
+			node(w.Node), time.Duration(w.From), time.Duration(w.To)))
+	}
+	for _, w := range p.Degrade {
+		parts = append(parts, fmt.Sprintf("degrade=%s@%v-%vx%g",
+			node(w.Node), time.Duration(w.From), time.Duration(w.To), w.Factor))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a Plan from a comma-separated spec (see the package
+// comment for the grammar). An empty spec yields an empty plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q: want key=value", field)
+		}
+		var err error
+		switch key {
+		case "drop":
+			p.Drop, err = parseProb(key, val)
+		case "dup":
+			p.Dup, err = parseProb(key, val)
+		case "reorder":
+			p.Reorder, err = parseProb(key, val)
+		case "window":
+			p.Window, err = parseDur(key, val)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("faults: seed %q: %v", val, err)
+			}
+		case "pause":
+			var w Window
+			w, err = parseWindow(key, val, false)
+			p.Pause = append(p.Pause, w)
+		case "degrade":
+			var w Window
+			w, err = parseWindow(key, val, true)
+			p.Degrade = append(p.Degrade, w)
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, p.Validate()
+}
+
+func parseProb(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f < 0 || f >= 1 {
+		return 0, fmt.Errorf("faults: %s=%q: want a probability in [0,1)", key, val)
+	}
+	return f, nil
+}
+
+func parseDur(key, val string) (sim.Time, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("faults: %s=%q: want a non-negative duration", key, val)
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// parseWindow parses "<node|*>@<from>-<to>" with an "x<factor>" suffix
+// when factored (degrade windows).
+func parseWindow(key, val string, factored bool) (Window, error) {
+	w := Window{Factor: 1}
+	nodePart, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return w, fmt.Errorf("faults: %s=%q: want <node|*>@<from>-<to>", key, val)
+	}
+	if nodePart == "*" {
+		w.Node = -1
+	} else {
+		n, err := strconv.Atoi(nodePart)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("faults: %s=%q: bad node %q", key, val, nodePart)
+		}
+		w.Node = n
+	}
+	if factored {
+		span, fpart, ok := cutLast(rest, "x")
+		if !ok {
+			return w, fmt.Errorf("faults: %s=%q: want ...x<factor>", key, val)
+		}
+		f, err := strconv.ParseFloat(fpart, 64)
+		if err != nil || f < 1 {
+			return w, fmt.Errorf("faults: %s=%q: bad factor %q (need >= 1)", key, val, fpart)
+		}
+		w.Factor = f
+		rest = span
+	}
+	fromPart, toPart, ok := strings.Cut(rest, "-")
+	if !ok {
+		return w, fmt.Errorf("faults: %s=%q: want <from>-<to>", key, val)
+	}
+	var err error
+	if w.From, err = parseDur(key, fromPart); err != nil {
+		return w, err
+	}
+	if w.To, err = parseDur(key, toPart); err != nil {
+		return w, err
+	}
+	if w.To <= w.From {
+		return w, fmt.Errorf("faults: %s=%q: window is empty", key, val)
+	}
+	return w, nil
+}
+
+// cutLast cuts s around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// Verdict is the injector's decision for one message transmission.
+type Verdict struct {
+	// Seq is the message's unique sequence number (never 0). Duplicates
+	// share the original's Seq.
+	Seq uint64
+	// Drops is how many transmission attempts were lost before one got
+	// through; each costs the sender a retransmit timeout.
+	Drops int
+	// Dup requests a duplicate delivery of the same sequence number.
+	Dup bool
+	// Delay is extra in-network latency (reorder-window hold-back).
+	Delay sim.Time
+}
+
+// Faulted reports whether the verdict perturbs the message at all.
+func (v Verdict) Faulted() bool { return v.Drops > 0 || v.Dup || v.Delay > 0 }
+
+// Injector owns a plan's random stream and per-run delivery bookkeeping.
+// It is safe for concurrent use (livert calls it from every executor);
+// under simrt all calls come from the simulation goroutine in
+// deterministic order, which is what makes chaos runs reproducible.
+type Injector struct {
+	mu   sync.Mutex
+	plan *Plan
+	seed int64
+	rng  *rand.Rand
+	seq  uint64
+	// dup tracks sequence numbers that were duplicated and not yet seen
+	// twice: absent = single delivery, false = no copy delivered yet,
+	// true = one copy delivered. Entries self-clean on the second copy.
+	dup map[uint64]bool
+}
+
+// NewInjector builds an injector for plan. When the plan has no seed of
+// its own, fallbackSeed (typically the runtime's Config.Seed) is used, so
+// seed sweeps vary the fault realisation along with the schedule.
+func NewInjector(plan *Plan, fallbackSeed int64) *Injector {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = fallbackSeed*1_000_003 + 12289
+	}
+	in := &Injector{plan: plan, seed: seed}
+	in.Reset()
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// Reset rewinds the random stream and clears delivery bookkeeping, so a
+// re-run of the same program sees the same fault sequence.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng = rand.New(rand.NewSource(in.seed))
+	in.seq = 0
+	in.dup = make(map[uint64]bool)
+}
+
+// Next draws the fault verdict for the next message transmission.
+// maxDrops caps the consecutive losses (the sender's retry budget), which
+// guarantees every message is eventually delivered.
+func (in *Injector) Next(maxDrops int) Verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seq++
+	v := Verdict{Seq: in.seq}
+	p := in.plan
+	if p.Drop > 0 {
+		for v.Drops < maxDrops && in.rng.Float64() < p.Drop {
+			v.Drops++
+		}
+	}
+	if p.Dup > 0 && in.rng.Float64() < p.Dup {
+		v.Dup = true
+		in.dup[v.Seq] = false
+	}
+	if p.Reorder > 0 && in.rng.Float64() < p.Reorder {
+		v.Delay = sim.Time(in.rng.Int63n(int64(p.window()))) + 1
+	}
+	return v
+}
+
+// FirstDelivery reports whether this is the first arrival of sequence
+// number seq; the second arrival of a duplicated message returns false
+// (and must be discarded by the caller). Non-duplicated messages always
+// return true without bookkeeping.
+func (in *Injector) FirstDelivery(seq uint64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seen, dup := in.dup[seq]
+	if !dup {
+		return true
+	}
+	if seen {
+		delete(in.dup, seq)
+		return false
+	}
+	in.dup[seq] = true
+	return true
+}

@@ -21,6 +21,7 @@ package manna
 
 import (
 	"fmt"
+	"math"
 
 	"earth/internal/sim"
 )
@@ -83,14 +84,20 @@ func (c Config) Validate() error {
 	if c.Nodes <= 0 {
 		return fmt.Errorf("manna: Nodes = %d, need >= 1", c.Nodes)
 	}
-	if c.BandwidthBytesPerSec <= 0 {
-		return fmt.Errorf("manna: bandwidth must be positive, got %g", c.BandwidthBytesPerSec)
+	// NaN fails every comparison, so a plain <= 0 test would wave NaN
+	// through and every TxTime would come out NaN; +Inf would silently
+	// zero all transfer times. Reject both as configuration errors.
+	if !(c.BandwidthBytesPerSec > 0) || math.IsInf(c.BandwidthBytesPerSec, 0) {
+		return fmt.Errorf("manna: bandwidth must be positive and finite, got %g", c.BandwidthBytesPerSec)
 	}
 	if c.HopLatency < 0 {
 		return fmt.Errorf("manna: negative hop latency %v", c.HopLatency)
 	}
 	if c.CrossbarPorts < 2 {
 		return fmt.Errorf("manna: CrossbarPorts = %d, need >= 2", c.CrossbarPorts)
+	}
+	if c.MemoryBytes < 0 {
+		return fmt.Errorf("manna: negative memory size %d", c.MemoryBytes)
 	}
 	return nil
 }
@@ -134,6 +141,9 @@ func (c Config) TxTime(nbytes int) sim.Time {
 type Machine struct {
 	cfg       Config
 	nicFreeAt []sim.Time
+	// linkScale, when set, multiplies wire time per send (transient link
+	// degradation from a fault plan). See SetLinkScale.
+	linkScale func(at sim.Time, src, dst int) float64
 	// Stats
 	Messages  uint64
 	Bytes     uint64
@@ -172,10 +182,26 @@ func (m *Machine) Send(ready sim.Time, src, dst, nbytes int) (arrival sim.Time) 
 		start = m.nicFreeAt[src]
 	}
 	tx := m.cfg.TxTime(nbytes)
+	lat := sim.Time(m.cfg.Hops(src, dst)) * m.cfg.HopLatency
+	if m.linkScale != nil {
+		if s := m.linkScale(start, src, dst); s > 1 {
+			tx = sim.Time(float64(tx) * s)
+			lat = sim.Time(float64(lat) * s)
+		}
+	}
 	m.nicFreeAt[src] = start + tx
 	m.Messages++
 	m.Bytes += uint64(nbytes)
-	return start + tx + sim.Time(m.cfg.Hops(src, dst))*m.cfg.HopLatency
+	return start + tx + lat
+}
+
+// SetLinkScale installs a wire-time multiplier consulted on every remote
+// send with the transmission start time and endpoints. Factors > 1
+// stretch both the serialisation time (occupying the NIC longer) and the
+// hop latency; factors <= 1 are ignored. A fault plan's LinkScale method
+// matches this signature. Pass nil to remove.
+func (m *Machine) SetLinkScale(fn func(at sim.Time, src, dst int) float64) {
+	m.linkScale = fn
 }
 
 // NICFreeAt exposes the current NIC reservation of a node (for tests and

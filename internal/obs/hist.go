@@ -37,10 +37,15 @@ func bucketOf(v int64) int {
 	return bits.Len64(uint64(v))
 }
 
-// bucketLow returns the inclusive lower bound of bucket i.
+// bucketLow returns the inclusive lower bound of bucket i, saturating at
+// MaxInt64: bucket 64's nominal bound 2^63 overflows int64 and would
+// otherwise render (and midpoint-compute) as a negative number.
 func bucketLow(i int) int64 {
 	if i == 0 {
 		return 0
+	}
+	if i >= 64 {
+		return math.MaxInt64
 	}
 	return int64(1) << (i - 1)
 }
@@ -88,12 +93,15 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for i, c := range h.counts {
 		seen += c
 		if seen > rank {
-			lo := bucketLow(i)
-			hi := lo * 2
 			if i == 0 {
 				return clamp64(0, h.min, h.max)
 			}
-			mid := int64(math.Sqrt(float64(lo) * float64(hi)))
+			lo, hi := bucketLow(i), bucketLow(i+1)
+			midf := math.Sqrt(float64(lo) * float64(hi))
+			mid := int64(math.MaxInt64)
+			if midf < math.MaxInt64 {
+				mid = int64(midf)
+			}
 			return clamp64(mid, h.min, h.max)
 		}
 	}
