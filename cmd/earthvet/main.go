@@ -1,0 +1,110 @@
+// Command earthvet is the repo's domain-specific vet driver: it runs the
+// determinism and EARTH-API analyzers (detlint, synclint, locklint) over
+// the given package patterns and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/earthvet ./...
+//	go run ./cmd/earthvet -list
+//	go run ./cmd/earthvet -only detlint ./internal/harness/...
+//
+// Findings print as file:line:col: [analyzer] message. A finding is
+// silenced in source with a //<analyzer>:allow <reason> comment — the
+// reason is mandatory and reasonless directives are themselves findings.
+//
+// earthvet is built on the stdlib-only framework in internal/analysis
+// (no golang.org/x/tools dependency), so it runs offline straight from
+// the module: loading uses `go list -export` against the local build
+// cache.
+//
+// Exit codes: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"earth/internal/analysis/detlint"
+	"earth/internal/analysis/framework"
+	"earth/internal/analysis/locklint"
+	"earth/internal/analysis/synclint"
+)
+
+var analyzers = []*framework.Analyzer{
+	detlint.Analyzer,
+	synclint.Analyzer,
+	locklint.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: earthvet [-list] [-only names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *only != "" {
+		byName := map[string]*framework.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "earthvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "earthvet: %v\n", err)
+		os.Exit(2)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := framework.Load(fset, cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "earthvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := framework.RunAnalyzers(fset, pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "earthvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "earthvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"earth/internal/analysis/framework"
+)
+
+// TestEarthvetRepoClean is the CI acceptance check in test form: loading
+// and analysing every package in the module must produce zero findings.
+// If this fails, either a real defect crept in (fix it) or a deliberate
+// pattern needs a //<analyzer>:allow <reason> annotation.
+func TestEarthvetRepoClean(t *testing.T) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		t.Fatal("not running inside a module")
+	}
+	root := filepath.Dir(gomod)
+
+	fset := token.NewFileSet()
+	pkgs, err := framework.Load(fset, root, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load returned %d packages; expected the whole module", len(pkgs))
+	}
+
+	diags, err := framework.RunAnalyzers(fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestAnalyzerRegistry pins the driver's analyzer set: all three domain
+// analyzers registered, distinct names, documented.
+func TestAnalyzerRegistry(t *testing.T) {
+	want := map[string]bool{"detlint": true, "synclint": true, "locklint": true}
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("analyzer %q not registered", name)
+		}
+	}
+}

@@ -1,3 +1,10 @@
+// Deliberately dependency-free. cmd/earthvet would normally sit on
+// golang.org/x/tools/go/analysis + analysistest; the build environment is
+// offline (no module proxy), so internal/analysis/framework reimplements
+// the slice of that API the analyzers need on the stdlib alone
+// (go list -export + go/types with the gc importer). If the module ever
+// gains network access, porting the analyzers back onto x/tools is a
+// mechanical change confined to internal/analysis.
 module earth
 
 go 1.22

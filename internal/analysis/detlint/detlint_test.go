@@ -1,0 +1,39 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"earth/internal/analysis/detlint"
+	"earth/internal/analysis/framework"
+)
+
+func TestDetlint(t *testing.T) {
+	framework.RunTest(t, "testdata", detlint.Analyzer, "./...")
+}
+
+func TestCriticalScope(t *testing.T) {
+	for _, path := range []string{
+		"earth/internal/earth/simrt",
+		"earth/internal/sim",
+		"earth/internal/faults",
+		"earth/internal/manna",
+		"earth/internal/obs",
+		"earth/internal/harness",
+		"earth/internal/groebner",
+		"earthvet.test/det",
+	} {
+		if !detlint.Critical(path) {
+			t.Errorf("Critical(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"earth/internal/earth/livert", // the wall-clock engine is exempt by design
+		"earth/cmd/earthsim",
+		"earth/examples/quickstart",
+		"earth/internal/analysis/detlint",
+	} {
+		if detlint.Critical(path) {
+			t.Errorf("Critical(%q) = true, want false", path)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package detok holds detlint no-fire cases: every construct here is
+// order-insensitive (or explicitly allowed) and must produce no
+// diagnostics.
+package detok
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded randomness is the sanctioned pattern.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Using the time package for arithmetic (not reading the clock) is fine.
+func duration() time.Duration { return 3 * time.Millisecond }
+
+// The sorted-keys idiom: collect, sort, iterate the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Integer accumulation is commutative: order cannot reach the result.
+func countPositive(m map[string]int) (n, total int) {
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+		total += v
+	}
+	return n, total
+}
+
+// Building another map and deleting entries is per-key, order-free.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+		delete(m, k)
+	}
+	return out
+}
+
+// Index-addressed writes land each key in its own slot.
+func toDense(m map[int]float64, n int) []float64 {
+	out := make([]float64, n)
+	for i, v := range m {
+		if i >= 0 && i < n {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// The max idiom: a conditioned plain assignment is commutative.
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// A deliberate exception, explained: the allow directive silences the
+// finding on the next line.
+func allowed(m map[string]int) float64 {
+	var sum float64
+	//detlint:allow commutative to well below float64 ulp for these magnitudes
+	for _, v := range m {
+		sum += float64(v)
+	}
+	return sum
+}
+
+// The trailing form of the directive works too.
+func allowedTrailing(m map[string]int) int {
+	var last int
+	for _, v := range m { //detlint:allow any surviving element is acceptable here
+		last = v
+	}
+	return last
+}

@@ -1,0 +1,48 @@
+// Package dispatch is a regression case modelled on the PR 1
+// groebner dispatchWaiting bug: parked workers were woken by ranging over
+// a map[int]bool, so the wake order — and with it the whole simulated
+// schedule — changed from run to run. detlint must flag the original
+// shape and accept the fixed collect-sort-dispatch shape.
+package dispatch
+
+import "sort"
+
+type ctx interface {
+	Post(node int, bytes int, f func())
+}
+
+type state struct {
+	waiting map[int]bool
+	pool    []int
+}
+
+// buggy is the pre-fix shape: the Post (an event emission into the
+// simulated machine) happens directly inside the map range.
+func (st *state) buggy(c ctx) {
+	for w := range st.waiting { // want `map iteration order can reach an early exit`
+		if len(st.pool) == 0 {
+			return
+		}
+		delete(st.waiting, w)
+		w := w
+		c.Post(w, 8, func() { _ = w })
+	}
+}
+
+// fixed is the post-fix shape: collect the keys, sort, then dispatch in
+// worker-id order. The collect loop is the accepted sorted-keys idiom.
+func (st *state) fixed(c ctx) {
+	ws := make([]int, 0, len(st.waiting))
+	for w := range st.waiting {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	for _, w := range ws {
+		if len(st.pool) == 0 {
+			return
+		}
+		delete(st.waiting, w)
+		w := w
+		c.Post(w, 8, func() { _ = w })
+	}
+}

@@ -1,0 +1,107 @@
+package framework
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A directive is one //name:allow comment: reason text plus the source
+// line(s) it suppresses. A trailing directive covers its own line; a
+// directive standing alone on a line covers the next line too, so both
+//
+//	for k := range m { // detlint:allow rendered sorted below
+//
+// and
+//
+//	//detlint:allow rendered sorted below
+//	for k := range m {
+//
+// work. (The leading "//" with no space is the canonical Go directive
+// shape, but a space is tolerated.)
+type directive struct {
+	line   int
+	reason string
+}
+
+// collectDirectives extracts this analyzer's allow directives from every
+// file of the package, keyed by file name.
+func collectDirectives(fset *token.FileSet, pkg *Package, name string) map[string][]directive {
+	marker := name + ":allow"
+	out := map[string][]directive{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, marker) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, marker)
+				if rest != "" && !strings.HasPrefix(rest, " ") {
+					continue // e.g. detlint:allowance — not ours
+				}
+				// A nested comment (the testdata `// want` convention) is
+				// not a reason.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename], directive{
+					line:   pos.Line,
+					reason: strings.TrimSpace(rest),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// allowedAt reports whether a directive covers the line of pos.
+func (p *Pass) allowedAt(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, d := range p.directives[position.Filename] {
+		if d.reason == "" {
+			continue // a reasonless directive suppresses nothing
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// badDirectives returns one diagnostic per allow directive that carries no
+// reason: silencing a determinism finding must be explained.
+func (p *Pass) badDirectives() []Diagnostic {
+	var out []Diagnostic
+	for file, ds := range p.directives {
+		for _, d := range ds {
+			if d.reason != "" {
+				continue
+			}
+			// Recover a Pos for the directive line so the diagnostic sorts
+			// and renders like any other.
+			out = append(out, Diagnostic{
+				Pos: p.posForLine(file, d.line),
+				Message: "//" + p.Analyzer.Name +
+					":allow directive needs a reason explaining why the finding is safe",
+			})
+		}
+	}
+	return out
+}
+
+// posForLine maps file:line back to a token.Pos using the shared FileSet.
+func (p *Pass) posForLine(filename string, line int) token.Pos {
+	var pos token.Pos = token.NoPos
+	p.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == filename {
+			if line <= f.LineCount() {
+				pos = f.LineStart(line)
+			}
+			return false
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,293 @@
+// Package locklint flags mutexes held across blocking operations in the
+// engine and fault-injection packages (simrt, livert, faults): a channel
+// send/receive, a WaitGroup.Wait, a time.Sleep or a simulation-engine
+// step executed under a sync.Mutex/RWMutex serialises — or deadlocks —
+// the very concurrency those packages exist to provide. livert's node
+// mutexes in particular guard queues that the channel network feeds;
+// holding one across a channel operation is the textbook lost-wakeup
+// deadlock.
+//
+// The analysis is lexical and per-function: a region opens at X.Lock()
+// (or X.RLock()) and closes at the matching X.Unlock() in the same
+// function; `defer X.Unlock()` keeps the region open to the end of the
+// function. Function-literal bodies are not entered — they usually run
+// on another goroutine or after the region closes. sync.Cond.Wait is
+// deliberately exempt: it releases the lock while blocked.
+//
+// A finding is silenced with //locklint:allow <reason>.
+package locklint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"earth/internal/analysis/framework"
+)
+
+// Analyzer is the locklint pass.
+var Analyzer = &framework.Analyzer{
+	Name: "locklint",
+	Doc: "flag mutexes held across blocking operations (channel ops, WaitGroup.Wait, " +
+		"sleeps, engine steps) in simrt, livert and faults",
+	Run: run,
+}
+
+// scopePkgs lists the packages locklint patrols: the two engines and the
+// fault injector, whose locks sit on every message path.
+var scopePkgs = map[string]bool{
+	"earth/internal/earth/simrt":  true,
+	"earth/internal/earth/livert": true,
+	"earth/internal/faults":       true,
+}
+
+// InScope reports whether locklint patrols the package; testdata modules
+// (module path earthvet.test) are always in scope.
+func InScope(path string) bool {
+	return scopePkgs[path] || strings.HasPrefix(path, "earthvet.test")
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !InScope(pass.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := map[string]token.Pos{}
+			checkBlock(pass, fd.Body.List, held)
+		}
+	}
+	return nil, nil
+}
+
+// checkBlock walks statements in order, maintaining the set of held lock
+// expressions (keyed by their source text). Control statements have
+// their guard expressions checked and their bodies recursed; simple
+// statements are checked whole, so every blocking site is reported
+// exactly once.
+func checkBlock(pass *framework.Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		checkStmt(pass, s, held)
+	}
+}
+
+func checkStmt(pass *framework.Pass, s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		checkBlock(pass, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, held)
+		}
+		reportBlockingExpr(pass, s.Cond, held)
+		checkBlock(pass, s.Body.List, held)
+		if s.Else != nil {
+			checkStmt(pass, s.Else, held)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, held)
+		}
+		reportBlockingExpr(pass, s.Cond, held)
+		checkBlock(pass, s.Body.List, held)
+	case *ast.RangeStmt:
+		reportBlockingExpr(pass, s.X, held)
+		checkBlock(pass, s.Body.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, held)
+		}
+		reportBlockingExpr(pass, s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlock(pass, cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlock(pass, cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			pass.Reportf(s.Pos(),
+				"select without default while %s is held blocks the lock owner; "+
+					"shrink the critical section or annotate //locklint:allow <reason>", anyOwner(held))
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				checkBlock(pass, cc.Body, held)
+			}
+		}
+	default:
+		if len(held) > 0 {
+			reportBlocking(pass, s, held)
+		}
+		// Lock-set updates come after the blocking check: the Lock()
+		// statement itself is not "under" its own lock.
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				switch lockKind(pass, call) {
+				case "Lock", "RLock":
+					recv := call.Fun.(*ast.SelectorExpr).X
+					held[types.ExprString(recv)] = call.Pos()
+				case "Unlock", "RUnlock":
+					recv := call.Fun.(*ast.SelectorExpr).X
+					delete(held, types.ExprString(recv))
+				}
+			}
+		}
+		// defer X.Unlock() deliberately leaves the held entry in place:
+		// the region stays open to the end of the function.
+	}
+}
+
+// anyOwner picks the lexically smallest held lock for stable messages.
+func anyOwner(held map[string]token.Pos) string {
+	owner := ""
+	for k := range held {
+		if owner == "" || k < owner {
+			owner = k
+		}
+	}
+	return owner
+}
+
+// reportBlockingExpr checks one guard expression (an if/for condition, a
+// range or switch operand) for blocking operations.
+func reportBlockingExpr(pass *framework.Pass, e ast.Expr, held map[string]token.Pos) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	reportBlockingNode(pass, e, held)
+}
+
+// lockKind classifies a call as a sync.Mutex/RWMutex lock or unlock.
+func lockKind(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return ""
+	}
+	if !isSyncType(pass.TypeOf(sel.X), "Mutex", "RWMutex") {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// isSyncType reports whether t (possibly a pointer) is one of the named
+// types from package sync.
+func isSyncType(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	for _, name := range names {
+		if n.Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBlocking flags blocking operations inside one simple statement
+// while locks are held. Nested function literals are skipped, as is the
+// body of a select carrying a default clause (a non-blocking poll).
+func reportBlocking(pass *framework.Pass, s ast.Stmt, held map[string]token.Pos) {
+	reportBlockingNode(pass, s, held)
+}
+
+func reportBlockingNode(pass *framework.Pass, root ast.Node, held map[string]token.Pos) {
+	owner := anyOwner(held)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if selectHasDefault(n) {
+				return false // non-blocking poll: poke()-style wakeups
+			}
+			pass.Reportf(n.Pos(),
+				"select without default while %s is held blocks the lock owner; "+
+					"shrink the critical section or annotate //locklint:allow <reason>", owner)
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send while %s is held can block forever if the receiver needs the lock; "+
+					"unlock first or annotate //locklint:allow <reason>", owner)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(),
+					"channel receive while %s is held can block forever if the sender needs the lock; "+
+						"unlock first or annotate //locklint:allow <reason>", owner)
+			}
+		case *ast.CallExpr:
+			reportBlockingCall(pass, n, owner)
+		}
+		return true
+	})
+}
+
+func reportBlockingCall(pass *framework.Pass, call *ast.CallExpr, owner string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Wait":
+		if isSyncType(pass.TypeOf(sel.X), "WaitGroup") {
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Wait while %s is held deadlocks if a waiter needs the lock; "+
+					"unlock first or annotate //locklint:allow <reason>", owner)
+		}
+	case "Sleep":
+		if fn, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			pass.Reportf(call.Pos(),
+				"time.Sleep while %s is held stalls every contender; "+
+					"unlock first or annotate //locklint:allow <reason>", owner)
+		}
+	case "Step", "Run", "RunUntil":
+		if n := namedOf(pass.TypeOf(sel.X)); n != nil && n.Obj().Name() == "Engine" {
+			pass.Reportf(call.Pos(),
+				"engine %s while %s is held runs arbitrary handlers under the lock; "+
+					"unlock first or annotate //locklint:allow <reason>", sel.Sel.Name, owner)
+		}
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

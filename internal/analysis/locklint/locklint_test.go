@@ -1,0 +1,28 @@
+package locklint_test
+
+import (
+	"testing"
+
+	"earth/internal/analysis/framework"
+	"earth/internal/analysis/locklint"
+)
+
+func TestLocklint(t *testing.T) {
+	framework.RunTest(t, "testdata", locklint.Analyzer, "./...")
+}
+
+func TestScope(t *testing.T) {
+	for _, path := range []string{
+		"earth/internal/earth/simrt",
+		"earth/internal/earth/livert",
+		"earth/internal/faults",
+		"earthvet.test/lock",
+	} {
+		if !locklint.InScope(path) {
+			t.Errorf("InScope(%q) = false, want true", path)
+		}
+	}
+	if locklint.InScope("earth/internal/obs") {
+		t.Error("InScope(obs) = true; locklint patrols only the engines and faults")
+	}
+}

@@ -1,0 +1,139 @@
+// Package lock exercises locklint: blocking operations under a held
+// sync.Mutex fire; shrunken critical sections, select-with-default polls
+// and Cond.Wait stay silent.
+package lock
+
+import (
+	"sync"
+	"time"
+)
+
+type engineish struct{}
+
+func (e *engineish) Step() bool { return false }
+
+// Engine mirrors sim.Engine for the engine-step check.
+type Engine struct{}
+
+func (e *Engine) Step() bool             { return false }
+func (e *Engine) Run() int64             { return 0 }
+func (e *Engine) RunUntil(t int64) int64 { return 0 }
+
+type node struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	wake chan struct{}
+	eng  *Engine
+	wg   sync.WaitGroup
+	cond *sync.Cond
+	q    []int
+}
+
+func (n *node) sendUnderLock(v int) {
+	n.mu.Lock()
+	n.q = append(n.q, v)
+	n.wake <- struct{}{} // want `channel send while n.mu is held`
+	n.mu.Unlock()
+}
+
+func (n *node) recvUnderDeferredLock() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return <-n.wake1() // want `channel receive while n.mu is held`
+}
+
+func (n *node) wake1() chan int { return nil }
+
+func (n *node) selectUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want `select without default while n.mu is held`
+	case <-n.wake:
+	case n.wake <- struct{}{}:
+	}
+}
+
+func (n *node) waitUnderRLock() {
+	n.rw.RLock()
+	n.wg.Wait() // want `WaitGroup.Wait while n.rw is held`
+	n.rw.RUnlock()
+}
+
+func (n *node) sleepUnderLock() {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while n.mu is held`
+	n.mu.Unlock()
+}
+
+func (n *node) stepUnderLock() {
+	n.mu.Lock()
+	for n.eng.Step() { // want `engine Step while n.mu is held`
+	}
+	n.mu.Unlock()
+}
+
+func (n *node) blockInBranch(ready bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ready {
+		n.wake <- struct{}{} // want `channel send while n.mu is held`
+	}
+}
+
+// --- no-fire cases ------------------------------------------------------
+
+// shrunkenSection unlocks before the channel op: the canonical fix.
+func (n *node) shrunkenSection(v int) {
+	n.mu.Lock()
+	n.q = append(n.q, v)
+	n.mu.Unlock()
+	n.wake <- struct{}{}
+}
+
+// poke is the non-blocking wakeup idiom: select with default under a
+// lock never blocks.
+func (n *node) poke() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// condWait releases the lock while blocked; exempt by design.
+func (n *node) condWait() {
+	n.mu.Lock()
+	for len(n.q) == 0 {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// funcLitEscapes: the literal runs later (another goroutine, a callback),
+// not under this region.
+func (n *node) funcLitEscapes() func() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return func() { n.wake <- struct{}{} }
+}
+
+// allowed documents a deliberate exception.
+func (n *node) allowed() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//locklint:allow single-threaded startup, nothing contends yet
+	n.wake <- struct{}{}
+}
+
+// notAMutex: Lock/Unlock on a non-sync type is not tracked.
+type fakeLock struct{}
+
+func (fakeLock) Lock()   {}
+func (fakeLock) Unlock() {}
+
+func (n *node) notAMutex(f fakeLock) {
+	f.Lock()
+	n.wake <- struct{}{}
+	f.Unlock()
+}

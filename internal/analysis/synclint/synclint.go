@@ -1,0 +1,522 @@
+// Package synclint checks EARTH-API discipline:
+//
+//   - Frame.InitSync / Frame.Add / earth.NewFrame called with constants
+//     that the runtime would reject (count < 1, negative reset, negative
+//     thread or dimensions) — these panic at run time today; synclint
+//     moves the failure to vet time;
+//   - one-shot sync slots (reset 0) declared with constant arity while
+//     more signal sites than the counter can absorb are statically
+//     visible in the same function (the runtime panics with "sync on
+//     exhausted one-shot slot" only on the schedule that over-signals);
+//   - RetryPolicy / Config composite literals with negative numeric
+//     constants (Seed excluded: negative seeds are meaningful);
+//   - trace-event constants (Ev*) that are defined but never emitted in
+//     any analysed package, and tracer emissions through a struct field
+//     (the engines' cached `tr`) without a nil guard — an unguarded
+//     emission crashes every untraced run.
+//
+// Checks are keyed on type and method names (Frame, RetryPolicy, Config,
+// Tracer, Event, Ev*), not on import paths, so they survive package moves
+// and are exercisable from self-contained testdata modules.
+package synclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+
+	"earth/internal/analysis/framework"
+)
+
+// Analyzer is the synclint pass.
+var Analyzer = &framework.Analyzer{
+	Name: "synclint",
+	Doc: "flag statically invalid Frame sync arities, negative RetryPolicy/Config " +
+		"constants, unemitted Ev* trace constants and unguarded tracer emissions",
+	Run:    run,
+	Finish: finish,
+}
+
+// pkgFacts is what one package contributes to the cross-package event
+// audit.
+type pkgFacts struct {
+	// defined maps "pkgpath.EvName" to the definition position.
+	defined map[string]token.Pos
+	// emitted holds "pkgpath.EvName" keys seen as the Kind of an Event
+	// composite literal.
+	emitted map[string]bool
+}
+
+func run(pass *framework.Pass) (any, error) {
+	facts := &pkgFacts{defined: map[string]token.Pos{}, emitted: map[string]bool{}}
+	for _, f := range pass.Files() {
+		collectEventConsts(pass, f, facts)
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkFrameCall(pass, n)
+				checkTracerEmit(pass, n, stack)
+			case *ast.CompositeLit:
+				checkNegativeFields(pass, n)
+				recordEmission(pass, n, facts)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkSlotArity(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return facts, nil
+}
+
+// --- check 1: frame construction and sync arity -------------------------
+
+// namedType returns the named type of e with pointers stripped, or nil.
+func namedType(pass *framework.Pass, e ast.Expr) *types.Named {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// intConst returns the constant integer value of e, if it has one.
+func intConst(pass *framework.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo().Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// methodCallOn matches a call of the form recv.name(...) where recv's
+// named type is typeName, returning the receiver expression.
+func methodCallOn(pass *framework.Pass, call *ast.CallExpr, typeName, name string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	n := namedType(pass, sel.X)
+	if n == nil || n.Obj().Name() != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+func checkFrameCall(pass *framework.Pass, call *ast.CallExpr) {
+	if _, ok := methodCallOn(pass, call, "Frame", "InitSync"); ok && len(call.Args) == 4 {
+		if c, ok := intConst(pass, call.Args[1]); ok && c < 1 {
+			pass.Reportf(call.Pos(),
+				"InitSync with count %d: a sync slot needs count >= 1 (a slot that starts enabled is a Spawn)", c)
+		}
+		if r, ok := intConst(pass, call.Args[2]); ok && r < 0 {
+			pass.Reportf(call.Pos(), "InitSync with negative reset %d", r)
+		}
+		if th, ok := intConst(pass, call.Args[3]); ok && th < 0 {
+			pass.Reportf(call.Pos(), "InitSync names negative thread %d", th)
+		}
+	}
+	if _, ok := methodCallOn(pass, call, "Frame", "Add"); ok && len(call.Args) == 2 {
+		if s, ok := intConst(pass, call.Args[0]); ok && s < 0 {
+			pass.Reportf(call.Pos(), "Add on negative slot %d", s)
+		}
+	}
+	var fnIdent *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fnIdent = f
+	case *ast.SelectorExpr:
+		fnIdent = f.Sel
+	}
+	if fnIdent != nil && fnIdent.Name == "NewFrame" && len(call.Args) == 3 {
+		if fn, ok := pass.ObjectOf(fnIdent).(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+			for i, what := range []string{"", "thread count", "slot count"} {
+				if i == 0 {
+					continue // home node: engine-assigned, any value
+				}
+				if c, ok := intConst(pass, call.Args[i]); ok && c < 0 {
+					pass.Reportf(call.Pos(), "NewFrame with negative %s %d", what, c)
+				}
+			}
+		}
+	}
+}
+
+// slotKey identifies one sync slot of one frame variable within a
+// function body.
+type slotKey struct {
+	frame types.Object
+	slot  int64
+}
+
+// slotDecl records where a one-shot slot was initialised and with what
+// constant count.
+type slotDecl struct {
+	pos   token.Pos
+	count int64
+}
+
+// checkSlotArity audits one function body: for every InitSync(s, C, 0, t)
+// with constant count C on frame variable f, count the statically visible
+// signal sites for (f, s) — Sync(f, s) plus the completion legs of
+// Get/Put(..., f, s). When every site sits outside a loop and there are
+// more sites than the one-shot counter absorbs, the program is guaranteed
+// to panic on some schedule.
+func checkSlotArity(pass *framework.Pass, body *ast.BlockStmt) {
+	oneShot := map[slotKey]slotDecl{}
+	signals := map[slotKey]int{}
+	grown := map[slotKey]bool{}  // slots resized with Add: arity is dynamic
+	inLoop := map[slotKey]bool{} // any relevant site inside a loop: uncountable
+	var loopDepth func(n ast.Node, depth int)
+
+	frameOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return pass.ObjectOf(id)
+	}
+
+	loopDepth = func(n ast.Node, depth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			for _, s := range n.Body.List {
+				loopDepth(s, depth+1)
+			}
+			return
+		case *ast.RangeStmt:
+			for _, s := range n.Body.List {
+				loopDepth(s, depth+1)
+			}
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth(m, depth+1)
+				return false
+			case *ast.CallExpr:
+				recordSite(pass, m, depth, frameOf, oneShot, signals, grown, inLoop)
+			}
+			return true
+		})
+	}
+	for _, s := range body.List {
+		loopDepth(s, 0)
+	}
+
+	keys := make([]slotKey, 0, len(oneShot))
+	for k := range oneShot {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return oneShot[keys[i]].pos < oneShot[keys[j]].pos })
+	for _, k := range keys {
+		d := oneShot[k]
+		if grown[k] || inLoop[k] {
+			continue
+		}
+		if n := signals[k]; int64(n) > d.count {
+			pass.Reportf(d.pos,
+				"one-shot slot %d takes %d signal(s) but %d signal sites are visible in this function; "+
+					"the extra sync panics at run time", k.slot, d.count, n)
+		}
+	}
+}
+
+// recordSite classifies one call as a slot declaration, a growth, or a
+// signal site.
+func recordSite(pass *framework.Pass, call *ast.CallExpr, depth int,
+	frameOf func(ast.Expr) types.Object,
+	oneShot map[slotKey]slotDecl,
+	signals map[slotKey]int, grown, inLoop map[slotKey]bool) {
+
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	mark := func(k slotKey) {
+		if depth > 0 {
+			inLoop[k] = true
+		}
+	}
+	switch sel.Sel.Name {
+	case "InitSync":
+		if recv, ok := methodCallOn(pass, call, "Frame", "InitSync"); ok && len(call.Args) == 4 {
+			f := frameOf(recv)
+			s, okS := intConst(pass, call.Args[0])
+			c, okC := intConst(pass, call.Args[1])
+			r, okR := intConst(pass, call.Args[2])
+			if f == nil || !okS || !okC || !okR {
+				return
+			}
+			k := slotKey{f, s}
+			mark(k)
+			if depth == 0 && r == 0 && c >= 1 {
+				oneShot[k] = slotDecl{call.Pos(), c}
+			}
+		}
+	case "Add":
+		if recv, ok := methodCallOn(pass, call, "Frame", "Add"); ok && len(call.Args) == 2 {
+			if f := frameOf(recv); f != nil {
+				if s, ok := intConst(pass, call.Args[0]); ok {
+					grown[slotKey{f, s}] = true
+				}
+			}
+		}
+	case "Sync":
+		// Ctx.Sync(f, slot): two args, frame first.
+		if len(call.Args) == 2 {
+			if f := frameOf(call.Args[0]); f != nil && isFrame(pass, call.Args[0]) {
+				if s, ok := intConst(pass, call.Args[1]); ok {
+					k := slotKey{f, s}
+					mark(k)
+					signals[k]++
+				}
+			}
+		}
+	case "Get", "Put":
+		// Ctx.Get/Put(..., f, slot): completion signal on the last two
+		// args; a nil frame means no signal.
+		if len(call.Args) == 5 {
+			if f := frameOf(call.Args[3]); f != nil && isFrame(pass, call.Args[3]) {
+				if s, ok := intConst(pass, call.Args[4]); ok {
+					k := slotKey{f, s}
+					mark(k)
+					signals[k]++
+				}
+			}
+		}
+	}
+}
+
+func isFrame(pass *framework.Pass, e ast.Expr) bool {
+	n := namedType(pass, e)
+	return n != nil && n.Obj().Name() == "Frame"
+}
+
+// --- check 2: negative policy constants ---------------------------------
+
+// checkNegativeFields flags negative numeric constants in RetryPolicy and
+// Config composite literals. Seed fields are exempt: a negative seed is a
+// legitimate stream selector.
+func checkNegativeFields(pass *framework.Pass, lit *ast.CompositeLit) {
+	n := namedType(pass, lit)
+	if n == nil {
+		return
+	}
+	name := n.Obj().Name()
+	if name != "RetryPolicy" && name != "Config" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name == "Seed" {
+			continue
+		}
+		tv, ok := pass.TypesInfo().Types[kv.Value]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		if v := tv.Value; (v.Kind() == constant.Int || v.Kind() == constant.Float) &&
+			constant.Sign(v) < 0 {
+			pass.Reportf(kv.Pos(),
+				"%s.%s given negative constant %s; the runtime treats it as invalid "+
+					"(zero selects the documented default)", name, key.Name, v.ExactString())
+		}
+	}
+}
+
+// --- check 3: trace-event constants and emission guards -----------------
+
+// collectEventConsts records every exported Ev*-prefixed constant of a
+// named integer type declared in this package.
+func collectEventConsts(pass *framework.Pass, f *ast.File, facts *pkgFacts) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if !isEventConstName(name.Name) {
+					continue
+				}
+				obj, ok := pass.ObjectOf(name).(*types.Const)
+				if !ok {
+					continue
+				}
+				if _, named := obj.Type().(*types.Named); !named {
+					continue
+				}
+				facts.defined[constKey(obj)] = name.Pos()
+			}
+		}
+	}
+}
+
+func isEventConstName(s string) bool {
+	return len(s) > 2 && strings.HasPrefix(s, "Ev") && unicode.IsUpper(rune(s[2]))
+}
+
+func constKey(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// recordEmission marks Ev* constants appearing as the Kind of an Event
+// composite literal.
+func recordEmission(pass *framework.Pass, lit *ast.CompositeLit, facts *pkgFacts) {
+	n := namedType(pass, lit)
+	if n == nil || n.Obj().Name() != "Event" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Kind" {
+			continue
+		}
+		var obj types.Object
+		switch v := kv.Value.(type) {
+		case *ast.Ident:
+			obj = pass.ObjectOf(v)
+		case *ast.SelectorExpr:
+			obj = pass.ObjectOf(v.Sel)
+		}
+		if c, ok := obj.(*types.Const); ok && isEventConstName(c.Name()) {
+			facts.emitted[constKey(c)] = true
+		}
+	}
+}
+
+// checkTracerEmit requires a nil guard around emissions through a struct
+// field of interface type Tracer (the engines' cached `tr` field, nil for
+// untraced runs). Locals and parameters are exempt: their flow is assumed
+// to have been checked at assignment (obs.Multi fans out over a slice of
+// tracers it filtered itself).
+func checkTracerEmit(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Event" || len(call.Args) != 1 {
+		return
+	}
+	recv := sel.X
+	if _, ok := recv.(*ast.SelectorExpr); !ok {
+		return // only field accesses are checked
+	}
+	t := pass.TypeOf(recv)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Tracer" {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Interface); !ok {
+		return
+	}
+	want := types.ExprString(recv)
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condChecksNonNil(ifs.Cond, want) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s.Event emission without a nil-tracer guard; wrap in `if %s != nil { ... }` "+
+			"(untraced runs keep the field nil)", want, want)
+}
+
+// condChecksNonNil reports whether cond (possibly a && chain) contains
+// `want != nil`.
+func condChecksNonNil(cond ast.Expr, want string) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return condChecksNonNil(c.X, want) || condChecksNonNil(c.Y, want)
+		}
+		if c.Op != token.NEQ {
+			return false
+		}
+		x, y := types.ExprString(c.X), types.ExprString(c.Y)
+		return (x == want && y == "nil") || (y == want && x == "nil")
+	case *ast.ParenExpr:
+		return condChecksNonNil(c.X, want)
+	}
+	return false
+}
+
+// finish runs the cross-package audit: every defined Ev* constant must be
+// emitted somewhere in the analysed package set. The check is skipped when
+// no emissions were seen at all — that means the emitting engines were not
+// part of this run (a single-package invocation), and reporting would be
+// noise.
+func finish(results []framework.Result, report func(framework.Diagnostic)) {
+	defined := map[string]token.Pos{}
+	emitted := map[string]bool{}
+	for _, r := range results {
+		facts, ok := r.Value.(*pkgFacts)
+		if !ok {
+			continue
+		}
+		for k, pos := range facts.defined {
+			defined[k] = pos
+		}
+		for k := range facts.emitted {
+			emitted[k] = true
+		}
+	}
+	if len(emitted) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(defined))
+	for k := range defined {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !emitted[k] {
+			report(framework.Diagnostic{
+				Pos: defined[k],
+				Message: fmt.Sprintf("trace-event constant %s is defined but never emitted "+
+					"(no Event{Kind: %s} in the analysed packages); emit it or delete it",
+					k[strings.LastIndex(k, ".")+1:], k[strings.LastIndex(k, ".")+1:]),
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package synclint_test
+
+import (
+	"testing"
+
+	"earth/internal/analysis/framework"
+	"earth/internal/analysis/synclint"
+)
+
+func TestSynclint(t *testing.T) {
+	framework.RunTest(t, "testdata", synclint.Analyzer, "./...")
+}

@@ -1,0 +1,61 @@
+// Package misuse holds synclint fire cases against the miniature API.
+package misuse
+
+import "earthvet.test/api"
+
+func badInitSync(c api.Ctx) {
+	f := api.NewFrame(0, 2, 3)
+	f.InitSync(0, 0, 0, 1)  // want `InitSync with count 0`
+	f.InitSync(1, 2, -1, 1) // want `InitSync with negative reset -1`
+	f.InitSync(2, 1, 0, -2) // want `InitSync names negative thread -2`
+}
+
+func badNewFrame() {
+	_ = api.NewFrame(0, -1, 2) // want `NewFrame with negative thread count -1`
+	_ = api.NewFrame(0, 2, -3) // want `NewFrame with negative slot count -3`
+}
+
+// overSignalled declares a one-shot slot absorbing one signal, then
+// signals it twice: the second Sync panics at run time.
+func overSignalled(c api.Ctx) {
+	f := api.NewFrame(0, 2, 1)
+	f.InitSync(0, 1, 0, 1) // want `one-shot slot 0 takes 1 signal\(s\) but 2 signal sites are visible`
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+}
+
+// overSignalledSplitPhase counts Get/Put completion legs as signals too.
+func overSignalledSplitPhase(c api.Ctx) {
+	f := api.NewFrame(0, 2, 1)
+	f.InitSync(0, 2, 0, 1) // want `one-shot slot 0 takes 2 signal\(s\) but 3 signal sites are visible`
+	c.Get(1, 8, func() func() { return func() {} }, f, 0)
+	c.Put(1, 8, func() {}, f, 0)
+	c.Sync(f, 0)
+}
+
+func badPolicies() (api.RetryPolicy, api.Config) {
+	p := api.RetryPolicy{
+		Timeout:    -5, // want `RetryPolicy.Timeout given negative constant -5`
+		MaxRetries: -1, // want `RetryPolicy.MaxRetries given negative constant -1`
+	}
+	c := api.Config{
+		Nodes:     -4,   // want `Config.Nodes given negative constant -4`
+		Bandwidth: -1e6, // want `Config.Bandwidth given negative constant`
+	}
+	return p, c
+}
+
+// engine emits through a cached tracer field without the nil guard.
+type engine struct {
+	tr api.Tracer
+}
+
+func (e *engine) unguarded(now int64) {
+	e.tr.Event(api.Event{Time: now, Kind: api.EvAlsoUsed}) // want `e.tr.Event emission without a nil-tracer guard`
+}
+
+func (e *engine) wrongGuard(other api.Tracer, now int64) {
+	if other != nil {
+		e.tr.Event(api.Event{Time: now, Kind: api.EvAlsoUsed}) // want `e.tr.Event emission without a nil-tracer guard`
+	}
+}

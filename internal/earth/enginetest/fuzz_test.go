@@ -42,7 +42,7 @@ func decodeFuzzProgram(data []byte) fuzzProgram {
 		p.leaves *= p.branch // at most 3^3 = 27 leaves
 	}
 	for i := 0; i < p.leaves; i++ {
-		p.want += b(3 + i) % 100
+		p.want += b(3+i) % 100
 	}
 	return p
 }
@@ -70,7 +70,7 @@ func (p fuzzProgram) run(rt earth.Runtime) (total int, done bool) {
 			for i := 0; i < p.branch; i++ {
 				child := idx*p.branch + i
 				body := func(c earth.Ctx) { descend(c, depth-1, child) }
-				switch b(40 + child) % 3 {
+				switch b(40+child) % 3 {
 				case 0:
 					c.Invoke(earth.NodeID(b(80+child)%p.nodes), 8, body)
 				case 1:

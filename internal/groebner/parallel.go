@@ -489,6 +489,10 @@ func (st *parState) tryInsert(c earth.Ctx) {
 		req := st.insertQ[best]
 		if !st.cfg.NoOrderedCommit {
 			blocked := false
+			// Existential scan: `blocked` ends up true iff any inflight
+			// pair precedes req, whatever order the entries are visited
+			// in; Less is pure and the break only short-circuits.
+			//detlint:allow existential any-match over the map; result is order-independent and Less is pure
 			for ow, p := range st.inflight {
 				if ow != req.w && p.Less(req.pair, st.ring.Order(), st.cfg.Opt.Strategy) {
 					blocked = true

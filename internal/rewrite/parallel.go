@@ -2,6 +2,7 @@ package rewrite
 
 import (
 	"fmt"
+	"sort"
 
 	"earth/internal/earth"
 	"earth/internal/sim"
@@ -330,8 +331,21 @@ func (st *kbState) commit(c earth.Ctx, req kbInsert) {
 	})
 }
 
+// dispatchWaiting restarts parked workers while rules are available.
+// Workers wake in id order: map iteration order would leak into the
+// simulated schedule and break run-to-run reproducibility (the same bug
+// class PR 1 fixed in the Gröbner maintenance node; earthvet's detlint
+// now flags it mechanically).
 func (st *kbState) dispatchWaiting(c earth.Ctx) {
+	if len(st.waiting) == 0 {
+		return
+	}
+	ws := make([]int, 0, len(st.waiting))
 	for w := range st.waiting {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	for _, w := range ws {
 		if len(st.pool) == 0 {
 			return
 		}
