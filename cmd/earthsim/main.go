@@ -13,7 +13,9 @@
 // -faults installs a deterministic fault plan on the simulated network
 // (message drops recovered by modelled retry/timeout, duplication
 // filtered by sequence numbers, bounded reordering, node pauses, link
-// degradation). The realisation derives from -seed unless the plan spec
+// degradation, and crash-stop node failures recovered by lease-based
+// detection, frame adoption and token re-dispatch — e.g.
+// crash=2@1ms). The realisation derives from -seed unless the plan spec
 // carries seed=N or -fault-seed pins it; two invocations with the same
 // -faults and -fault-seed produce byte-identical statistics.
 //

@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos]
+//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos|crash]
 //	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-workers W]
 //	          [-json out.json] [-faults PLAN]
 //
 // -exp chaos runs the fault-injection sweep: every workload under a
 // deterministic drop/dup/reorder plan (-faults, seed-pinnable) next to a
 // clean baseline, reporting convergence rate and slowdown per workload.
+//
+// -exp crash runs the crash-stop sweep: every workload under k=1..3
+// deterministic node kills staggered across the run, reporting
+// convergence rate, detection latency, recovery effort and slowdown
+// against the clean baseline.
 //
 // The paper used 20 runs per Gröbner configuration; -runs 20 reproduces
 // that (slower). The default of 5 gives stable means in seconds.
@@ -98,6 +103,8 @@ func main() {
 			os.Exit(2)
 		}
 		reports = []*harness.Report{harness.FaultSweep(cfg, plan)}
+	case "crash":
+		reports = []*harness.Report{harness.CrashSweep(cfg)}
 	default:
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,0 +1,120 @@
+package enginetest
+
+import (
+	"testing"
+	"time"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/earth/simrt"
+	"earth/internal/faults"
+	"earth/internal/sim"
+)
+
+// Crash-recovery conformance: with a crash-stop plan installed, both
+// engines must still converge to the fault-free result — the failure
+// detector, frame adoption and token re-dispatch may reshape timing and
+// placement, never data.
+//
+// Leaves both Compute (charging simrt's virtual clock) and sleep
+// (advancing livert's wall clock), so the same crash times land mid-run
+// on both engines.
+
+// crashProg is a two-level fan-out: invoked spreaders on every node each
+// emit tokens whose leaves contribute a known value to a node-0
+// accumulator behind one fan-in slot.
+func crashProg(total *int, done *bool, nodes, spread, perNode int) (earth.ThreadBody, int) {
+	leaves := spread * perNode
+	want := 0
+	for i := 0; i < leaves; i++ {
+		want += i
+	}
+	body := func(c earth.Ctx) {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, leaves, 0, 0)
+		f.SetThread(0, func(earth.Ctx) { *done = true })
+		for s := 0; s < spread; s++ {
+			base := s * perNode
+			c.Invoke(earth.NodeID(s%nodes), 8, func(c earth.Ctx) {
+				for i := 0; i < perNode; i++ {
+					v := base + i
+					c.Token(8, func(c earth.Ctx) {
+						c.Compute(60 * sim.Microsecond)
+						time.Sleep(60 * time.Microsecond)
+						c.Put(0, 8, func() { *total += v }, f, 0)
+					})
+				}
+			})
+		}
+	}
+	return body, want
+}
+
+// crashConfCases exercise the recovery machinery against the transient
+// fault envelope it has to coexist with: a bare crash plan, a drop rate
+// that exhausts tight retry budgets inside the crash window, and capped
+// backoff compounding with link degradation.
+var crashConfCases = []struct {
+	name  string
+	nodes int
+	plan  func() *faults.Plan
+	retry earth.RetryPolicy
+}{
+	{
+		name: "crash-only", nodes: 5,
+		plan: func() *faults.Plan {
+			return &faults.Plan{Seed: 3, Crash: []faults.Crash{
+				{Node: 1, At: 300 * sim.Microsecond},
+				{Node: 2, At: 600 * sim.Microsecond},
+			}}
+		},
+	},
+	{
+		name: "retry-budget-exhausted-in-crash-window", nodes: 4,
+		plan: func() *faults.Plan {
+			return &faults.Plan{Seed: 5, Drop: 0.49,
+				Crash: []faults.Crash{{Node: 1, At: 300 * sim.Microsecond}}}
+		},
+		// A 2-retry budget is routinely exhausted at Drop=0.49, so
+		// messages land on their final permitted attempt while the
+		// detector is mid-lease.
+		retry: earth.RetryPolicy{MaxRetries: 2},
+	},
+	{
+		name: "backoff-cap-under-degradation", nodes: 5,
+		plan: func() *faults.Plan {
+			return &faults.Plan{Seed: 9, Drop: 0.3,
+				Degrade: []faults.Window{{Node: -1, From: 0, To: 2 * sim.Millisecond, Factor: 8}},
+				Crash:   []faults.Crash{{Node: 2, At: 400 * sim.Microsecond}}}
+		},
+		// MaxBackoff caps at 2× the base timeout, so retransmissions of
+		// degraded (8× wire time) traffic pile up against the cap.
+		retry: earth.RetryPolicy{Timeout: 50 * sim.Microsecond, MaxBackoff: 100 * sim.Microsecond},
+	},
+}
+
+func TestCrashConformance(t *testing.T) {
+	for _, cse := range crashConfCases {
+		t.Run(cse.name, func(t *testing.T) {
+			for _, eng := range []string{"simrt", "livert"} {
+				var total int
+				var done bool
+				body, want := crashProg(&total, &done, cse.nodes, cse.nodes*2, 4)
+				cfg := earth.Config{Nodes: cse.nodes, Seed: 11, Faults: cse.plan(), Retry: cse.retry}
+				var rt earth.Runtime
+				if eng == "simrt" {
+					rt = simrt.New(cfg)
+				} else {
+					rt = livert.New(cfg)
+				}
+				st := rt.Run(body)
+				if total != want || !done {
+					t.Errorf("%s: total=%d done=%v, want %d", eng, total, done, want)
+				}
+				if st.TotalFaults() == 0 {
+					t.Errorf("%s: crash plan injected nothing", eng)
+				}
+			}
+		})
+	}
+}

@@ -126,3 +126,34 @@ func FuzzFaultRecovery(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCrashRecovery: for any byte-derived program and any crash plan
+// killing at most two distinct non-zero nodes of a ≥4-node machine, both
+// engines must converge to the fault-free result.
+func FuzzCrashRecovery(f *testing.F) {
+	f.Add(uint8(1), uint8(2), uint32(100), uint32(300), []byte{5, 3, 2, 40, 41, 42})
+	f.Add(uint8(0), uint8(0), uint32(0), uint32(0), []byte{1, 2, 3})
+	f.Add(uint8(3), uint8(3), uint32(50_000), uint32(700_000), []byte{255, 3, 255, 0, 7, 7, 99, 1})
+	f.Fuzz(func(t *testing.T, nodeA, nodeB uint8, atA, atB uint32, data []byte) {
+		p := decodeFuzzProgram(data)
+		if p.nodes < 4 {
+			p.nodes = 4 // a crashed machine needs survivors to adopt work
+		}
+		// Node 0 hosts the accumulator frame's sync fan-in result check,
+		// so crashes target nodes 1..nodes-1; a duplicate victim collapses
+		// to a single crash (crash-stop failures are permanent).
+		a := 1 + int(nodeA)%(p.nodes-1)
+		b := 1 + int(nodeB)%(p.nodes-1)
+		plan := &faults.Plan{Seed: 1,
+			Crash: []faults.Crash{{Node: a, At: sim.Time(atA % 800_000)}}}
+		if b != a {
+			plan.Crash = append(plan.Crash, faults.Crash{Node: b, At: sim.Time(atB % 800_000)})
+		}
+		if got, done := p.run(simrt.New(earth.Config{Nodes: p.nodes, Seed: 1, Faults: plan})); got != p.want || !done {
+			t.Errorf("simrt crashed run: total=%d done=%v, want %d (plan %v)", got, done, p.want, plan)
+		}
+		if got, done := p.run(livert.New(earth.Config{Nodes: p.nodes, Seed: 1, Faults: plan})); got != p.want || !done {
+			t.Errorf("livert crashed run: total=%d done=%v, want %d (plan %v)", got, done, p.want, plan)
+		}
+	})
+}

@@ -78,6 +78,19 @@ const (
 	// attempt: Dur is issue-to-delivery including all retransmit
 	// penalties, accounted to the receiving node.
 	EvRecovered
+	// EvNodeDown reports a crash-stop failure crossing its detection
+	// lease: Peer is the dead node, Node the surviving successor that
+	// adopts its checkpointed frames, and Dur the detection latency
+	// (RetryPolicy.Lease).
+	EvNodeDown
+	// EvFrameReplayed reports one checkpointed frame or queued thread
+	// re-instantiated on a survivor after a crash: Node is the adopting
+	// node, Peer the dead one.
+	EvFrameReplayed
+	// EvWorkReassigned reports a token owned by (or in flight to) a dead
+	// node being returned to the load balancer and re-placed: Node is the
+	// new owner, Peer the dead node.
+	EvWorkReassigned
 
 	numEventKinds
 )
@@ -87,25 +100,28 @@ const (
 const KindCount = int(numEventKinds)
 
 var eventKindNames = [numEventKinds]string{
-	EvThreadRun:     "thread",
-	EvHandlerRun:    "handler",
-	EvSyncSignal:    "sync",
-	EvGetSend:       "get.send",
-	EvGetDeliver:    "get.deliver",
-	EvPutSend:       "put.send",
-	EvPutDeliver:    "put.deliver",
-	EvInvokeSend:    "invoke.send",
-	EvInvokeDeliver: "invoke.deliver",
-	EvPostSend:      "post.send",
-	EvTokenSpawn:    "token",
-	EvStealRequest:  "steal.request",
-	EvStealGrant:    "steal.grant",
-	EvStealMiss:     "steal.miss",
-	EvUtilSample:    "util",
-	EvFaultInjected: "fault",
-	EvTimedOut:      "timeout",
-	EvRetry:         "retry",
-	EvRecovered:     "recovered",
+	EvThreadRun:      "thread",
+	EvHandlerRun:     "handler",
+	EvSyncSignal:     "sync",
+	EvGetSend:        "get.send",
+	EvGetDeliver:     "get.deliver",
+	EvPutSend:        "put.send",
+	EvPutDeliver:     "put.deliver",
+	EvInvokeSend:     "invoke.send",
+	EvInvokeDeliver:  "invoke.deliver",
+	EvPostSend:       "post.send",
+	EvTokenSpawn:     "token",
+	EvStealRequest:   "steal.request",
+	EvStealGrant:     "steal.grant",
+	EvStealMiss:      "steal.miss",
+	EvUtilSample:     "util",
+	EvFaultInjected:  "fault",
+	EvTimedOut:       "timeout",
+	EvRetry:          "retry",
+	EvRecovered:      "recovered",
+	EvNodeDown:       "node.down",
+	EvFrameReplayed:  "frame.replayed",
+	EvWorkReassigned: "work.reassigned",
 }
 
 func (k EventKind) String() string {
@@ -138,6 +154,9 @@ const (
 	CauseDup
 	CauseDelay
 	CausePause
+	// CauseCrash qualifies EvFaultInjected for a crash-stop failure and
+	// the work re-dispatched because of one.
+	CauseCrash
 
 	numCauses
 )
@@ -153,6 +172,7 @@ var causeNames = [numCauses]string{
 	CauseDup:     "dup",
 	CauseDelay:   "delay",
 	CausePause:   "pause",
+	CauseCrash:   "crash",
 }
 
 func (c Cause) String() string {

@@ -58,9 +58,21 @@ type lnode struct {
 	handlers []earth.ThreadBody // runtime message handlers: highest priority
 	ready    []item             // ready threads
 	tokens   []ltoken           // stealable token pool
+	// redirect is -1 while the node owns its queues; once a crash is
+	// detected and the queues are drained it holds the adopter's id, and
+	// every push routes there (following chains for repeated failures).
+	// Guarded by mu.
+	redirect int
 
 	wake chan struct{}
 	rng  *rand.Rand // accessed only by this node's executor
+
+	// dead is set by the crash timer; the executor halts at its next
+	// dispatch boundary (the running thread body completes). exited is
+	// closed (per run) when the executor goroutine returns, so recovery
+	// can wait for the handoff point before draining.
+	dead   atomic.Bool
+	exited chan struct{}
 
 	threadsRun   uint64
 	tokensRun    uint64
@@ -74,6 +86,10 @@ type lnode struct {
 	retries        atomic.Uint64
 	recovered      atomic.Uint64
 	dupsDropped    atomic.Uint64
+	// Crash-recovery counters, updated by recovery timer goroutines.
+	framesReplayed   atomic.Uint64
+	tokensReassigned atomic.Uint64
+	detectionLatency atomic.Int64
 }
 
 // Runtime is a real-concurrency EARTH machine.
@@ -93,6 +109,14 @@ type Runtime struct {
 	inj   *faults.Injector
 	plan  *faults.Plan
 	retry earth.RetryPolicy
+	// Crash-stop state (nil crashAt = no crash plan). Kill and detection
+	// timers are tracked so Run can cancel unfired ones at quiescence and
+	// wait out in-flight callbacks before assembling stats.
+	crashAt     []sim.Time
+	crashMu     sync.Mutex
+	crashTimers []*time.Timer
+	crashWG     sync.WaitGroup
+	reassignRR  atomic.Int64
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -105,16 +129,29 @@ func New(cfg earth.Config) *Runtime {
 	rt.nodes = make([]*lnode, cfg.Nodes)
 	for i := range rt.nodes {
 		rt.nodes[i] = &lnode{
-			id:   earth.NodeID(i),
-			rt:   rt,
-			wake: make(chan struct{}, 1),
-			rng:  rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i))),
+			id:       earth.NodeID(i),
+			rt:       rt,
+			wake:     make(chan struct{}, 1),
+			rng:      rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i))),
+			redirect: -1,
 		}
 	}
 	if cfg.Faults.Enabled() {
 		rt.plan = cfg.Faults
 		rt.inj = faults.NewInjector(cfg.Faults, cfg.Seed)
 		rt.retry = cfg.Retry.WithDefaults()
+		if cfg.Faults.HasCrash() {
+			rt.crashAt = cfg.Faults.CrashSchedule(cfg.Nodes)
+			live := 0
+			for _, at := range rt.crashAt {
+				if at < 0 {
+					live++
+				}
+			}
+			if live == 0 {
+				panic("livert: crash plan kills every node; at least one must survive")
+			}
+		}
 	}
 	return rt
 }
@@ -136,12 +173,18 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 	rt.start = time.Now()
 	for _, n := range rt.nodes {
 		n.handlers, n.ready, n.tokens = nil, nil, nil
+		n.redirect = -1
 		n.threadsRun, n.tokensRun, n.tokensStolen, n.syncs = 0, 0, 0, 0
 		n.busy = 0
 		n.faultsInjected.Store(0)
 		n.retries.Store(0)
 		n.recovered.Store(0)
 		n.dupsDropped.Store(0)
+		n.framesReplayed.Store(0)
+		n.tokensReassigned.Store(0)
+		n.detectionLatency.Store(0)
+		n.dead.Store(false)
+		n.exited = make(chan struct{})
 	}
 	if rt.inj != nil {
 		rt.inj.Reset()
@@ -151,12 +194,23 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		wg.Add(1)
 		go func(n *lnode) {
 			defer wg.Done()
+			defer close(n.exited)
 			n.loop()
 		}(n)
+	}
+	if rt.crashAt != nil {
+		rt.reassignRR.Store(0)
+		for i, at := range rt.crashAt {
+			if at >= 0 {
+				x := i
+				rt.armCrashTimer(at, func() { rt.killNode(x) })
+			}
+		}
 	}
 	rt.enqueue(rt.nodes[0], item{body: main, cause: earth.CauseSpawn})
 	<-rt.done
 	wg.Wait()
+	rt.reapCrashTimers()
 
 	st := &earth.Stats{
 		Elapsed: sim.Time(time.Since(rt.start).Nanoseconds()),
@@ -164,18 +218,143 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 	}
 	for i, n := range rt.nodes {
 		st.Nodes[i] = earth.NodeStats{
-			Busy:           sim.Time(n.busy.Nanoseconds()),
-			ThreadsRun:     n.threadsRun,
-			TokensRun:      n.tokensRun,
-			TokensStolen:   n.tokensStolen,
-			Syncs:          n.syncs,
-			FaultsInjected: n.faultsInjected.Load(),
-			Retries:        n.retries.Load(),
-			Recovered:      n.recovered.Load(),
-			DupsDropped:    n.dupsDropped.Load(),
+			Busy:             sim.Time(n.busy.Nanoseconds()),
+			ThreadsRun:       n.threadsRun,
+			TokensRun:        n.tokensRun,
+			TokensStolen:     n.tokensStolen,
+			Syncs:            n.syncs,
+			FaultsInjected:   n.faultsInjected.Load(),
+			Retries:          n.retries.Load(),
+			Recovered:        n.recovered.Load(),
+			DupsDropped:      n.dupsDropped.Load(),
+			FramesReplayed:   n.framesReplayed.Load(),
+			TokensReassigned: n.tokensReassigned.Load(),
+			DetectionLatency: sim.Time(n.detectionLatency.Load()),
 		}
 	}
 	return st
+}
+
+// armCrashTimer schedules fn on a tracked wall-clock timer. Tracked
+// timers are cancelled (or waited out) by reapCrashTimers at run end, so
+// a crash scheduled beyond the program's natural finish cannot fire into
+// the next run.
+func (rt *Runtime) armCrashTimer(d sim.Time, fn func()) {
+	rt.crashWG.Add(1)
+	t := time.AfterFunc(time.Duration(d), func() {
+		defer rt.crashWG.Done()
+		fn()
+	})
+	rt.crashMu.Lock()
+	rt.crashTimers = append(rt.crashTimers, t)
+	rt.crashMu.Unlock()
+}
+
+// reapCrashTimers stops every unfired crash/detection timer and waits
+// for in-flight callbacks to drain before Run assembles stats.
+func (rt *Runtime) reapCrashTimers() {
+	if rt.crashAt == nil {
+		return
+	}
+	rt.crashMu.Lock()
+	timers := rt.crashTimers
+	rt.crashTimers = nil
+	rt.crashMu.Unlock()
+	for _, t := range timers {
+		if t.Stop() {
+			rt.crashWG.Done() // callback will never run
+		}
+	}
+	rt.crashWG.Wait()
+}
+
+// killNode executes a scheduled crash-stop failure: the node's executor
+// halts at its next dispatch boundary (the running thread body, if any,
+// completes) and a detection timer is armed for one lease later.
+func (rt *Runtime) killNode(x int) {
+	select {
+	case <-rt.done:
+		return
+	default:
+	}
+	n := rt.nodes[x]
+	if n.dead.Swap(true) {
+		return
+	}
+	n.faultsInjected.Add(1)
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: rt.now(), Node: n.id, Peer: earth.NoPeer,
+			Kind: earth.EvFaultInjected, Cause: earth.CauseCrash, Dur: rt.retry.Lease})
+	}
+	n.poke()
+	rt.armCrashTimer(rt.retry.Lease, func() { rt.recoverNode(x) })
+}
+
+// recoverNode fires one lease after a crash: survivors have now missed
+// enough heartbeats to declare the node dead. It waits for the dead
+// executor's handoff point, then drains the node's queues under its
+// lock: handlers and queued threads move to the ring successor (the
+// frames they reference are treated as checkpointed — host memory
+// survives in this embedding), pooled tokens are re-placed round-robin
+// across survivors, and the node's redirect is installed so every later
+// push routes to the adopter.
+func (rt *Runtime) recoverNode(x int) {
+	n := rt.nodes[x]
+	select {
+	case <-rt.done:
+		return
+	case <-n.exited:
+	}
+	s := earth.Adopter(earth.NodeID(x), len(rt.nodes),
+		func(c earth.NodeID) bool { return rt.nodes[c].dead.Load() })
+	sn := rt.nodes[s]
+	n.detectionLatency.Store(int64(rt.retry.Lease))
+	now := rt.now()
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+			Kind: earth.EvNodeDown, Dur: rt.retry.Lease, Cause: earth.CauseCrash})
+	}
+	n.mu.Lock()
+	handlers, ready, tokens := n.handlers, n.ready, n.tokens
+	n.handlers, n.ready, n.tokens = nil, nil, nil
+	n.redirect = int(s)
+	n.mu.Unlock()
+	// Moves preserve the outstanding-work count: nothing is re-added.
+	for _, h := range handlers {
+		rt.pushHandler(sn, h)
+	}
+	for _, it := range ready {
+		it.enq = now
+		sn.framesReplayed.Add(1)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+				Kind: earth.EvFrameReplayed, Cause: earth.CauseCrash})
+		}
+		rt.pushItem(sn, it)
+	}
+	for _, tk := range tokens {
+		t := rt.nextSurvivor()
+		tn := rt.nodes[t]
+		tn.tokensReassigned.Add(1)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: t, Peer: earth.NodeID(x),
+				Kind: earth.EvWorkReassigned, Cause: earth.CauseCrash})
+		}
+		rt.pushToken(tn, tk)
+	}
+}
+
+// nextSurvivor returns the balancer's next round-robin placement target
+// among nodes that have not crashed. Terminates because the engine
+// rejects plans that kill every node.
+func (rt *Runtime) nextSurvivor() earth.NodeID {
+	p := len(rt.nodes)
+	for {
+		t := int(rt.reassignRR.Add(1)-1) % p
+		if !rt.nodes[t].dead.Load() {
+			return earth.NodeID(t)
+		}
+	}
 }
 
 func (rt *Runtime) finish() {
@@ -196,19 +375,81 @@ func (rt *Runtime) doneOne() {
 func (rt *Runtime) enqueue(n *lnode, it item) {
 	rt.add()
 	it.enq = rt.now()
-	n.mu.Lock()
-	n.ready = append(n.ready, it)
-	n.mu.Unlock()
-	n.poke()
+	rt.pushItem(n, it)
 }
 
 // enqueueHandler adds a runtime message handler on n.
 func (rt *Runtime) enqueueHandler(n *lnode, h earth.ThreadBody) {
 	rt.add()
-	n.mu.Lock()
-	n.handlers = append(n.handlers, h)
-	n.mu.Unlock()
-	n.poke()
+	rt.pushHandler(n, h)
+}
+
+// pushItem appends it to n's ready queue, following crash redirects to
+// the adopter. Push helpers do not touch the outstanding-work count, so
+// they also serve recovery's queue moves.
+func (rt *Runtime) pushItem(n *lnode, it item) {
+	for {
+		n.mu.Lock()
+		r := n.redirect
+		if r < 0 {
+			n.ready = append(n.ready, it)
+			n.mu.Unlock()
+			n.poke()
+			return
+		}
+		n.mu.Unlock()
+		n = rt.nodes[r]
+	}
+}
+
+// pushHandler appends a handler on n, following crash redirects.
+func (rt *Runtime) pushHandler(n *lnode, h earth.ThreadBody) {
+	for {
+		n.mu.Lock()
+		r := n.redirect
+		if r < 0 {
+			n.handlers = append(n.handlers, h)
+			n.mu.Unlock()
+			n.poke()
+			return
+		}
+		n.mu.Unlock()
+		n = rt.nodes[r]
+	}
+}
+
+// pushToken appends a pooled token on n, following crash redirects.
+func (rt *Runtime) pushToken(n *lnode, tk ltoken) {
+	for {
+		n.mu.Lock()
+		r := n.redirect
+		if r < 0 {
+			n.tokens = append(n.tokens, tk)
+			n.mu.Unlock()
+			n.poke()
+			return
+		}
+		n.mu.Unlock()
+		n = rt.nodes[r]
+	}
+}
+
+// adopted reports whether work homed on home now runs on n because crash
+// redirects route home's queues there.
+func (rt *Runtime) adopted(home earth.NodeID, n *lnode) bool {
+	if rt.crashAt == nil {
+		return false
+	}
+	ln := rt.nodes[home]
+	for {
+		ln.mu.Lock()
+		r := ln.redirect
+		ln.mu.Unlock()
+		if r < 0 {
+			return ln == n
+		}
+		ln = rt.nodes[r]
+	}
 }
 
 // sendHandler routes a runtime message handler to dst, applying the
@@ -368,7 +609,7 @@ func (n *lnode) steal() (item, bool) {
 	off := n.rng.Intn(p)
 	for i := 0; i < p; i++ {
 		v := n.rt.nodes[(off+i)%p]
-		if v == n {
+		if v == n || v.dead.Load() {
 			continue
 		}
 		v.mu.Lock()
@@ -390,9 +631,13 @@ func (n *lnode) steal() (item, bool) {
 	return item{}, false
 }
 
-// loop is the executor: it drains work until the runtime is quiescent.
+// loop is the executor: it drains work until the runtime is quiescent
+// or the node crash-stops.
 func (n *lnode) loop() {
 	for {
+		if n.dead.Load() {
+			return
+		}
 		it, ok := n.next()
 		if !ok {
 			it, ok = n.steal()
@@ -499,7 +744,7 @@ func (c *ctx) Compute(d sim.Time) {
 
 func (c *ctx) Spawn(f *earth.Frame, thread int) {
 	c.check()
-	if f.Home != c.n.id {
+	if f.Home != c.n.id && !c.rt.adopted(f.Home, c.n) {
 		panic(fmt.Sprintf("livert: Spawn of frame on node %d from node %d", f.Home, c.n.id))
 	}
 	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread), cause: earth.CauseSpawn})
@@ -631,10 +876,6 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})
 		}
 		rt.add()
-		tk := ltoken{body: body, enq: rt.now()}
-		c.n.mu.Lock()
-		c.n.tokens = append(c.n.tokens, tk)
-		c.n.mu.Unlock()
-		c.n.poke()
+		rt.pushToken(c.n, ltoken{body: body, enq: rt.now()})
 	}
 }

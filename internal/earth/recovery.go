@@ -24,6 +24,15 @@ type RetryPolicy struct {
 	MaxRetries int
 	// MaxBackoff caps the backed-off timeout. 0: 32× Timeout.
 	MaxBackoff sim.Time
+	// Lease is the failure-detector lease: how long a node may stay
+	// silent before survivors declare it crashed and adopt its
+	// checkpointed frames and queued work. Messages in flight to a node
+	// that crashed are held for the remainder of its lease (the sender's
+	// heartbeat/ack timeout exposing the failure) and then re-routed to
+	// the successor. 0: 5× Timeout (1ms with the default Timeout), long
+	// enough that transient drop/backoff recovery never masquerades as a
+	// crash.
+	Lease sim.Time
 }
 
 // WithDefaults normalises the policy.
@@ -36,6 +45,9 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 	}
 	if p.MaxBackoff <= 0 {
 		p.MaxBackoff = 32 * p.Timeout
+	}
+	if p.Lease <= 0 {
+		p.Lease = 5 * p.Timeout
 	}
 	return p
 }
@@ -52,4 +64,21 @@ func (p RetryPolicy) AttemptTimeout(attempt int) sim.Time {
 		d = p.MaxBackoff
 	}
 	return d
+}
+
+// Adopter returns the surviving node that owns work addressed to node x
+// after crash-stop failures: the first node in ring order starting at x
+// itself for which down reports false. Both engines resolve with the
+// same ring walk, so a frame homed on a dead node has one well-defined
+// adopter, and chained failures (the adopter itself dying later) resolve
+// transitively to the same survivor. Panics when every node is down;
+// the engines reject crash plans that kill the whole machine up front.
+func Adopter(x NodeID, nodes int, down func(NodeID) bool) NodeID {
+	for i := 0; i < nodes; i++ {
+		c := NodeID((int(x) + i) % nodes)
+		if !down(c) {
+			return c
+		}
+	}
+	panic("earth: crash plan left no live node to adopt work")
 }

@@ -11,11 +11,66 @@ func TestRetryPolicyDefaults(t *testing.T) {
 	if p.Timeout != 200*sim.Microsecond || p.MaxRetries != 8 || p.MaxBackoff != 32*p.Timeout {
 		t.Errorf("defaults: %+v", p)
 	}
+	if p.Lease != 5*p.Timeout {
+		t.Errorf("default lease = %v, want %v", p.Lease, 5*p.Timeout)
+	}
 	// Explicit fields survive normalisation.
-	q := RetryPolicy{Timeout: sim.Millisecond, MaxRetries: 2, MaxBackoff: 4 * sim.Millisecond}.WithDefaults()
+	q := RetryPolicy{Timeout: sim.Millisecond, MaxRetries: 2, MaxBackoff: 4 * sim.Millisecond,
+		Lease: 10 * sim.Millisecond}.WithDefaults()
 	if q.Timeout != sim.Millisecond || q.MaxRetries != 2 || q.MaxBackoff != 4*sim.Millisecond {
 		t.Errorf("explicit: %+v", q)
 	}
+	if q.Lease != 10*sim.Millisecond {
+		t.Errorf("explicit lease = %v", q.Lease)
+	}
+	// A lease shorter than the timeout still sticks: the caller may model
+	// aggressive detectors.
+	if r := (RetryPolicy{Timeout: sim.Millisecond, Lease: 100 * sim.Microsecond}).WithDefaults(); r.Lease != 100*sim.Microsecond {
+		t.Errorf("short lease = %v", r.Lease)
+	}
+}
+
+func TestAdopterRingWalk(t *testing.T) {
+	down := func(ids ...NodeID) func(NodeID) bool {
+		return func(c NodeID) bool {
+			for _, d := range ids {
+				if c == d {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	cases := []struct {
+		name  string
+		x     NodeID
+		nodes int
+		dead  func(NodeID) bool
+		want  NodeID
+	}{
+		{"live node owns its work", 2, 4, down(), 2},
+		{"dead node's successor", 2, 4, down(2), 3},
+		{"chained deaths resolve transitively", 1, 4, down(1, 2), 3},
+		{"ring wraps past the last node", 3, 4, down(3), 0},
+		{"wrap over several dead nodes", 2, 4, down(2, 3, 0), 1},
+	}
+	for _, c := range cases {
+		if got := Adopter(c.x, c.nodes, c.dead); got != c.want {
+			t.Errorf("%s: Adopter(%d) = %d, want %d", c.name, c.x, got, c.want)
+		}
+	}
+	// Transitivity: Adopter(x) == Adopter(Adopter-candidate chain) for any
+	// dead set with a survivor.
+	dead := down(0, 1, 3)
+	if a, b := Adopter(0, 4, dead), Adopter(1, 4, dead); a != b || a != 2 {
+		t.Errorf("chained adoption diverged: %d vs %d", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Adopter with all nodes down did not panic")
+		}
+	}()
+	Adopter(0, 3, func(NodeID) bool { return true })
 }
 
 func TestAttemptTimeoutBackoff(t *testing.T) {

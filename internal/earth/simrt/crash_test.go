@@ -1,0 +1,195 @@
+package simrt
+
+import (
+	"encoding/json"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/faults"
+	"earth/internal/sim"
+)
+
+// crashTokenProg builds a token fan-out whose leaves each add a known
+// value into a node-0 accumulator guarded by one sync slot, so the
+// fault-free result is precomputable.
+func crashTokenProg(total *int, done *bool, leaves int) (earth.ThreadBody, int) {
+	want := 0
+	for i := 0; i < leaves; i++ {
+		want += i
+	}
+	body := func(c earth.Ctx) {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, leaves, 0, 0)
+		f.SetThread(0, func(earth.Ctx) { *done = true })
+		for i := 0; i < leaves; i++ {
+			v := i
+			c.Token(8, func(c earth.Ctx) {
+				c.Compute(20 * sim.Microsecond)
+				c.Put(0, 8, func() { *total += v }, f, 0)
+			})
+		}
+	}
+	return body, want
+}
+
+// TestCrashConvergesTokens: killing a worker mid-run must not lose any
+// token; the run converges to the fault-free sum.
+func TestCrashConvergesTokens(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		plan := &faults.Plan{Seed: 7}
+		for i := 0; i < k; i++ {
+			plan.Crash = append(plan.Crash, faults.Crash{Node: 1 + i, At: sim.Time(100+50*i) * sim.Microsecond})
+		}
+		var total int
+		var done bool
+		body, want := crashTokenProg(&total, &done, 40)
+		rt := New(earth.Config{Nodes: 5, Seed: 1, Faults: plan})
+		st := rt.Run(body)
+		if total != want || !done {
+			t.Fatalf("k=%d: total=%d done=%v, want %d", k, total, done, want)
+		}
+		if st.TotalFaults() == 0 {
+			t.Fatalf("k=%d: no faults recorded for a crash plan", k)
+		}
+	}
+}
+
+// TestCrashAdoptedFrame: a frame homed on the crashing node keeps
+// receiving syncs; its enabled thread must fire on the adopter.
+func TestCrashAdoptedFrame(t *testing.T) {
+	plan := &faults.Plan{Crash: []faults.Crash{{Node: 2, At: 150 * sim.Microsecond}}}
+	rt := New(earth.Config{Nodes: 4, Seed: 3, Faults: plan})
+	var ranOn earth.NodeID = -1
+	const parts = 12
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(2, 1, 1)
+		f.InitSync(0, parts, 0, 0)
+		f.SetThread(0, func(c earth.Ctx) { ranOn = c.Node() })
+		for i := 0; i < parts; i++ {
+			c.Invoke(earth.NodeID(i%4), 8, func(c earth.Ctx) {
+				c.Compute(50 * sim.Microsecond)
+				c.Sync(f, 0)
+			})
+		}
+	})
+	if ranOn < 0 {
+		t.Fatal("fan-in thread never fired")
+	}
+	if ranOn == 2 {
+		t.Fatalf("fan-in thread ran on the crashed node")
+	}
+}
+
+// TestCrashRecoveryAccounting: detection latency lands on the dead node,
+// replay/reassign counters on survivors, and the failure-detector events
+// are emitted exactly once per crash.
+func TestCrashRecoveryAccounting(t *testing.T) {
+	plan := &faults.Plan{Crash: []faults.Crash{{Node: 1, At: 80 * sim.Microsecond}}}
+	var tr eventList
+	var total int
+	var done bool
+	body, want := crashTokenProg(&total, &done, 32)
+	rt := New(earth.Config{Nodes: 4, Seed: 2, Faults: plan, Tracer: &tr})
+	st := rt.Run(body)
+	if total != want || !done {
+		t.Fatalf("total=%d done=%v, want %d", total, done, want)
+	}
+	lease := earth.RetryPolicy{}.WithDefaults().Lease
+	if got := st.Nodes[1].DetectionLatency; got != lease {
+		t.Fatalf("DetectionLatency on dead node = %v, want %v", got, lease)
+	}
+	for i, n := range st.Nodes {
+		if i != 1 && n.DetectionLatency != 0 {
+			t.Fatalf("DetectionLatency leaked onto live node %d", i)
+		}
+	}
+	downs := 0
+	for _, e := range tr {
+		if e.Kind == earth.EvNodeDown {
+			downs++
+			if e.Peer != 1 || e.Node == 1 {
+				t.Fatalf("EvNodeDown attribution: node=%d peer=%d", e.Node, e.Peer)
+			}
+			if e.Dur != lease {
+				t.Fatalf("EvNodeDown lease = %v, want %v", e.Dur, lease)
+			}
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("EvNodeDown emitted %d times, want 1", downs)
+	}
+	replays, reassigns := countKind(tr, earth.EvFrameReplayed), countKind(tr, earth.EvWorkReassigned)
+	if uint64(replays) != st.TotalReplayed() || uint64(reassigns) != st.TotalReassigned() {
+		t.Fatalf("event/counter mismatch: events %d/%d, stats %d/%d",
+			replays, reassigns, st.TotalReplayed(), st.TotalReassigned())
+	}
+	if st.Nodes[1].FramesReplayed != 0 || st.Nodes[1].TokensReassigned != 0 {
+		t.Fatal("recovery work accounted to the dead node")
+	}
+}
+
+// TestCrashDeterminism: same plan and seed must give byte-identical
+// stats JSON and identical event traces across fresh runtimes.
+func TestCrashDeterminism(t *testing.T) {
+	run := func() ([]byte, eventList) {
+		plan := &faults.Plan{
+			Seed: 11, Drop: 0.05, Dup: 0.02,
+			Crash: []faults.Crash{{Node: 1, At: 100 * sim.Microsecond}, {Node: 3, At: 400 * sim.Microsecond}},
+		}
+		var tr eventList
+		var total int
+		var done bool
+		body, want := crashTokenProg(&total, &done, 48)
+		rt := New(earth.Config{Nodes: 6, Seed: 5, Faults: plan, Tracer: &tr})
+		st := rt.Run(body)
+		if total != want || !done {
+			t.Fatalf("total=%d done=%v, want %d", total, done, want)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, tr
+	}
+	b1, tr1 := run()
+	b2, tr2 := run()
+	if string(b1) != string(b2) {
+		t.Fatalf("stats JSON diverged:\n%s\n%s", b1, b2)
+	}
+	if len(tr1) != len(tr2) {
+		t.Fatalf("trace length diverged: %d vs %d", len(tr1), len(tr2))
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatalf("trace event %d diverged: %+v vs %+v", i, tr1[i], tr2[i])
+		}
+	}
+}
+
+// TestCrashPlanKillingAllNodesPanics: the engine refuses a plan that
+// leaves no survivor to adopt work.
+func TestCrashPlanKillingAllNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a plan that kills every node")
+		}
+	}()
+	New(earth.Config{Nodes: 2, Faults: &faults.Plan{Crash: []faults.Crash{
+		{Node: 0, At: 0}, {Node: 1, At: sim.Millisecond},
+	}}})
+}
+
+// eventList is a single-goroutine tracer for simrt tests.
+type eventList []earth.Event
+
+func (l *eventList) Event(e earth.Event) { *l = append(*l, e) }
+
+func countKind(l eventList, k earth.EventKind) int {
+	n := 0
+	for _, e := range l {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

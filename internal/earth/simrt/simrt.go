@@ -274,6 +274,16 @@ type Runtime struct {
 	plan     *faults.Plan
 	retry    earth.RetryPolicy
 	hasPause bool
+	// Crash-stop failure state (nil crashAt means no crash plan: every
+	// crash hook is a single slice check). crashAt is the per-node crash
+	// schedule (-1 = never); dead marks nodes past their crash instant;
+	// detected marks nodes whose lease has expired and whose state has
+	// failed over to a survivor. reassignRR is the round-robin cursor the
+	// load balancer uses to re-place a dead node's tokens.
+	crashAt    []sim.Time
+	dead       []bool
+	detected   []bool
+	reassignRR int
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -314,6 +324,20 @@ func New(cfg earth.Config) *Runtime {
 		rt.hasPause = cfg.Faults.HasPause()
 		if cfg.Faults.HasDegrade() {
 			rt.mach.SetLinkScale(cfg.Faults.LinkScale)
+		}
+		if cfg.Faults.HasCrash() {
+			rt.crashAt = cfg.Faults.CrashSchedule(cfg.Nodes)
+			live := 0
+			for _, at := range rt.crashAt {
+				if at < 0 {
+					live++
+				}
+			}
+			if live == 0 {
+				panic("simrt: crash plan kills every node; at least one must survive")
+			}
+			rt.dead = make([]bool, cfg.Nodes)
+			rt.detected = make([]bool, cfg.Nodes)
 		}
 	}
 	return rt
@@ -366,6 +390,21 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		n.running, n.stealing, n.parked = false, false, false
 		n.cpuDebt = 0
 		n.stats = earth.NodeStats{}
+	}
+	if rt.crashAt != nil {
+		rt.reassignRR = 0
+		for i := range rt.dead {
+			rt.dead[i] = false
+			rt.detected[i] = false
+		}
+		// Schedule the plan's crash-stop failures up front, in node order,
+		// so same-instant crashes fire deterministically.
+		for i, at := range rt.crashAt {
+			if at >= 0 {
+				x := i
+				rt.eng.At(at, func() { rt.crashNode(x) })
+			}
+		}
 	}
 	if rt.cfg.Balancer == earth.BalanceSteal {
 		// All nodes except node 0 start idle: park them as thieves so the
@@ -448,6 +487,163 @@ func (n *node) addSpan(rt *Runtime, start, end sim.Time) {
 	}
 }
 
+// crashNode executes a scheduled crash-stop failure: the node halts at
+// its next dispatch boundary (a thread body running across the crash
+// instant completes — bodies are atomic in this model) and stops
+// dispatching, stealing and serving its queues. Its state stays frozen
+// until the failure detector's lease expires and detectCrash hands it
+// over to a survivor.
+func (rt *Runtime) crashNode(x int) {
+	rt.dead[x] = true
+	n := rt.nodes[x]
+	n.stats.FaultsInjected++
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: n.id, Peer: earth.NoPeer,
+			Kind: earth.EvFaultInjected, Cause: earth.CauseCrash, Dur: rt.retry.Lease})
+	}
+	rt.eng.After(rt.retry.Lease, func() { rt.detectCrash(x) })
+}
+
+// detectCrash fires one lease after a crash: survivors have missed
+// enough heartbeats/acks to declare the node dead. Its ring successor
+// adopts the checkpointed frames and queued threads, and its pooled
+// tokens go back to the load balancer for re-placement. Frame state in
+// this embedding lives in host memory, so adoption is the god-view
+// counterpart of the retransmit model: the failure perturbs placement
+// and timing, never data.
+func (rt *Runtime) detectCrash(x int) {
+	rt.detected[x] = true
+	n := rt.nodes[x]
+	n.stats.DetectionLatency = rt.retry.Lease
+	s := rt.resolve(earth.NodeID(x))
+	sn := rt.nodes[s]
+	now := rt.eng.Now()
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+			Kind: earth.EvNodeDown, Dur: rt.retry.Lease, Cause: earth.CauseCrash})
+	}
+	// The dead node no longer participates in stealing.
+	for i, id := range rt.thieves {
+		if int(id) == x {
+			rt.thieves = append(rt.thieves[:i], rt.thieves[i+1:]...)
+			break
+		}
+	}
+	// Replay the node's queued threads from their checkpointed frames on
+	// the adopter.
+	for n.ready.len() > 0 {
+		it := n.ready.pop()
+		it.enq = now
+		sn.stats.FramesReplayed++
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+				Kind: earth.EvFrameReplayed, Cause: earth.CauseCrash})
+		}
+		rt.enqueue(sn, it)
+	}
+	// Return pooled tokens to the balancer for deterministic re-placement.
+	for n.tokens.len() > 0 {
+		tk := n.tokens.popFront()
+		rt.tokensInPools--
+		rt.reassignToken(earth.NodeID(x), sn, tk)
+	}
+}
+
+// resolve maps a node to the live owner of its state: the node itself
+// while it is up (or crashed but undetected — the failure is not
+// observable before the lease expires), else its transitive adopter.
+func (rt *Runtime) resolve(x earth.NodeID) earth.NodeID {
+	if rt.crashAt == nil {
+		return x
+	}
+	return earth.Adopter(x, len(rt.nodes), func(c earth.NodeID) bool { return rt.detected[c] })
+}
+
+// reassignToken returns one of a dead node's pooled tokens to the load
+// balancer: round-robin placement over surviving nodes, shipped from the
+// adopter (which holds the checkpointed args now) at normal network
+// cost.
+func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token) {
+	now := rt.eng.Now()
+	p := len(rt.nodes)
+	t := earth.NodeID(rt.reassignRR % p)
+	for rt.dead[t] {
+		rt.reassignRR++
+		t = earth.NodeID(rt.reassignRR % p)
+	}
+	rt.reassignRR++
+	tn := rt.nodes[t]
+	tn.stats.TokensReassigned++
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: now, Node: t, Peer: x,
+			Kind: earth.EvWorkReassigned, Bytes: tk.argBytes, Cause: earth.CauseCrash})
+	}
+	if t == sn.id {
+		rt.enqueue(tn, item{body: tk.body, token: true, enq: now, cause: earth.CauseToken})
+		return
+	}
+	arrival := rt.send(now+rt.cfg.Costs.AsyncSend, sn.id, t, tk.argBytes)
+	m := rt.newMsg()
+	m.kind = msgThread
+	m.from, m.to = sn.id, t
+	m.body = tk.body
+	m.bytes = tk.argBytes
+	m.issue = now
+	m.cause = earth.CauseToken
+	m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
+	rt.deliver(now, arrival, m)
+}
+
+// routeCrash vets an arriving message's target when a crash plan is
+// active. A message headed to a dead node is held until the node's lease
+// expires (the sender's missed heartbeats/acks are what expose the
+// failure) and then re-routed to the adopter; the loop covers chained
+// failures. Returns false when the message was re-scheduled for the
+// detection instant.
+func (rt *Runtime) routeCrash(m *msg) bool {
+	for {
+		t := int(m.to)
+		if !rt.dead[t] {
+			return true
+		}
+		if !rt.detected[t] {
+			// The detection event was scheduled at crash time, so at the
+			// lease boundary it fires before this re-scheduled arrival.
+			rt.eng.At(rt.crashAt[t]+rt.retry.Lease, m.fire)
+			return false
+		}
+		rt.failover(m)
+	}
+}
+
+// failover re-targets a message addressed to a detected-dead node at its
+// adopter, accounting the re-dispatched work: an in-flight invoke
+// re-instantiates its frame on the adopter; an in-flight token (placed,
+// stolen or granted) counts as a balancer re-assignment. Sync, put, get
+// and post legs re-route silently — the adopter owns the checkpointed
+// frame state they target.
+func (rt *Runtime) failover(m *msg) {
+	x := m.to
+	s := rt.resolve(x)
+	m.to = s
+	sn := rt.nodes[s]
+	now := rt.eng.Now()
+	switch {
+	case m.kind == msgStealGrant, m.kind == msgThread && m.cause == earth.CauseToken:
+		sn.stats.TokensReassigned++
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: x,
+				Kind: earth.EvWorkReassigned, Bytes: m.bytes, Cause: earth.CauseCrash})
+		}
+	case m.kind == msgThread:
+		sn.stats.FramesReplayed++
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: x,
+				Kind: earth.EvFrameReplayed, Cause: earth.CauseCrash})
+		}
+	}
+}
+
 // enqueue places it on n's ready queue and kicks the dispatch chain if the
 // node is idle. Must be called from an event context.
 func (rt *Runtime) enqueue(n *node, it item) {
@@ -461,6 +657,12 @@ func (rt *Runtime) enqueue(n *node, it item) {
 // dispatch pops and executes the next unit of work on n. It runs as a
 // simulator event at the node's availability time.
 func (rt *Runtime) dispatch(n *node) {
+	// A crashed node halts at its dispatch boundary: whatever was running
+	// has completed, and nothing further dispatches. Queued state stays
+	// frozen until detectCrash hands it to the adopter.
+	if rt.dead != nil && rt.dead[n.id] {
+		return
+	}
 	// A paused node defers its whole dispatch chain to the window's end.
 	// Messages still land and sync slots still fire during the pause (the
 	// Synchronization Unit keeps servicing the network); only thread
@@ -658,6 +860,12 @@ func (rt *Runtime) cloneMsg(m *msg) *msg {
 
 // fireMsg applies a message envelope at its scheduled time.
 func (rt *Runtime) fireMsg(m *msg) {
+	// Crash-stop routing happens first, at arrival (stage 0): a message
+	// for a dead node is held to the lease boundary or failed over to the
+	// adopter before any delivery bookkeeping runs.
+	if rt.dead != nil && m.stage == 0 && !rt.routeCrash(m) {
+		return
+	}
 	// Idempotent delivery under a fault plan: sequence-numbered envelopes
 	// are checked once, at arrival (stage 0), before any effect runs —
 	// the second copy of a duplicated message is discarded here, which is
@@ -681,7 +889,9 @@ func (rt *Runtime) fireMsg(m *msg) {
 	}
 	switch m.kind {
 	case msgSync:
-		n := rt.nodes[m.f.Home]
+		// Route by m.to, not m.f.Home: after a crash the sync lands on the
+		// frame's adopter.
+		n := rt.nodes[m.to]
 		if m.stage == 0 && rt.stageRecv(m, n, rt.cfg.Costs.SpawnLocal) {
 			return
 		}
@@ -723,7 +933,7 @@ func (rt *Runtime) fireMsg(m *msg) {
 				Kind: earth.EvPutDeliver, Bytes: bytes, Dur: rt.eng.Now() - issue})
 		}
 		if f != nil {
-			if f.Home == owner {
+			if rt.resolve(f.Home) == owner {
 				rt.decSlot(dst, owner, rt.eng.Now(), f, slot)
 			} else {
 				rt.sendSyncAt(rt.eng.Now(), owner, f, slot)
@@ -764,7 +974,7 @@ func (rt *Runtime) fireMsg(m *msg) {
 				Kind: earth.EvGetDeliver, Bytes: bytes, Dur: rt.eng.Now() - issue})
 		}
 		if f != nil {
-			if f.Home == src.id {
+			if rt.resolve(f.Home) == src.id {
 				rt.decSlot(src, owner, rt.eng.Now(), f, slot)
 			} else {
 				rt.sendSyncAt(rt.eng.Now(), src.id, f, slot)
@@ -836,13 +1046,15 @@ func (rt *Runtime) consumesCPUOnRecv() bool {
 }
 
 // sendSyncAt charges the network for an 8-byte sync signal issued by from
-// at ready and schedules its pooled delivery envelope at f's home node.
+// at ready and schedules its pooled delivery envelope at f's home node —
+// or the home's adopter once a crash has been detected.
 func (rt *Runtime) sendSyncAt(ready sim.Time, from earth.NodeID, f *earth.Frame, slot int) {
-	arrival := rt.send(ready, from, f.Home, 8)
+	home := rt.resolve(f.Home)
+	arrival := rt.send(ready, from, home, 8)
 	m := rt.newMsg()
 	m.kind = msgSync
 	m.from = from
-	m.to = f.Home
+	m.to = home
 	m.f = f
 	m.slot = slot
 	m.bytes = 8
@@ -909,6 +1121,9 @@ func (rt *Runtime) depositToken(n *node, cursor sim.Time, tk token) sim.Time {
 // initiates a steal request; otherwise the node simply idles.
 func (rt *Runtime) trySteal(n *node) {
 	if rt.cfg.Balancer != earth.BalanceSteal || n.stealing || n.parked || n.running {
+		return
+	}
+	if rt.dead != nil && rt.dead[n.id] {
 		return
 	}
 	victim := rt.pickVictim(n)
@@ -988,7 +1203,7 @@ func (c *ctx) Compute(d sim.Time) {
 
 func (c *ctx) Spawn(f *earth.Frame, thread int) {
 	c.check()
-	if f.Home != c.n.id {
+	if f.Home != c.n.id && c.rt.resolve(f.Home) != c.n.id {
 		panic(fmt.Sprintf("simrt: Spawn of frame on node %d from node %d; use Invoke or Sync", f.Home, c.n.id))
 	}
 	c.cursor += c.rt.cfg.Costs.SpawnLocal
@@ -997,7 +1212,7 @@ func (c *ctx) Spawn(f *earth.Frame, thread int) {
 
 func (c *ctx) Sync(f *earth.Frame, slot int) {
 	c.check()
-	if f.Home == c.n.id {
+	if c.rt.resolve(f.Home) == c.n.id {
 		c.cursor += c.rt.cfg.Costs.SpawnLocal
 		c.rt.decSlot(c.n, c.n.id, c.cursor, f, slot)
 		return

@@ -40,6 +40,15 @@ type NodeStats struct {
 	// DupsDropped counts duplicate deliveries suppressed here by the
 	// sequence-numbered idempotent-delivery check.
 	DupsDropped uint64
+	// FramesReplayed counts checkpointed frames and queued threads this
+	// node re-instantiated after another node's crash-stop failure.
+	FramesReplayed uint64
+	// TokensReassigned counts tokens re-placed on this node by the load
+	// balancer after their owner crashed.
+	TokensReassigned uint64
+	// DetectionLatency is the failure-detector latency for this node's
+	// own crash (crash-to-adoption); zero for nodes that stayed up.
+	DetectionLatency sim.Time
 }
 
 // Stats summarises one run.
@@ -116,6 +125,24 @@ func (s *Stats) TotalRecovered() uint64 {
 	return n
 }
 
+// TotalReplayed sums crash-recovery frame replays across nodes.
+func (s *Stats) TotalReplayed() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].FramesReplayed
+	}
+	return n
+}
+
+// TotalReassigned sums crash-recovery token re-placements across nodes.
+func (s *Stats) TotalReassigned() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].TokensReassigned
+	}
+	return n
+}
+
 // BusyFraction returns busy/elapsed clamped to [0,1]. The clamp matters
 // under simrt, where Synchronization-Unit/handler time runs concurrently
 // with the execution unit and a saturated node's Busy can exceed the
@@ -149,17 +176,20 @@ func (s *Stats) Utilization() float64 {
 // and an explicit _ns suffix on times, so exported artifacts stay
 // readable and diffable.
 type nodeStatsJSON struct {
-	BusyNS         sim.Time `json:"busy_ns"`
-	ThreadsRun     uint64   `json:"threads_run"`
-	TokensRun      uint64   `json:"tokens_run"`
-	TokensStolen   uint64   `json:"tokens_stolen"`
-	MsgsSent       uint64   `json:"msgs_sent"`
-	BytesSent      uint64   `json:"bytes_sent"`
-	Syncs          uint64   `json:"syncs"`
-	FaultsInjected uint64   `json:"faults_injected,omitempty"`
-	Retries        uint64   `json:"retries,omitempty"`
-	Recovered      uint64   `json:"recovered,omitempty"`
-	DupsDropped    uint64   `json:"dups_dropped,omitempty"`
+	BusyNS           sim.Time `json:"busy_ns"`
+	ThreadsRun       uint64   `json:"threads_run"`
+	TokensRun        uint64   `json:"tokens_run"`
+	TokensStolen     uint64   `json:"tokens_stolen"`
+	MsgsSent         uint64   `json:"msgs_sent"`
+	BytesSent        uint64   `json:"bytes_sent"`
+	Syncs            uint64   `json:"syncs"`
+	FaultsInjected   uint64   `json:"faults_injected,omitempty"`
+	Retries          uint64   `json:"retries,omitempty"`
+	Recovered        uint64   `json:"recovered,omitempty"`
+	DupsDropped      uint64   `json:"dups_dropped,omitempty"`
+	FramesReplayed   uint64   `json:"frames_replayed,omitempty"`
+	TokensReassigned uint64   `json:"tokens_reassigned,omitempty"`
+	DetectionLatency sim.Time `json:"detection_latency_ns,omitempty"`
 }
 
 // statsJSON is the wire form of Stats: per-node counters plus derived
@@ -177,6 +207,8 @@ type statsJSON struct {
 	Retries     uint64          `json:"retries,omitempty"`
 	Recovered   uint64          `json:"recovered,omitempty"`
 	DupsDropped uint64          `json:"dups_dropped,omitempty"`
+	Replayed    uint64          `json:"frames_replayed,omitempty"`
+	Reassigned  uint64          `json:"tokens_reassigned,omitempty"`
 	Nodes       []nodeStatsJSON `json:"nodes"`
 }
 
@@ -188,17 +220,20 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 	var dups uint64
 	for i, n := range s.Nodes {
 		nodes[i] = nodeStatsJSON{
-			BusyNS:         n.Busy,
-			ThreadsRun:     n.ThreadsRun,
-			TokensRun:      n.TokensRun,
-			TokensStolen:   n.TokensStolen,
-			MsgsSent:       n.MsgsSent,
-			BytesSent:      n.BytesSent,
-			Syncs:          n.Syncs,
-			FaultsInjected: n.FaultsInjected,
-			Retries:        n.Retries,
-			Recovered:      n.Recovered,
-			DupsDropped:    n.DupsDropped,
+			BusyNS:           n.Busy,
+			ThreadsRun:       n.ThreadsRun,
+			TokensRun:        n.TokensRun,
+			TokensStolen:     n.TokensStolen,
+			MsgsSent:         n.MsgsSent,
+			BytesSent:        n.BytesSent,
+			Syncs:            n.Syncs,
+			FaultsInjected:   n.FaultsInjected,
+			Retries:          n.Retries,
+			Recovered:        n.Recovered,
+			DupsDropped:      n.DupsDropped,
+			FramesReplayed:   n.FramesReplayed,
+			TokensReassigned: n.TokensReassigned,
+			DetectionLatency: n.DetectionLatency,
 		}
 		dups += n.DupsDropped
 	}
@@ -214,6 +249,8 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 		Retries:     s.TotalRetries(),
 		Recovered:   s.TotalRecovered(),
 		DupsDropped: dups,
+		Replayed:    s.TotalReplayed(),
+		Reassigned:  s.TotalReassigned(),
 		Nodes:       nodes,
 	})
 }
@@ -231,17 +268,20 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 	s.Nodes = make([]NodeStats, len(w.Nodes))
 	for i, n := range w.Nodes {
 		s.Nodes[i] = NodeStats{
-			Busy:           n.BusyNS,
-			ThreadsRun:     n.ThreadsRun,
-			TokensRun:      n.TokensRun,
-			TokensStolen:   n.TokensStolen,
-			MsgsSent:       n.MsgsSent,
-			BytesSent:      n.BytesSent,
-			Syncs:          n.Syncs,
-			FaultsInjected: n.FaultsInjected,
-			Retries:        n.Retries,
-			Recovered:      n.Recovered,
-			DupsDropped:    n.DupsDropped,
+			Busy:             n.BusyNS,
+			ThreadsRun:       n.ThreadsRun,
+			TokensRun:        n.TokensRun,
+			TokensStolen:     n.TokensStolen,
+			MsgsSent:         n.MsgsSent,
+			BytesSent:        n.BytesSent,
+			Syncs:            n.Syncs,
+			FaultsInjected:   n.FaultsInjected,
+			Retries:          n.Retries,
+			Recovered:        n.Recovered,
+			DupsDropped:      n.DupsDropped,
+			FramesReplayed:   n.FramesReplayed,
+			TokensReassigned: n.TokensReassigned,
+			DetectionLatency: n.DetectionLatency,
 		}
 	}
 	return nil
@@ -257,6 +297,9 @@ func (s *Stats) String() string {
 		s.TotalSteals(), s.Utilization())
 	if f := s.TotalFaults(); f > 0 {
 		fmt.Fprintf(&b, " faults=%d retries=%d recovered=%d", f, s.TotalRetries(), s.TotalRecovered())
+	}
+	if r, t := s.TotalReplayed(), s.TotalReassigned(); r > 0 || t > 0 {
+		fmt.Fprintf(&b, " replayed=%d reassigned=%d", r, t)
 	}
 	return b.String()
 }

@@ -18,6 +18,7 @@
 //	pause=*@500us-600us        every node pauses
 //	degrade=*@0-5msx4          all links 4x slower in [0,5ms)
 //	degrade=3@1ms-2msx8        links touching node 3, 8x slower
+//	crash=2@1ms                node 2 fails permanently (crash-stop) at 1ms
 //
 // The package depends only on internal/sim, so every layer above it
 // (manna, earth, the engines, the harness) can import it freely.
@@ -48,6 +49,18 @@ func (w Window) contains(node int, at sim.Time) bool {
 	return (w.Node < 0 || w.Node == node) && at >= w.From && at < w.To
 }
 
+// Crash schedules a crash-stop failure: Node halts permanently at At and
+// never recovers. Unlike transient faults, a crash is not masked by
+// retries alone — the engines detect it after a lease timeout
+// (RetryPolicy.Lease) and fail the node's checkpointed frames and queued
+// work over to survivors. Node must name a concrete node (no "*"); At is
+// engine time (virtual wire time under simrt, wall time since Run under
+// livert, like pause/degrade windows).
+type Crash struct {
+	Node int
+	At   sim.Time
+}
+
 // Plan is a declarative fault schedule. The zero value injects nothing.
 type Plan struct {
 	// Seed feeds the injector's RNG. 0 defers to the runtime's seed, so a
@@ -74,12 +87,15 @@ type Plan struct {
 	// Pause lists node-pause windows: the node's dispatcher stalls until
 	// the window closes (messages still land; nothing executes).
 	Pause []Window
+	// Crash lists crash-stop failures: each named node halts permanently
+	// at its scheduled time and its work fails over to survivors.
+	Crash []Crash
 }
 
 // Enabled reports whether the plan can inject anything at all.
 func (p *Plan) Enabled() bool {
 	return p != nil && (p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 ||
-		len(p.Degrade) > 0 || len(p.Pause) > 0)
+		len(p.Degrade) > 0 || len(p.Pause) > 0 || len(p.Crash) > 0)
 }
 
 // HasDegrade reports whether any link-degradation window is configured.
@@ -87,6 +103,28 @@ func (p *Plan) HasDegrade() bool { return p != nil && len(p.Degrade) > 0 }
 
 // HasPause reports whether any node-pause window is configured.
 func (p *Plan) HasPause() bool { return p != nil && len(p.Pause) > 0 }
+
+// HasCrash reports whether any crash-stop failure is scheduled.
+func (p *Plan) HasCrash() bool { return p != nil && len(p.Crash) > 0 }
+
+// CrashSchedule flattens the crash list into a per-node schedule for a
+// machine of the given size: entry n is the time node n crashes, or -1
+// when it never does. Crashes aimed at nodes outside the machine are
+// dropped, so one plan can drive machines of several sizes.
+func (p *Plan) CrashSchedule(nodes int) []sim.Time {
+	at := make([]sim.Time, nodes)
+	for i := range at {
+		at[i] = -1
+	}
+	if p != nil {
+		for _, c := range p.Crash {
+			if c.Node < nodes {
+				at[c.Node] = c.At
+			}
+		}
+	}
+	return at
+}
 
 // Validate reports an error for meaningless plans.
 func (p *Plan) Validate() error {
@@ -119,6 +157,31 @@ func (p *Plan) Validate() error {
 	for _, w := range p.Pause {
 		if w.To <= w.From {
 			return fmt.Errorf("faults: pause window [%v,%v) is empty", w.From, w.To)
+		}
+	}
+	// Overlapping pause windows for the same node would make PauseUntil
+	// depend on list order (last writer wins); reject them outright. A
+	// "*" window overlaps every node's windows.
+	for i, w := range p.Pause {
+		for _, v := range p.Pause[:i] {
+			sameNode := w.Node == v.Node || w.Node < 0 || v.Node < 0
+			if sameNode && w.From < v.To && v.From < w.To {
+				return fmt.Errorf("faults: pause windows %s and %s overlap; merge them into one window",
+					pauseSpec(v), pauseSpec(w))
+			}
+		}
+	}
+	for i, c := range p.Crash {
+		if c.Node < 0 {
+			return fmt.Errorf("faults: crash needs a concrete node, got %d", c.Node)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("faults: crash time %v is negative", c.At)
+		}
+		for _, d := range p.Crash[:i] {
+			if d.Node == c.Node {
+				return fmt.Errorf("faults: node %d crashes twice (crash-stop failures are permanent)", c.Node)
+			}
 		}
 	}
 	return nil
@@ -181,17 +244,29 @@ func (p *Plan) String() string {
 		return strconv.Itoa(n)
 	}
 	for _, w := range p.Pause {
-		parts = append(parts, fmt.Sprintf("pause=%s@%v-%v",
-			node(w.Node), time.Duration(w.From), time.Duration(w.To)))
+		parts = append(parts, "pause="+pauseSpec(w))
 	}
 	for _, w := range p.Degrade {
 		parts = append(parts, fmt.Sprintf("degrade=%s@%v-%vx%g",
 			node(w.Node), time.Duration(w.From), time.Duration(w.To), w.Factor))
 	}
+	for _, c := range p.Crash {
+		parts = append(parts, fmt.Sprintf("crash=%d@%v", c.Node, time.Duration(c.At)))
+	}
 	if len(parts) == 0 {
 		return "none"
 	}
 	return strings.Join(parts, ",")
+}
+
+// pauseSpec renders one pause window in the Parse grammar (shared by
+// String and the overlap error message).
+func pauseSpec(w Window) string {
+	node := "*"
+	if w.Node >= 0 {
+		node = strconv.Itoa(w.Node)
+	}
+	return fmt.Sprintf("%s@%v-%v", node, time.Duration(w.From), time.Duration(w.To))
 }
 
 // Parse builds a Plan from a comma-separated spec (see the package
@@ -230,6 +305,10 @@ func Parse(spec string) (*Plan, error) {
 			var w Window
 			w, err = parseWindow(key, val, true)
 			p.Degrade = append(p.Degrade, w)
+		case "crash":
+			var c Crash
+			c, err = parseCrash(val)
+			p.Crash = append(p.Crash, c)
 		default:
 			return nil, fmt.Errorf("faults: unknown key %q", key)
 		}
@@ -300,6 +379,24 @@ func parseWindow(key, val string, factored bool) (Window, error) {
 		return w, fmt.Errorf("faults: %s=%q: window is empty", key, val)
 	}
 	return w, nil
+}
+
+// parseCrash parses "<node>@<at>". Crash-stop failures name a concrete
+// node: "*" would kill the whole machine and leave nothing to recover on.
+func parseCrash(val string) (Crash, error) {
+	nodePart, atPart, ok := strings.Cut(val, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("faults: crash=%q: want <node>@<at>", val)
+	}
+	n, err := strconv.Atoi(nodePart)
+	if err != nil || n < 0 {
+		return Crash{}, fmt.Errorf("faults: crash=%q: bad node %q (want a concrete node, not *)", val, nodePart)
+	}
+	at, err := parseDur("crash", atPart)
+	if err != nil {
+		return Crash{}, err
+	}
+	return Crash{Node: n, At: at}, nil
 }
 
 // cutLast cuts s around the last occurrence of sep.

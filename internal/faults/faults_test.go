@@ -205,6 +205,78 @@ func TestLinkScale(t *testing.T) {
 	}
 }
 
+func TestParseCrashRoundTrip(t *testing.T) {
+	p, err := Parse("crash=2@1ms,crash=5@2500µs,drop=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crash) != 2 || p.Crash[0] != (Crash{Node: 2, At: sim.Millisecond}) ||
+		p.Crash[1] != (Crash{Node: 5, At: 2500 * sim.Microsecond}) {
+		t.Errorf("crash = %+v", p.Crash)
+	}
+	if !p.HasCrash() || !p.Enabled() {
+		t.Error("crash plan reports disabled")
+	}
+	// String renders in the same grammar; parsing it again must be stable.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Errorf("String round trip: %q vs %q", p.String(), p2.String())
+	}
+	for _, spec := range []string{
+		"crash=*@1ms",  // crash-stop needs a concrete node
+		"crash=2",      // missing @time
+		"crash=2@-1ms", // negative time
+		"crash=x@1ms",
+		"crash=2@1ms,crash=2@5ms", // a node crashes once, permanently
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		}
+	}
+}
+
+func TestValidateRejectsOverlappingPauses(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+		ok   bool
+	}{
+		{"same node overlapping", Plan{Pause: []Window{
+			{Node: 2, From: 0, To: 20}, {Node: 2, From: 10, To: 30}}}, false},
+		{"wildcard overlaps concrete", Plan{Pause: []Window{
+			{Node: -1, From: 0, To: 20}, {Node: 2, From: 10, To: 30}}}, false},
+		{"identical windows", Plan{Pause: []Window{
+			{Node: 1, From: 5, To: 9}, {Node: 1, From: 5, To: 9}}}, false},
+		{"same node back to back", Plan{Pause: []Window{
+			{Node: 2, From: 0, To: 20}, {Node: 2, From: 20, To: 30}}}, true},
+		{"different nodes overlapping", Plan{Pause: []Window{
+			{Node: 1, From: 0, To: 20}, {Node: 2, From: 10, To: 30}}}, true},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: overlap accepted", c.name)
+		}
+	}
+}
+
+func TestCrashSchedule(t *testing.T) {
+	p := &Plan{Crash: []Crash{{Node: 1, At: 10}, {Node: 3, At: 20}, {Node: 9, At: 5}}}
+	got := p.CrashSchedule(4) // node 9 is out of range for a 4-node machine
+	want := []sim.Time{-1, 10, -1, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CrashSchedule(4) = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestPlanEnabled(t *testing.T) {
 	var nilPlan *Plan
 	if nilPlan.Enabled() || nilPlan.HasPause() || nilPlan.HasDegrade() {
