@@ -5,11 +5,16 @@
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > BENCH_1.json
 //	go run ./cmd/benchjson -in bench.txt -out BENCH_2.json
+//	go run ./cmd/benchjson -compare BENCH_1.json BENCH_2.json -threshold 0.15
 //
 // The output maps each benchmark name (with the -N GOMAXPROCS suffix
 // stripped) to its ns/op, and B/op and allocs/op when -benchmem was on.
 // Names are sorted, so regenerating with unchanged performance yields a
 // byte-identical file.
+//
+// -compare diffs two such files and exits non-zero when any benchmark's
+// ns/op grew by more than the threshold fraction (default 0.15), which
+// makes it usable directly as a CI perf-regression gate.
 package main
 
 import (
@@ -67,10 +72,104 @@ func parse(r io.Reader) (map[string]Result, error) {
 	return out, sc.Err()
 }
 
+// delta is one benchmark's old-to-new comparison.
+type delta struct {
+	name     string
+	old, new float64
+}
+
+func (d delta) ratio() float64 { return d.new / d.old }
+
+// compare diffs two parsed baselines and writes a sorted report to w. It
+// returns the number of benchmarks whose ns/op grew by more than the
+// threshold fraction.
+func compare(old, cur map[string]Result, threshold float64, w io.Writer) int {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, n := range names {
+		o, ok := old[n]
+		if !ok {
+			fmt.Fprintf(w, "new      %-50s %12.1f ns/op\n", n, cur[n].NsPerOp)
+			continue
+		}
+		if o.NsPerOp <= 0 || cur[n].NsPerOp <= 0 {
+			continue
+		}
+		d := delta{name: n, old: o.NsPerOp, new: cur[n].NsPerOp}
+		switch r := d.ratio(); {
+		case r > 1+threshold:
+			regressions++
+			fmt.Fprintf(w, "REGRESS  %-50s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+				n, d.old, d.new, 100*(r-1))
+		case r < 1-threshold:
+			fmt.Fprintf(w, "improve  %-50s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+				n, d.old, d.new, 100*(r-1))
+		}
+	}
+	removed := make([]string, 0, len(old))
+	for n := range old {
+		if _, ok := cur[n]; !ok {
+			removed = append(removed, n)
+		}
+	}
+	sort.Strings(removed)
+	for _, n := range removed {
+		fmt.Fprintf(w, "removed  %s\n", n)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %.0f%%\n", regressions, 100*threshold)
+	} else {
+		fmt.Fprintf(w, "no regressions beyond %.0f%% (%d benchmarks compared)\n",
+			100*threshold, len(names))
+	}
+	return regressions
+}
+
+func loadBaseline(path string) map[string]Result {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var m map[string]Result
+	if err := json.Unmarshal(b, &m); err != nil {
+		fail("%s: %v", path, err)
+	}
+	return m
+}
+
 func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
+	cmp := flag.String("compare", "", "old baseline JSON; compares against the new baseline given as a positional argument")
+	threshold := flag.Float64("threshold", 0.15, "regression threshold as a fraction of old ns/op (with -compare)")
 	flag.Parse()
+
+	if *cmp != "" {
+		args := flag.Args()
+		if len(args) < 1 {
+			fail("-compare needs the new baseline as a positional argument")
+		}
+		// Support trailing flags after the positionals, as in
+		// `-compare old.json new.json -threshold 0.15`.
+		for i := 1; i < len(args); i++ {
+			if (args[i] == "-threshold" || args[i] == "--threshold") && i+1 < len(args) {
+				v, err := strconv.ParseFloat(args[i+1], 64)
+				if err != nil {
+					fail("bad -threshold %q", args[i+1])
+				}
+				*threshold = v
+				i++
+			}
+		}
+		if n := compare(loadBaseline(*cmp), loadBaseline(args[0]), *threshold, os.Stdout); n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {

@@ -31,3 +31,49 @@ ok   earth 3.2s
 		t.Fatalf("bad ns/op: %+v", out["BenchmarkFigure4GroebnerSpeedups"])
 	}
 }
+
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkStable": {NsPerOp: 1000},
+		"BenchmarkSlow":   {NsPerOp: 1000},
+		"BenchmarkFast":   {NsPerOp: 1000},
+		"BenchmarkGone":   {NsPerOp: 42},
+	}
+	cur := map[string]Result{
+		"BenchmarkStable": {NsPerOp: 1100}, // +10%: under the threshold
+		"BenchmarkSlow":   {NsPerOp: 2000}, // injected 2x regression
+		"BenchmarkFast":   {NsPerOp: 500},  // improvement, not a failure
+		"BenchmarkNew":    {NsPerOp: 7},
+	}
+	var sb strings.Builder
+	if got := compare(old, cur, 0.15, &sb); got != 1 {
+		t.Fatalf("compare found %d regressions, want 1\n%s", got, sb.String())
+	}
+	rep := sb.String()
+	for _, want := range []string{
+		"REGRESS  BenchmarkSlow",
+		"(+100.0%)",
+		"improve  BenchmarkFast",
+		"new      BenchmarkNew",
+		"removed  BenchmarkGone",
+		"1 benchmark(s) regressed beyond 15%",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "BenchmarkStable") {
+		t.Errorf("within-threshold benchmark should not be reported:\n%s", rep)
+	}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {NsPerOp: 100}, "BenchmarkB": {NsPerOp: 0}}
+	var sb strings.Builder
+	if got := compare(base, base, 0.15, &sb); got != 0 {
+		t.Fatalf("self-compare found %d regressions:\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Errorf("clean report: %s", sb.String())
+	}
+}

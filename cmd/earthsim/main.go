@@ -7,6 +7,7 @@
 //	         [-seed S] [-input Lazard|Katsura-4|Katsura-5] [-units U] [-train]
 //	         [-balancer steal|random|roundrobin|none] [-distributed] [-live]
 //	         [-trace out.json] [-metrics] [-bars] [-stats-json out.json]
+//	         [-critpath] [-debug-http addr]
 //	         [-sample DUR] [-runs N] [-workers W]
 //	         [-faults PLAN] [-fault-seed S]
 //
@@ -31,6 +32,18 @@
 // size histograms, -bars prints the per-node utilisation bars, and
 // -stats-json writes the run statistics (and metrics, when enabled) as
 // machine-readable JSON.
+//
+// -critpath records the run's event stream, reconstructs the causal DAG
+// with internal/critpath, and prints the per-node overhead attribution
+// ({compute, comm, sched, recovery, idle} fractions of the makespan)
+// plus the longest critical-path segments. Under the simulator the
+// report is byte-identical across same-seed runs.
+//
+// -debug-http serves live introspection on the given address for the
+// duration of the run (most useful with -live): /metrics (Prometheus
+// text), /metrics.json, /debug/vars (expvar) and /debug/pprof. Live
+// executors label their goroutines with the pprof label earth_node, so
+// /debug/pprof/goroutine?debug=1 and CPU profiles break down by node.
 package main
 
 import (
@@ -43,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"earth/internal/critpath"
 	"earth/internal/earth"
 	"earth/internal/earth/livert"
 	"earth/internal/earth/simrt"
@@ -52,6 +66,7 @@ import (
 	"earth/internal/harness"
 	"earth/internal/neural"
 	"earth/internal/obs"
+	"earth/internal/obs/debugsrv"
 	"earth/internal/rewrite"
 	"earth/internal/search"
 	"earth/internal/sim"
@@ -74,6 +89,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-compatible)")
 	showMetrics := flag.Bool("metrics", false, "print per-operation latency/size histograms")
 	statsJSON := flag.String("stats-json", "", "write run statistics (and metrics) as JSON")
+	critPath := flag.Bool("critpath", false, "print critical-path overhead attribution after the run")
+	debugAddr := flag.String("debug-http", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	sample := flag.Duration("sample", 500*time.Microsecond,
 		"utilisation sampling period under the simulator (0 disables)")
 	jitter := flag.Float64("jitter", 0, "percent of seeded jitter on modelled operation costs")
@@ -113,11 +131,11 @@ func main() {
 	}
 
 	var rec *obs.Recorder
-	if *tracePath != "" {
+	if *tracePath != "" || *critPath {
 		rec = obs.NewRecorder()
 	}
 	var met *obs.Metrics
-	if *showMetrics || *statsJSON != "" {
+	if *showMetrics || *statsJSON != "" || *debugAddr != "" {
 		met = obs.NewMetrics()
 	}
 	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal, JitterPct: *jitter}
@@ -228,15 +246,26 @@ func main() {
 	if *runs > 1 {
 		// The repeated runs are independent simulations evaluated on a
 		// host worker pool; only the deterministic summary is printed.
-		if *live || *tracePath != "" || *showMetrics || *showBars || *statsJSON != "" {
-			fail("-runs > 1 excludes -live, -trace, -metrics, -bars and -stats-json")
+		if *live || *tracePath != "" || *showMetrics || *showBars || *statsJSON != "" ||
+			*critPath || *debugAddr != "" {
+			fail("-runs > 1 excludes -live, -trace, -metrics, -bars, -stats-json, -critpath and -debug-http")
 		}
 		sweepRuns(cfg, *runs, *workers, *seed, runApp)
 		return
 	}
 
+	if *debugAddr != "" {
+		srv, err := debugsrv.New(*debugAddr, met)
+		if err != nil {
+			fail("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
 	var rt earth.Runtime
 	if *live {
+		cfg.ProfileLabels = true
 		rt = livert.New(cfg)
 	} else {
 		rt = simrt.New(cfg)
@@ -250,7 +279,11 @@ func main() {
 	if *showMetrics {
 		fmt.Print(met.Render())
 	}
-	if rec != nil {
+	if *critPath {
+		an := critpath.Analyze(rec.Events(), *nodes, st.Elapsed)
+		fmt.Print(an.Render(8))
+	}
+	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fail("%v", err)

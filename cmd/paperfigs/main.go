@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos|crash]
+//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos|crash|overhead]
 //	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-workers W]
 //	          [-json out.json] [-faults PLAN]
 //
@@ -15,6 +15,13 @@
 // deterministic node kills staggered across the run, reporting
 // convergence rate, detection latency, recovery effort and slowdown
 // against the clean baseline.
+//
+// -exp overhead re-runs every sweep workload traced, reconstructs the
+// causal DAG with internal/critpath, and attributes every nanosecond of
+// machine time to {compute, comm, sched, recovery, idle} per app —
+// clean and under the default chaos plan — plus the longest
+// critical-path segments. The report is byte-identical across runs for
+// a given seed.
 //
 // The paper used 20 runs per Gröbner configuration; -runs 20 reproduces
 // that (slower). The default of 5 gives stable means in seconds.
@@ -105,6 +112,8 @@ func main() {
 		reports = []*harness.Report{harness.FaultSweep(cfg, plan)}
 	case "crash":
 		reports = []*harness.Report{harness.CrashSweep(cfg)}
+	case "overhead":
+		reports = []*harness.Report{harness.Overhead(cfg)}
 	default:
 		fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q\n", *exp)
 		os.Exit(2)

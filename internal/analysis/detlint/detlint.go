@@ -46,6 +46,7 @@ var Analyzer = &framework.Analyzer{
 var criticalPkgs = map[string]bool{
 	"earth/internal/earth":       true,
 	"earth/internal/earth/simrt": true,
+	"earth/internal/critpath":    true,
 	"earth/internal/sim":         true,
 	"earth/internal/faults":      true,
 	"earth/internal/manna":       true,

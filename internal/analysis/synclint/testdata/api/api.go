@@ -46,11 +46,20 @@ const (
 	EvUsed EventKind = iota
 	EvAlsoUsed
 	EvNever // want `trace-event constant EvNever is defined but never emitted`
+	// EvTokenDeliver mirrors the remote-token arrival leg: ok.go emits it
+	// behind the nil guard, so the audit must stay quiet about it.
+	EvTokenDeliver
+	// EvGhostDeliver mirrors adding an arrival-leg constant without ever
+	// wiring the emission into an engine.
+	EvGhostDeliver // want `trace-event constant EvGhostDeliver is defined but never emitted`
 )
 
-// Event mirrors earth.Event.
+// Event mirrors earth.Event, including the latency and peer attribution
+// fields the deliver legs carry.
 type Event struct {
 	Time int64
+	Dur  int64
+	Peer int
 	Kind EventKind
 }
 

@@ -74,3 +74,11 @@ func (m multi) Event(e api.Event) {
 		t.Event(e)
 	}
 }
+
+// deliver mirrors the engines' remote-token arrival emission: guarded,
+// with the placement latency and the sender attached.
+func (e *engine) deliver(now, issue int64, src int) {
+	if e.tr != nil {
+		e.tr.Event(api.Event{Time: now, Peer: src, Kind: api.EvTokenDeliver, Dur: now - issue})
+	}
+}

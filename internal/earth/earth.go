@@ -188,6 +188,12 @@ type Config struct {
 	// simrt emit EvUtilSample events for every node once per period of
 	// virtual time (built-in utilisation profiling; livert ignores it).
 	UtilSamplePeriod sim.Time
+	// ProfileLabels, when true, makes livert tag every thread/handler
+	// body with a runtime/pprof "earth_kind" label so CPU and goroutine
+	// profiles split by work kind (executor goroutines always carry an
+	// "earth_node" label). simrt ignores it: the simulator runs on one
+	// goroutine and profiles of modelled time are meaningless.
+	ProfileLabels bool
 	// Faults, when non-nil and enabled, injects deterministic seeded
 	// message faults (drop/duplicate/reorder delay, link degradation,
 	// node pauses) and activates the Retry recovery protocol. Under simrt

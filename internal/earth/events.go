@@ -52,6 +52,14 @@ const (
 	// for the random/round-robin balancers, or -1 when the token is
 	// pooled locally for stealing.
 	EvTokenSpawn
+	// EvTokenDeliver reports a placed token (random/round-robin placement
+	// or crash re-dispatch) arriving at a remote node's pool: Peer is the
+	// sender, Dur the placement latency from the spawn's issue, Bytes the
+	// argument size. Tokens executed on their creating node and tokens
+	// moved by the steal protocol have no deliver leg (the latter appear
+	// as EvStealGrant); together with EvTokenSpawn this closes the causal
+	// chain the critical-path analysis walks.
+	EvTokenDeliver
 	// EvStealRequest/EvStealGrant/EvStealMiss trace the work-stealing
 	// protocol from the thief's perspective: a request sent to a victim, a
 	// stolen token arriving (Dur = round trip from request or deposit),
@@ -111,6 +119,7 @@ var eventKindNames = [numEventKinds]string{
 	EvInvokeDeliver:  "invoke.deliver",
 	EvPostSend:       "post.send",
 	EvTokenSpawn:     "token",
+	EvTokenDeliver:   "token.deliver",
 	EvStealRequest:   "steal.request",
 	EvStealGrant:     "steal.grant",
 	EvStealMiss:      "steal.miss",

@@ -23,8 +23,11 @@
 package livert
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -195,7 +198,11 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		go func(n *lnode) {
 			defer wg.Done()
 			defer close(n.exited)
-			n.loop()
+			// Label the executor goroutine so CPU/goroutine profiles
+			// scraped through the debug server attribute samples per node.
+			pprof.Do(context.Background(),
+				pprof.Labels("earth_node", strconv.Itoa(int(n.id))),
+				func(lctx context.Context) { n.loop(lctx) })
 		}(n)
 	}
 	if rt.crashAt != nil {
@@ -472,15 +479,27 @@ func (rt *Runtime) sendHandler(src earth.NodeID, dst *lnode, h earth.ThreadBody)
 // whose body is a no-op, so livert's thread counters can include
 // suppressed copies — acceptable on the wall-clock engine.
 func (rt *Runtime) sendItem(src earth.NodeID, dst *lnode, it item) {
-	if rt.inj == nil || dst.id == src {
+	remoteToken := it.token && dst.id != src
+	var issue sim.Time
+	if remoteToken {
+		issue = rt.now()
+	}
+	deliver := func() {
+		if remoteToken && rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: rt.now(), Node: dst.id, Peer: src,
+				Kind: earth.EvTokenDeliver, Dur: rt.now() - issue})
+		}
 		rt.enqueue(dst, it)
+	}
+	if rt.inj == nil || dst.id == src {
+		deliver()
 		return
 	}
 	v, delay := rt.faultVerdict(src, dst.id)
 	it.body = rt.dedupBody(v, src, dst, it.body)
-	rt.deliverAfter(delay, func() { rt.enqueue(dst, it) })
+	rt.deliverAfter(delay, deliver)
 	if v.Dup {
-		rt.deliverAfter(delay+rt.retry.AttemptTimeout(0), func() { rt.enqueue(dst, it) })
+		rt.deliverAfter(delay+rt.retry.AttemptTimeout(0), deliver)
 	}
 }
 
@@ -632,8 +651,10 @@ func (n *lnode) steal() (item, bool) {
 }
 
 // loop is the executor: it drains work until the runtime is quiescent
-// or the node crash-stops.
-func (n *lnode) loop() {
+// or the node crash-stops. lctx carries the goroutine's earth_node
+// pprof label so per-body earth_kind labels merge with it instead of
+// replacing the label set.
+func (n *lnode) loop(lctx context.Context) {
 	for {
 		if n.dead.Load() {
 			return
@@ -668,7 +689,16 @@ func (n *lnode) loop() {
 		t0 := time.Now()
 		start := sim.Time(t0.Sub(n.rt.start).Nanoseconds())
 		c := &ctx{rt: n.rt, n: n}
-		it.body(c)
+		if n.rt.cfg.ProfileLabels {
+			kind := "thread"
+			if it.handler {
+				kind = "handler"
+			}
+			pprof.Do(lctx, pprof.Labels("earth_kind", kind),
+				func(context.Context) { it.body(c) })
+		} else {
+			it.body(c)
+		}
 		c.dead = true
 		d := time.Since(t0)
 		n.busy += d

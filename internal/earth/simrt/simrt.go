@@ -901,9 +901,15 @@ func (rt *Runtime) fireMsg(m *msg) {
 
 	case msgThread:
 		dst := rt.nodes[m.to]
-		if m.cause == earth.CauseInvoke && rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
-				Kind: earth.EvInvokeDeliver, Bytes: m.bytes, Dur: rt.eng.Now() - m.issue})
+		if rt.tr != nil {
+			switch m.cause {
+			case earth.CauseInvoke:
+				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
+					Kind: earth.EvInvokeDeliver, Bytes: m.bytes, Dur: rt.eng.Now() - m.issue})
+			case earth.CauseToken:
+				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
+					Kind: earth.EvTokenDeliver, Bytes: m.bytes, Dur: rt.eng.Now() - m.issue})
+			}
 		}
 		it := item{body: m.body, recvCost: m.recvCost, enq: rt.eng.Now(),
 			cause: m.cause, token: m.cause == earth.CauseToken}
@@ -1380,6 +1386,7 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 		m.from, m.to = c.n.id, target
 		m.body = body
 		m.bytes = argBytes
+		m.issue = c.cursor
 		m.cause = earth.CauseToken
 		m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
 		rt.deliver(c.cursor, arrival, m)

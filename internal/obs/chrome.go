@@ -18,7 +18,13 @@ import (
 //   - communication legs, sync signals, token spawns and steal protocol
 //     steps become instant ("i") events carrying peer/bytes/latency args;
 //   - utilisation samples become counter ("C") events, one counter per
-//     node.
+//     node;
+//   - causal edges become flow events ("s" start / "f" finish sharing an
+//     id), so Perfetto draws arrows from each split-phase send to its
+//     deliver leg, from a token's spawn to its run, from its placement
+//     to its arrival, and from a steal request to its grant. Pairing is
+//     FIFO per (edge class, endpoints), matching the engines' in-order
+//     delivery along a link.
 //
 // Under simrt the stream and therefore the serialised bytes are fully
 // deterministic for a given Config, so a committed trace doubles as a
@@ -29,13 +35,48 @@ import (
 // pure function of the event stream.
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"` // microseconds
 	Dur  *float64       `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	Id   int64          `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// flowKey identifies one FIFO queue of in-flight causal edges.
+type flowKey struct {
+	class string
+	a, b  int
+}
+
+// flowState allocates flow ids and matches starts to finishes. The map
+// is only ever indexed, never ranged over, so output order stays a pure
+// function of the event stream.
+type flowState struct {
+	next   int64
+	queues map[flowKey][]int64
+}
+
+// start opens a new flow on key and returns its id.
+func (f *flowState) start(key flowKey) int64 {
+	f.next++
+	f.queues[key] = append(f.queues[key], f.next)
+	return f.next
+}
+
+// finish pops the oldest open flow on key, or 0 when none is in flight
+// (e.g. a token that was stolen instead of running where it was pooled).
+func (f *flowState) finish(key flowKey) int64 {
+	q := f.queues[key]
+	if len(q) == 0 {
+		return 0
+	}
+	f.queues[key] = q[1:]
+	return q[0]
 }
 
 // chromeFile is the top-level JSON object.
@@ -70,9 +111,58 @@ func ChromeTrace(events []earth.Event) ([]byte, error) {
 			Args: map[string]any{"name": fmt.Sprintf("node %d", i)},
 		})
 	}
+	flows := &flowState{queues: map[flowKey][]int64{}}
+	// flow emits one leg of a causal arrow alongside the event it
+	// annotates; id 0 (an unmatched finish) emits nothing.
+	flow := func(ph, class string, id int64, e earth.Event) {
+		if id == 0 {
+			return
+		}
+		ce := chromeEvent{Name: class, Cat: "flow", Ph: ph,
+			Ts: usOf(int64(e.Time)), Pid: 0, Tid: int(e.Node), Id: id}
+		if ph == "f" {
+			ce.Bp = "e"
+		}
+		out = append(out, ce)
+	}
 	for _, e := range events {
 		ce := chromeEvent{Ts: usOf(int64(e.Time)), Pid: 0, Tid: int(e.Node)}
 		args := map[string]any{}
+		n, p := int(e.Node), int(e.Peer)
+		switch e.Kind {
+		case earth.EvGetSend:
+			flow("s", "get", flows.start(flowKey{"get", n, p}), e)
+		case earth.EvGetDeliver:
+			flow("f", "get", flows.finish(flowKey{"get", n, p}), e)
+		case earth.EvPutSend:
+			flow("s", "put", flows.start(flowKey{"put", n, p}), e)
+		case earth.EvPutDeliver:
+			flow("f", "put", flows.finish(flowKey{"put", p, n}), e)
+		case earth.EvInvokeSend:
+			flow("s", "invoke", flows.start(flowKey{"invoke", n, p}), e)
+		case earth.EvInvokeDeliver:
+			flow("f", "invoke", flows.finish(flowKey{"invoke", p, n}), e)
+		case earth.EvTokenSpawn:
+			// spawn -> run, FIFO on the node the token is destined for
+			// (its own pool unless the balancer placed it remotely).
+			dst := n
+			if e.Peer != earth.NoPeer {
+				dst = p
+				// Placed tokens additionally get a placement-transit arrow.
+				flow("s", "token.place", flows.start(flowKey{"place", n, p}), e)
+			}
+			flow("s", "token", flows.start(flowKey{"token", dst, dst}), e)
+		case earth.EvTokenDeliver:
+			flow("f", "token.place", flows.finish(flowKey{"place", p, n}), e)
+		case earth.EvThreadRun:
+			if e.Cause == earth.CauseToken {
+				flow("f", "token", flows.finish(flowKey{"token", n, n}), e)
+			}
+		case earth.EvStealRequest:
+			flow("s", "steal", flows.start(flowKey{"steal", n, p}), e)
+		case earth.EvStealGrant:
+			flow("f", "steal", flows.finish(flowKey{"steal", n, p}), e)
+		}
 		if e.Peer != earth.NoPeer {
 			args["peer"] = int(e.Peer)
 		}

@@ -1,0 +1,104 @@
+// Package debugsrv is the opt-in live-introspection endpoint for livert
+// runs: a plain stdlib HTTP server exposing
+//
+//	/metrics          Prometheus text exposition of an obs.Metrics
+//	/metrics.json     the same collector as JSON
+//	/debug/vars       expvar (includes the earth.metrics variable)
+//	/debug/pprof/...  the standard runtime profiles
+//
+// Executor goroutines carry an "earth_node" pprof label, and with
+// Config.ProfileLabels every thread/handler body carries "earth_kind",
+// so CPU and goroutine profiles scraped here split by node and by work
+// kind with stock `go tool pprof`.
+//
+// The package is deliberately separate from internal/obs: obs is on the
+// determinism-critical list (its outputs feed byte-compared artifacts),
+// while a live HTTP server is inherently wall-clock, goroutine-spawning
+// machinery that only ever observes snapshots. simrt runs have no use
+// for it — the simulator produces the same Metrics deterministically and
+// faster than any scrape.
+package debugsrv
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"earth/internal/obs"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests start several servers.
+var (
+	publishOnce sync.Once
+	exvMu       sync.Mutex
+	exvCurrent  *obs.Metrics
+)
+
+// publish installs m as the process's "earth.metrics" expvar. The last
+// server started wins, which is the only sensible semantics for a
+// process-global registry.
+func publish(m *obs.Metrics) {
+	exvMu.Lock()
+	exvCurrent = m
+	exvMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("earth.metrics", expvar.Func(func() any {
+			exvMu.Lock()
+			cur := exvCurrent
+			exvMu.Unlock()
+			return cur
+		}))
+	})
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New binds addr (e.g. "127.0.0.1:0" or ":8391") and starts serving in
+// the background. The caller owns the returned Server and should Close
+// it when the run ends; m may keep receiving events while being scraped.
+func New(addr string, m *obs.Metrics) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugsrv: %w", err)
+	}
+	publish(m)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := m.MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	// net/http/pprof registers only on http.DefaultServeMux; a private
+	// mux needs the handlers wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,132 @@
+package debugsrv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestServesLivertRun starts a livert run with the debug server attached
+// and scrapes every endpoint while executors are live, proving the
+// acceptance criterion: Prometheus text metrics and pprof-labeled
+// profiles from a real-goroutine run.
+func TestServesLivertRun(t *testing.T) {
+	met := obs.NewMetrics()
+	srv, err := New("127.0.0.1:0", met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// The tokens block on release, parking labeled executors for as long
+	// as the profile scrapes below need (a timed sleep is a race against
+	// scrape latency, which -race inflates past a fixed window).
+	release := make(chan struct{})
+	rt := livert.New(earth.Config{Nodes: 3, Seed: 5, Tracer: met, ProfileLabels: true})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rt.Run(func(c earth.Ctx) {
+			for i := 0; i < 6; i++ {
+				c.Token(16, func(c earth.Ctx) {
+					<-release
+					c.Invoke(1, 8, func(c earth.Ctx) {})
+				})
+			}
+		})
+	}()
+
+	// The goroutine profile must eventually show the per-node pprof
+	// labels on live executors.
+	deadline := time.Now().Add(10 * time.Second)
+	labeled := false
+	for time.Now().Before(deadline) {
+		// debug=1 is the aggregated format that prints "# labels:" lines;
+		// debug=2 is a raw runtime.Stack dump without them.
+		code, body := get(t, base+"/debug/pprof/goroutine?debug=1")
+		if code != http.StatusOK {
+			t.Fatalf("goroutine profile status %d", code)
+		}
+		if strings.Contains(body, "earth_node") {
+			labeled = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !labeled {
+		t.Error("goroutine profile never showed the earth_node pprof label")
+	}
+	close(release)
+	<-done
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE earth_events_total counter",
+		`earth_events_total{kind="thread"}`,
+		"# TYPE earth_thread_run_ns histogram",
+		"earth_thread_run_ns_count",
+		`_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK || !strings.Contains(body, `"histograms"`) {
+		t.Errorf("/metrics.json status %d body %.120s", code, body)
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "earth.metrics") {
+		t.Errorf("/debug/vars status %d, missing earth.metrics: %.120s", code, body)
+	}
+}
+
+// TestSecondServerRebindsExpvar proves starting another server neither
+// panics on the process-global expvar name nor serves the old collector.
+func TestSecondServerRebindsExpvar(t *testing.T) {
+	a := obs.NewMetrics()
+	s1, err := New("127.0.0.1:0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	b := obs.NewMetrics()
+	b.Event(earth.Event{Kind: earth.EvThreadRun, Node: 7, Dur: 42})
+	s2, err := New("127.0.0.1:0", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	code, body := get(t, "http://"+s2.Addr()+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, `"nodes": 8`) && !strings.Contains(body, `"nodes":8`) {
+		t.Errorf("expvar still serving stale collector:\n%.400s", body)
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +16,7 @@ import (
 	"earth/internal/earth"
 	"earth/internal/earth/livert"
 	"earth/internal/earth/simrt"
+	"earth/internal/faults"
 	"earth/internal/sim"
 )
 
@@ -153,6 +157,149 @@ func TestChromeTraceDeterministicAndGolden(t *testing.T) {
 	}
 }
 
+func TestChromeTraceFlowEvents(t *testing.T) {
+	a, err := ChromeTrace(runTracedSim(t).Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Every flow start must have a matching finish with the same id, and
+	// the classes the workload exercises must all be present.
+	open := map[string]string{} // "class/id" -> ph seen
+	classes := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e["cat"] != "flow" {
+			continue
+		}
+		ph := e["ph"].(string)
+		key := fmt.Sprintf("%v/%v", e["name"], e["id"])
+		if e["id"].(float64) == 0 {
+			t.Fatalf("flow event with zero id: %v", e)
+		}
+		switch ph {
+		case "s":
+			if _, dup := open[key]; dup {
+				t.Errorf("duplicate flow start %s", key)
+			}
+			open[key] = ph
+			classes[e["name"].(string)]++
+		case "f":
+			if _, ok := open[key]; !ok {
+				t.Errorf("flow finish without start: %s", key)
+			}
+			delete(open, key)
+			if e["bp"] != "e" {
+				t.Errorf("flow finish missing bp=e: %v", e)
+			}
+		default:
+			t.Errorf("unexpected flow phase %q", ph)
+		}
+	}
+	for _, class := range []string{"get", "put", "invoke", "token", "steal"} {
+		if classes[class] == 0 {
+			t.Errorf("no %q flow arrows emitted (classes: %v)", class, classes)
+		}
+	}
+	if len(classes) == 0 {
+		t.Fatal("no flow events at all")
+	}
+}
+
+// crashWorkload spreads stealable tokens and then loses node 2, so the
+// trace contains the full crash vocabulary: EvNodeDown on the adopting
+// survivor, EvFrameReplayed for its checkpointed work and
+// EvWorkReassigned for its re-dispatched tokens.
+func runCrashTracedSim(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	rt := simrt.New(earth.Config{
+		Nodes: 4, Seed: 9, Tracer: rec,
+		Balancer: earth.BalanceSteal,
+		Faults: &faults.Plan{Seed: 9, Crash: []faults.Crash{
+			{Node: 2, At: 80 * sim.Microsecond}}},
+	})
+	rt.Run(func(c earth.Ctx) {
+		// An invoke fan-in builds a backlog of queued threads on node 2
+		// (replayed on its adopter after the crash) while the token tree
+		// keeps its pool stocked (re-dispatched after the crash).
+		const parts = 12
+		f := earth.NewFrame(2, 1, 1)
+		f.InitSync(0, parts, 0, 0)
+		f.SetThread(0, func(c earth.Ctx) {})
+		for i := 0; i < parts; i++ {
+			c.Invoke(earth.NodeID(i%4), 8, func(c earth.Ctx) {
+				earth.ComputeUS(c, 50)
+				c.Sync(f, 0)
+			})
+		}
+		var spawn func(c earth.Ctx, depth int)
+		spawn = func(c earth.Ctx, depth int) {
+			earth.ComputeUS(c, 60)
+			if depth == 0 {
+				return
+			}
+			for i := 0; i < 2; i++ {
+				c.Token(16, func(c earth.Ctx) { spawn(c, depth-1) })
+			}
+		}
+		spawn(c, 4)
+	})
+	return rec
+}
+
+func TestChromeTraceCrashEventsGolden(t *testing.T) {
+	rec := runCrashTracedSim(t)
+	seen := map[earth.EventKind]int{}
+	for _, e := range rec.Events() {
+		seen[e.Kind]++
+	}
+	for _, k := range []earth.EventKind{
+		earth.EvNodeDown, earth.EvFrameReplayed, earth.EvWorkReassigned,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("crash run emitted no %v events", k)
+		}
+	}
+	a, err := ChromeTrace(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChromeTrace(runCrashTracedSim(t).Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical seeds produced different crash traces")
+	}
+	for _, name := range []string{"node.down", "frame.replayed", "work.reassigned"} {
+		if !strings.Contains(string(a), `"name":"`+name+`"`) {
+			t.Errorf("crash trace missing %q instant events", name)
+		}
+	}
+	golden := filepath.Join("testdata", "chrome_trace_crash.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Errorf("crash Chrome trace deviates from golden; regenerate with -update if "+
+			"the schedule changed intentionally\n got %d bytes, want %d", len(a), len(want))
+	}
+}
+
 func TestLivertTracerRaceFree(t *testing.T) {
 	// All executors emit concurrently into one Metrics + Recorder fan-out;
 	// run under -race (CI does) to prove the hooks are data-race free.
@@ -274,6 +421,142 @@ func TestHistogram(t *testing.T) {
 	h.Add(-5)
 	if h.Min() != -5 {
 		t.Errorf("min after negative = %d", h.Min())
+	}
+}
+
+func TestRecorderConcurrentEmitAndRead(t *testing.T) {
+	// Readers snapshot Events()/Len() while writers emit; -race (CI)
+	// proves the Recorder's locking covers the read side too.
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := rec.Events()
+				for _, e := range evs {
+					_ = e.Kind
+				}
+				_ = rec.Len()
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				rec.Event(earth.Event{Kind: earth.EvThreadRun, Node: earth.NodeID(w), Time: sim.Time(i)})
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if rec.Len() != 4*2000 {
+		t.Fatalf("recorded %d events, want %d", rec.Len(), 4*2000)
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	// Merging empty into empty, and empty into populated, are no-ops.
+	var a, b Histogram
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.N() != 0 {
+		t.Fatalf("empty merge produced n=%d", a.N())
+	}
+	a.Add(10)
+	a.Add(100)
+	a.Merge(&b)
+	if a.N() != 2 || a.Min() != 10 || a.Max() != 100 {
+		t.Fatalf("merge of empty changed a: n=%d min=%d max=%d", a.N(), a.Min(), a.Max())
+	}
+	// Merging populated into empty copies the extremes.
+	var c Histogram
+	c.Merge(&a)
+	if c.N() != 2 || c.Min() != 10 || c.Max() != 100 || c.Sum() != 110 {
+		t.Fatalf("merge into empty: n=%d min=%d max=%d sum=%d", c.N(), c.Min(), c.Max(), c.Sum())
+	}
+	// Max-bucket boundary: MaxInt64 saturates in the last bucket and
+	// survives a merge without overflowing the rendered bounds.
+	var d Histogram
+	d.Add(math.MaxInt64)
+	d.Add(-3)
+	c.Merge(&d)
+	if c.Max() != math.MaxInt64 || c.Min() != -3 || c.N() != 4 {
+		t.Fatalf("boundary merge: n=%d min=%d max=%d", c.N(), c.Min(), c.Max())
+	}
+	// p100 is the top bucket's geometric midpoint clamped to the observed
+	// extremes: in range, positive, no overflow wraparound.
+	if q := c.Quantile(1); q < 1<<62 || q > math.MaxInt64-1<<61 {
+		t.Errorf("p100 after MaxInt64 merge = %d, outside top bucket", q)
+	}
+	if out := c.Render(); !strings.Contains(out, "n=4") {
+		t.Errorf("render after merge:\n%s", out)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Event(earth.Event{Kind: earth.EvThreadRun, Node: 0, Dur: 1000, Wait: 10})
+	b.Event(earth.Event{Kind: earth.EvThreadRun, Node: 5, Dur: 3000, Wait: 20})
+	b.Event(earth.Event{Kind: earth.EvGetDeliver, Node: 1, Dur: 500})
+	b.Event(earth.Event{Kind: earth.EvUtilSample, Node: 0, Time: 1000, Dur: 800})
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(a) // self-merge is a no-op, not a deadlock
+	if n := a.threadRun.N(); n != 2 {
+		t.Errorf("merged threadRun n = %d", n)
+	}
+	if a.nodes != 6 {
+		t.Errorf("merged nodes = %d, want 6", a.nodes)
+	}
+	if n := a.getRTT.N(); n != 1 {
+		t.Errorf("merged getRTT n = %d", n)
+	}
+	if _, wins := a.utilWindows(); len(wins) != 1 {
+		t.Errorf("merged util windows = %d", len(wins))
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	rec := runTracedSim(t)
+	for _, e := range rec.Events() {
+		m.Event(e)
+	}
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE earth_nodes gauge",
+		"earth_nodes 3",
+		`earth_events_total{kind="thread"}`,
+		"# TYPE earth_thread_run_ns histogram",
+		`earth_thread_run_ns_bucket{le="+Inf"}`,
+		"earth_thread_run_ns_count",
+		"earth_msg_bytes_bytes_sum",
+		"earth_utilisation_mean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The +Inf cumulative bucket must equal the count for every family.
+	if !strings.Contains(out, `earth_thread_run_ns_bucket{le="+Inf"} `+
+		strconv.FormatUint(m.threadRun.N(), 10)) {
+		t.Errorf("+Inf bucket != count:\n%s", out)
 	}
 }
 

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"earth/internal/earth"
+)
+
+// This file renders a Metrics snapshot in the Prometheus text exposition
+// format (version 0.0.4), so a livert run's debug server can be scraped
+// by standard tooling. Event counters become one counter family with a
+// kind label; each log2 histogram becomes a Prometheus histogram with
+// cumulative le buckets at the power-of-two edges.
+
+// promName converts a histogram name like "thread.run" with unit "ns"
+// into a metric name like "earth_thread_run_ns".
+func promName(h *Histogram) string {
+	name := strings.NewReplacer(".", "_", "-", "_").Replace(h.Name)
+	unit := h.Unit
+	if unit == "" {
+		unit = "units"
+	}
+	return "earth_" + name + "_" + unit
+}
+
+// promBucketLE returns the inclusive upper bound of bucket i as a
+// Prometheus le label: bucket 0 holds v <= 0, bucket i >= 1 holds
+// [2^(i-1), 2^i) whose integer upper bound is 2^i - 1, and the last
+// bucket is +Inf.
+func promBucketLE(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	if i >= histBuckets-1 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", uint64(1)<<uint(i)-1)
+}
+
+// WritePrometheus renders a point-in-time snapshot of the collector. It
+// is safe to call while engines are still emitting.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := fmt.Fprintf(w,
+		"# HELP earth_nodes Number of nodes observed in the event stream.\n"+
+			"# TYPE earth_nodes gauge\nearth_nodes %d\n", m.nodes); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# HELP earth_events_total Runtime events by kind.\n"+
+		"# TYPE earth_events_total counter\n")
+	for k := 0; k < earth.KindCount; k++ {
+		if m.counts[k] > 0 {
+			fmt.Fprintf(w, "earth_events_total{kind=%q} %d\n", earth.EventKind(k), m.counts[k])
+		}
+	}
+	for _, h := range m.histograms() {
+		if h.N() == 0 {
+			continue
+		}
+		name := promName(h)
+		fmt.Fprintf(w, "# HELP %s %s distribution (%s).\n# TYPE %s histogram\n",
+			name, h.Name, h.Unit, name)
+		var cum uint64
+		for i, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promBucketLE(i), cum)
+		}
+		if last := promBucketLE(histBuckets - 1); h.counts[histBuckets-1] == 0 {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, last, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.N())
+	}
+	if period, wins := m.utilWindows(); len(wins) > 0 {
+		mean := 0.0
+		for _, f := range wins {
+			mean += f
+		}
+		mean /= float64(len(wins))
+		if !math.IsNaN(mean) {
+			_, err := fmt.Fprintf(w,
+				"# HELP earth_utilisation_mean Mean machine utilisation over %v windows.\n"+
+					"# TYPE earth_utilisation_mean gauge\nearth_utilisation_mean %g\n",
+				period, mean)
+			return err
+		}
+	}
+	return nil
+}
