@@ -14,7 +14,10 @@
 //
 // -compare diffs two such files and exits non-zero when any benchmark's
 // ns/op grew by more than the threshold fraction (default 0.15), which
-// makes it usable directly as a CI perf-regression gate.
+// makes it usable directly as a CI perf-regression gate. With -require
+// only the listed benchmarks (and their sub-benchmarks) block; every
+// other regression is downgraded to an advisory warning, so a curated
+// tier-1 list can gate CI while noisier microbenchmarks merely report.
 package main
 
 import (
@@ -30,11 +33,15 @@ import (
 	"strings"
 )
 
-// Result holds one benchmark's measurements.
+// Result holds one benchmark's measurements. The memory columns are
+// pointers so a measured zero (a 0 B/op, 0 allocs/op benchmark under
+// -benchmem) still lands in the JSON — omitempty on a plain float64
+// silently dropped those, which hid allocation regressions on the
+// allocation-free benchmarks. nil means -benchmem was off.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -62,9 +69,9 @@ func parse(r io.Reader) (map[string]Result, error) {
 			case "ns/op":
 				res.NsPerOp = v
 			case "B/op":
-				res.BPerOp = v
+				res.BPerOp = &v
 			case "allocs/op":
-				res.AllocsPerOp = v
+				res.AllocsPerOp = &v
 			}
 		}
 		out[m[1]] = res
@@ -80,10 +87,23 @@ type delta struct {
 
 func (d delta) ratio() float64 { return d.new / d.old }
 
+// required reports whether name falls under one of the curated prefixes.
+// A prefix matches the whole benchmark or any of its sub-benchmarks.
+func required(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if name == p || strings.HasPrefix(name, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
 // compare diffs two parsed baselines and writes a sorted report to w. It
-// returns the number of benchmarks whose ns/op grew by more than the
-// threshold fraction.
-func compare(old, cur map[string]Result, threshold float64, w io.Writer) int {
+// returns the number of *blocking* regressions: with an empty require
+// list every benchmark whose ns/op grew past the threshold counts;
+// with -require only the curated benchmarks block and the rest are
+// reported as advisory warnings.
+func compare(old, cur map[string]Result, threshold float64, require []string, w io.Writer) int {
 	names := make([]string, 0, len(cur))
 	for n := range cur {
 		names = append(names, n)
@@ -99,12 +119,18 @@ func compare(old, cur map[string]Result, threshold float64, w io.Writer) int {
 		if o.NsPerOp <= 0 || cur[n].NsPerOp <= 0 {
 			continue
 		}
+		blocking := len(require) == 0 || required(n, require)
 		d := delta{name: n, old: o.NsPerOp, new: cur[n].NsPerOp}
 		switch r := d.ratio(); {
 		case r > 1+threshold:
-			regressions++
-			fmt.Fprintf(w, "REGRESS  %-50s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
-				n, d.old, d.new, 100*(r-1))
+			tag := "REGRESS "
+			if blocking {
+				regressions++
+			} else {
+				tag = "warn    "
+			}
+			fmt.Fprintf(w, "%s %-50s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+				tag, n, d.old, d.new, 100*(r-1))
 		case r < 1-threshold:
 			fmt.Fprintf(w, "improve  %-50s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
 				n, d.old, d.new, 100*(r-1))
@@ -123,7 +149,7 @@ func compare(old, cur map[string]Result, threshold float64, w io.Writer) int {
 	if regressions > 0 {
 		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %.0f%%\n", regressions, 100*threshold)
 	} else {
-		fmt.Fprintf(w, "no regressions beyond %.0f%% (%d benchmarks compared)\n",
+		fmt.Fprintf(w, "no blocking regressions beyond %.0f%% (%d benchmarks compared)\n",
 			100*threshold, len(names))
 	}
 	return regressions
@@ -146,6 +172,8 @@ func main() {
 	out := flag.String("out", "", "JSON output file (default stdout)")
 	cmp := flag.String("compare", "", "old baseline JSON; compares against the new baseline given as a positional argument")
 	threshold := flag.Float64("threshold", 0.15, "regression threshold as a fraction of old ns/op (with -compare)")
+	require := flag.String("require", "",
+		"comma-separated benchmark names (sub-benchmark prefixes included) whose regressions are blocking; all others become advisory warnings (with -compare)")
 	flag.Parse()
 
 	if *cmp != "" {
@@ -156,16 +184,26 @@ func main() {
 		// Support trailing flags after the positionals, as in
 		// `-compare old.json new.json -threshold 0.15`.
 		for i := 1; i < len(args); i++ {
-			if (args[i] == "-threshold" || args[i] == "--threshold") && i+1 < len(args) {
+			switch {
+			case (args[i] == "-threshold" || args[i] == "--threshold") && i+1 < len(args):
 				v, err := strconv.ParseFloat(args[i+1], 64)
 				if err != nil {
 					fail("bad -threshold %q", args[i+1])
 				}
 				*threshold = v
 				i++
+			case (args[i] == "-require" || args[i] == "--require") && i+1 < len(args):
+				*require = args[i+1]
+				i++
 			}
 		}
-		if n := compare(loadBaseline(*cmp), loadBaseline(args[0]), *threshold, os.Stdout); n > 0 {
+		var curated []string
+		for _, p := range strings.Split(*require, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				curated = append(curated, p)
+			}
+		}
+		if n := compare(loadBaseline(*cmp), loadBaseline(args[0]), *threshold, curated, os.Stdout); n > 0 {
 			os.Exit(1)
 		}
 		return

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -24,11 +25,38 @@ ok   earth 3.2s
 	if !ok {
 		t.Fatalf("GOMAXPROCS suffix not stripped: %v", out)
 	}
-	if sched.NsPerOp != 24 || sched.BPerOp != 0 || sched.AllocsPerOp != 0 {
+	if sched.NsPerOp != 24 || sched.BPerOp == nil || *sched.BPerOp != 0 ||
+		sched.AllocsPerOp == nil || *sched.AllocsPerOp != 0 {
 		t.Fatalf("bad record: %+v", sched)
 	}
-	if out["BenchmarkFigure4GroebnerSpeedups"].NsPerOp != 812488592 {
-		t.Fatalf("bad ns/op: %+v", out["BenchmarkFigure4GroebnerSpeedups"])
+	fig4 := out["BenchmarkFigure4GroebnerSpeedups"]
+	if fig4.NsPerOp != 812488592 {
+		t.Fatalf("bad ns/op: %+v", fig4)
+	}
+	if fig4.BPerOp != nil || fig4.AllocsPerOp != nil {
+		t.Fatalf("memory columns without -benchmem should stay nil: %+v", fig4)
+	}
+}
+
+// TestZeroAllocColumnsSurviveMarshal pins the omitempty fix: a measured
+// 0 B/op, 0 allocs/op must appear in the JSON document (it used to be
+// dropped, hiding allocation regressions on allocation-free benchmarks),
+// while a run without -benchmem still omits the memory columns.
+func TestZeroAllocColumnsSurviveMarshal(t *testing.T) {
+	zero := 0.0
+	withMem, err := json.Marshal(Result{NsPerOp: 222, BPerOp: &zero, AllocsPerOp: &zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"ns_per_op":222,"b_per_op":0,"allocs_per_op":0}`; string(withMem) != want {
+		t.Errorf("marshal with zero memory columns:\n got %s\nwant %s", withMem, want)
+	}
+	noMem, err := json.Marshal(Result{NsPerOp: 222})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"ns_per_op":222}`; string(noMem) != want {
+		t.Errorf("marshal without -benchmem:\n got %s\nwant %s", noMem, want)
 	}
 }
 
@@ -46,7 +74,7 @@ func TestCompareFlagsInjectedRegression(t *testing.T) {
 		"BenchmarkNew":    {NsPerOp: 7},
 	}
 	var sb strings.Builder
-	if got := compare(old, cur, 0.15, &sb); got != 1 {
+	if got := compare(old, cur, 0.15, nil, &sb); got != 1 {
 		t.Fatalf("compare found %d regressions, want 1\n%s", got, sb.String())
 	}
 	rep := sb.String()
@@ -70,10 +98,46 @@ func TestCompareFlagsInjectedRegression(t *testing.T) {
 func TestCompareCleanPass(t *testing.T) {
 	base := map[string]Result{"BenchmarkA": {NsPerOp: 100}, "BenchmarkB": {NsPerOp: 0}}
 	var sb strings.Builder
-	if got := compare(base, base, 0.15, &sb); got != 0 {
+	if got := compare(base, base, 0.15, nil, &sb); got != 0 {
 		t.Fatalf("self-compare found %d regressions:\n%s", got, sb.String())
 	}
-	if !strings.Contains(sb.String(), "no regressions") {
+	if !strings.Contains(sb.String(), "no blocking regressions") {
 		t.Errorf("clean report: %s", sb.String())
+	}
+}
+
+// TestCompareRequiredGate: with a curated -require list only the listed
+// benchmarks (and their sub-benchmarks) block; other regressions are
+// reported as advisory warnings.
+func TestCompareRequiredGate(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkFigure4GroebnerSpeedups":         {NsPerOp: 1000},
+		"BenchmarkSimEngineSchedule/depth=1024":    {NsPerOp: 200},
+		"BenchmarkNoisyMicro":                      {NsPerOp: 50},
+		"BenchmarkSimEngineScheduleExtra/depth=16": {NsPerOp: 70},
+	}
+	cur := map[string]Result{
+		"BenchmarkFigure4GroebnerSpeedups":         {NsPerOp: 1100}, // within threshold
+		"BenchmarkSimEngineSchedule/depth=1024":    {NsPerOp: 600},  // 3x: blocks via prefix
+		"BenchmarkNoisyMicro":                      {NsPerOp: 500},  // 10x: advisory only
+		"BenchmarkSimEngineScheduleExtra/depth=16": {NsPerOp: 700},  // prefix must not match
+	}
+	curated := []string{"BenchmarkFigure4GroebnerSpeedups", "BenchmarkSimEngineSchedule"}
+	var sb strings.Builder
+	got := compare(old, cur, 0.5, curated, &sb)
+	rep := sb.String()
+	if got != 1 {
+		t.Fatalf("compare found %d blocking regressions, want 1\n%s", got, rep)
+	}
+	if !strings.Contains(rep, "REGRESS  BenchmarkSimEngineSchedule/depth=1024") {
+		t.Errorf("required sub-benchmark regression should block:\n%s", rep)
+	}
+	for _, advisory := range []string{"BenchmarkNoisyMicro", "BenchmarkSimEngineScheduleExtra/depth=16"} {
+		if !strings.Contains(rep, "warn     "+advisory) {
+			t.Errorf("non-required regression %s should warn:\n%s", advisory, rep)
+		}
+		if strings.Contains(rep, "REGRESS  "+advisory) {
+			t.Errorf("non-required regression %s must not block:\n%s", advisory, rep)
+		}
 	}
 }

@@ -97,6 +97,8 @@ func main() {
 	jitter := flag.Float64("jitter", 0, "percent of seeded jitter on modelled operation costs")
 	runs := flag.Int("runs", 1, "repeated seeded runs; > 1 reports elapsed mean/min/max")
 	workers := flag.Int("workers", 0, "host worker pool size for -runs > 1 (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1,
+		"simulator shards (parallel conservative simulation; 0 = GOMAXPROCS); never changes results, only wall time")
 	faultSpec := flag.String("faults", "",
 		`fault plan, e.g. "drop=0.05,dup=0.02,reorder=0.1,window=200us,pause=2@1ms-2ms,degrade=*@0s-5msx4"`)
 	faultSeed := flag.Int64("fault-seed", 0,
@@ -138,7 +140,11 @@ func main() {
 	if *showMetrics || *statsJSON != "" || *debugAddr != "" {
 		met = obs.NewMetrics()
 	}
-	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal, JitterPct: *jitter}
+	if *shards == 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal,
+		JitterPct: *jitter, Shards: *shards}
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)
 		if err != nil {

@@ -69,6 +69,25 @@ func bareGoroutine() {
 	<-ch
 }
 
+// The shard-worker idiom (a per-shard goroutine draining a run channel,
+// as simrt's parallel windows use) still fires without a directive — the
+// determinism argument lives in the annotation, not the shape.
+type fakeShard struct {
+	runCh  chan int64
+	doneCh chan any
+}
+
+func shardWorkerUnannotated(shards []*fakeShard) {
+	for _, s := range shards {
+		s := s
+		go func() { // want `bare go statement outside the engine scheduler`
+			for end := range s.runCh {
+				s.doneCh <- end
+			}
+		}()
+	}
+}
+
 func reasonlessDirective(m map[string]int) {
 	//detlint:allow // want `directive needs a reason`
 	for k := range m { // want `map iteration order`

@@ -205,6 +205,15 @@ type Config struct {
 	// Retry tunes the recovery protocol used when Faults is set; zero
 	// fields take RetryPolicy defaults.
 	Retry RetryPolicy
+	// Shards partitions the simulated nodes across host workers for
+	// conservative time-windowed parallel simulation under simrt. Results
+	// (stats JSON, traces, critical-path attribution) are byte-identical
+	// for every value; only wall-clock time changes. 0 and 1 both mean a
+	// single shard; values above Nodes are clamped. livert ignores it —
+	// it is already one goroutine per node. Programs run with Shards > 1
+	// must be safe for concurrent execution of distinct nodes' bodies
+	// (the same contract livert imposes); all the repo's apps are.
+	Shards int
 }
 
 // withDefaults normalises a Config.

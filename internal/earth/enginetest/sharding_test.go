@@ -1,0 +1,256 @@
+package enginetest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/earth/simrt"
+	"earth/internal/faults"
+	"earth/internal/sim"
+)
+
+// Sharded-simulation determinism: simrt's conservative time-windowed
+// parallel mode (Config.Shards) must produce byte-identical stats and
+// traces for every shard count — sharding may only change host wall-clock
+// time, never a single simulated byte. The table sweeps shard counts over
+// clean, chaotic and crash-stop scenarios; CI additionally runs it under
+// the race detector, which exercises the window-barrier synchronisation
+// for real (distinct shards execute concurrently whenever GOMAXPROCS
+// permits).
+
+// eventLog is a minimal Tracer buffering the run's event stream.
+type eventLog struct{ evs []earth.Event }
+
+func (l *eventLog) Event(e earth.Event) { l.evs = append(l.evs, e) }
+
+// shardMixProg exercises every split-phase operation class. Each node owns
+// cells[node]; a fan-out tree of Invoke/Token/Post hops reaches leaves
+// that Get a remote cell, then Put a contribution into the node-0
+// accumulator behind one fan-in slot. All cross-node state is
+// owner-serialised (closures only touch the state of the node they
+// execute on), so the program is safe for concurrent shard execution —
+// the same contract livert imposes.
+func shardMixProg(nodes int, total *int, done *bool) (earth.ThreadBody, int) {
+	const depth, branch = 4, 2
+	leaves := 1
+	for i := 0; i < depth; i++ {
+		leaves *= branch
+	}
+	want := 0
+	for i := 0; i < leaves; i++ {
+		want += 100 + i + i%nodes // leaf value + fetched cell value
+	}
+	body := func(c earth.Ctx) {
+		cells := make([]int, nodes)
+		seeded := earth.NewFrame(0, 1, 1)
+		seeded.InitSync(0, nodes, 1, 0)
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, leaves, 0, 0)
+		f.SetThread(0, func(earth.Ctx) { *done = true })
+		var descend func(c earth.Ctx, d, idx int)
+		descend = func(c earth.Ctx, d, idx int) {
+			if d == 0 {
+				owner := earth.NodeID(idx % nodes)
+				var fetched int
+				// Get is split-phase: the contribution thread is gated
+				// behind a frame slot the Get signals on completion.
+				lf := earth.NewFrame(c.Node(), 1, 1)
+				lf.InitSync(0, 1, 0, 0)
+				v := 100 + idx
+				lf.SetThread(0, func(c earth.Ctx) {
+					c.Put(0, 8, func() { *total += v + fetched }, f, 0)
+				})
+				c.Get(owner, 8, func() func() {
+					cv := cells[owner]
+					return func() { fetched = cv }
+				}, lf, 0)
+				c.Compute(20 * sim.Microsecond)
+				return
+			}
+			for i := 0; i < branch; i++ {
+				child := idx*branch + i
+				sub := func(c earth.Ctx) {
+					c.Compute(15 * sim.Microsecond)
+					descend(c, d-1, child)
+				}
+				switch child % 3 {
+				case 0:
+					c.Invoke(earth.NodeID(child%nodes), 8, sub)
+				case 1:
+					c.Token(16, sub)
+				default:
+					c.Post(earth.NodeID(child%nodes), 8, sub)
+				}
+			}
+		}
+		seeded.SetThread(0, func(c earth.Ctx) { descend(c, depth, 0) })
+		for i := 0; i < nodes; i++ {
+			i := i
+			c.Put(earth.NodeID(i), 8, func() { cells[i] = i }, seeded, 0)
+		}
+	}
+	return body, want
+}
+
+// shardCases is the scenario axis of the determinism table: a clean
+// steal-balanced run with utilisation sampling, a round-robin run with
+// compute jitter, a chaos plan (drops, duplicates, reorder delays) and a
+// crash-stop plan layered over message faults.
+var shardCases = []struct {
+	name string
+	cfg  func() earth.Config
+}{
+	{"clean-steal", func() earth.Config {
+		return earth.Config{Nodes: 8, Seed: 11, Balancer: earth.BalanceSteal,
+			UtilSamplePeriod: 50 * sim.Microsecond}
+	}},
+	{"clean-roundrobin", func() earth.Config {
+		return earth.Config{Nodes: 6, Seed: 12, Balancer: earth.BalanceRoundRobin,
+			JitterPct: 5}
+	}},
+	{"chaos", func() earth.Config {
+		return earth.Config{Nodes: 8, Seed: 13, Balancer: earth.BalanceSteal,
+			Faults: &faults.Plan{Seed: 13, Drop: 0.08, Dup: 0.05, Reorder: 0.1,
+				Window: 150 * sim.Microsecond}}
+	}},
+	{"crash", func() earth.Config {
+		return earth.Config{Nodes: 8, Seed: 14, Balancer: earth.BalanceSteal,
+			Faults: &faults.Plan{Seed: 14, Drop: 0.05, Dup: 0.02,
+				Crash: []faults.Crash{
+					{Node: 2, At: 150 * sim.Microsecond},
+					{Node: 5, At: 400 * sim.Microsecond},
+				}}}
+	}},
+}
+
+// shardRun executes the mixed-op program at one shard count and returns
+// the marshalled stats and trace.
+func shardRun(t *testing.T, cfg earth.Config, shards int) (statsJSON, traceJSON []byte) {
+	t.Helper()
+	log := &eventLog{}
+	cfg.Tracer = log
+	cfg.Shards = shards
+	var total int
+	var done bool
+	body, want := shardMixProg(cfg.Nodes, &total, &done)
+	st := simrt.New(cfg).Run(body)
+	if total != want || !done {
+		t.Fatalf("shards=%d: total=%d done=%v, want %d", shards, total, done, want)
+	}
+	sj, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, err := json.Marshal(log.evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sj, tj
+}
+
+func TestShardCountByteIdentical(t *testing.T) {
+	for _, tc := range shardCases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseStats, baseTrace := shardRun(t, tc.cfg(), 1)
+			if len(baseTrace) <= len("[]") {
+				t.Fatal("baseline run produced no trace events")
+			}
+			for _, shards := range []int{2, 4, 8} {
+				sj, tj := shardRun(t, tc.cfg(), shards)
+				if !bytes.Equal(sj, baseStats) {
+					t.Errorf("shards=%d: stats JSON diverges from shards=1\n got: %s\nwant: %s",
+						shards, sj, baseStats)
+				}
+				if !bytes.Equal(tj, baseTrace) {
+					t.Errorf("shards=%d: trace diverges from shards=1 (%d vs %d bytes): %s",
+						shards, len(tj), len(baseTrace), firstTraceDiff(tj, baseTrace))
+				}
+			}
+		})
+	}
+}
+
+// firstTraceDiff locates the first divergent byte for a readable failure.
+func firstTraceDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 80
+			if hi > n {
+				hi = n
+			}
+			return fmt.Sprintf("first diff at byte %d: %q vs %q", i, a[lo:hi], b[lo:hi])
+		}
+	}
+	return fmt.Sprintf("length mismatch only (%d vs %d)", len(a), len(b))
+}
+
+// TestShardClampAndAuto: degenerate shard counts (0, negative, above the
+// node count) must behave like their clamped equivalents, bytes included.
+func TestShardClampAndAuto(t *testing.T) {
+	cfg := shardCases[0].cfg()
+	baseStats, baseTrace := shardRun(t, cfg, 1)
+	for _, shards := range []int{0, -3} {
+		sj, tj := shardRun(t, cfg, shards)
+		if !bytes.Equal(sj, baseStats) || !bytes.Equal(tj, baseTrace) {
+			t.Errorf("shards=%d: diverges from shards=1", shards)
+		}
+	}
+	over, overTrace := shardRun(t, cfg, cfg.Nodes+37)
+	if !bytes.Equal(over, baseStats) || !bytes.Equal(overTrace, baseTrace) {
+		t.Error("shards above Nodes diverges from shards=1")
+	}
+}
+
+// FuzzShardedDelivery: for any byte-derived program (the same generator
+// the engine-conformance fuzzers use), any supported fault envelope and
+// any shard count, the sharded run must be byte-identical to the
+// single-shard run — stats and trace — and still reach the fault-free
+// result.
+func FuzzShardedDelivery(f *testing.F) {
+	f.Add(uint8(2), uint8(0), uint8(0), []byte{5, 3, 2, 40, 41, 42, 90, 17})
+	f.Add(uint8(4), uint8(10), uint8(5), []byte{255, 3, 255, 0, 0, 0, 7, 7, 7, 7, 99, 1})
+	f.Add(uint8(8), uint8(49), uint8(49), []byte{1, 2, 3})
+	f.Add(uint8(3), uint8(20), uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, shards, drop, dup uint8, data []byte) {
+		p := decodeFuzzProgram(data)
+		var plan *faults.Plan
+		if drop%50 > 0 || dup%50 > 0 {
+			plan = &faults.Plan{Seed: 7, Drop: float64(drop%50) / 100,
+				Dup: float64(dup%50) / 100, Window: 120 * sim.Microsecond}
+		}
+		run := func(s int) (int, bool, []byte) {
+			log := &eventLog{}
+			total, done := p.run(simrt.New(earth.Config{Nodes: p.nodes, Seed: 1,
+				Faults: plan, Tracer: log, Shards: s}))
+			tj, err := json.Marshal(log.evs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return total, done, tj
+		}
+		base, baseDone, baseTrace := run(1)
+		if base != p.want || !baseDone {
+			t.Fatalf("shards=1: total=%d done=%v, want %d", base, baseDone, p.want)
+		}
+		s := 1 + int(shards)%8
+		got, done, tj := run(s)
+		if got != p.want || !done {
+			t.Errorf("shards=%d: total=%d done=%v, want %d", s, got, done, p.want)
+		}
+		if !bytes.Equal(tj, baseTrace) {
+			t.Errorf("shards=%d: trace diverges from shards=1: %s",
+				s, firstTraceDiff(tj, baseTrace))
+		}
+	})
+}

@@ -19,8 +19,23 @@
 //
 // A run is fully deterministic for a given Config (including Seed). With a
 // Config.Tracer installed, the engine additionally emits one earth.Event
-// per runtime action, in deterministic order, timestamped in virtual time;
-// without one, every emission site is a single nil check.
+// per runtime action, in a canonical deterministic order, timestamped in
+// virtual time; without one, every emission site is a single nil check.
+//
+// # Parallel simulation
+//
+// The simulated nodes are partitioned into Config.Shards contiguous groups,
+// each with its own event queue, and the run proceeds in conservative time
+// windows of width manna.Config.MinRemoteLatency() — the classic lookahead
+// bound: no message issued inside a window can arrive anywhere before the
+// window ends, so shards execute each window concurrently on host workers
+// and exchange cross-node messages only at the window barriers, in a
+// canonical (arrival, sender, issue-order) merge. Every cross-node effect
+// — messages, steal matching, crash boundaries, utilisation samples —
+// flows through the same barrier machinery regardless of the shard count,
+// which is what makes stats, traces and critical-path attribution
+// byte-identical for every value of Config.Shards, including under fault
+// plans and crash-stop recovery. See window.go for the coordinator.
 //
 // The implementation is tuned to minimise host-side allocation on the
 // per-event hot path: every in-flight runtime message (sync signals,
@@ -160,21 +175,34 @@ func (q *tokenDeque) reset() {
 	q.head, q.n = 0, 0
 }
 
-// node is the simulated per-node state.
+// node is the simulated per-node state. Mid-window, a node's state is
+// touched only by its own shard (every cross-node effect is a time-stamped
+// message exchanged at barriers), which is the invariant that lets shards
+// run concurrently without locks.
 type node struct {
-	id      earth.NodeID
-	ready   itemQueue  // FIFO ready queue of threads
-	tokens  tokenDeque // local token pool (LIFO for local execution, FIFO for steals)
-	running bool       // a dispatch chain is active
+	id     earth.NodeID
+	sh     *shard     // owning shard
+	ready  itemQueue  // FIFO ready queue of threads
+	tokens tokenDeque // local token pool (LIFO for local execution, FIFO for steals)
+	// outSeq numbers this node's outboxed messages so the barrier merge can
+	// order same-instant sends from one node by issue order.
+	outSeq  uint64
+	running bool // a dispatch chain is active
 	// cpuDebt accumulates receiver-side costs that must delay the next
 	// dispatch when the cost model consumes the processor on receive.
 	cpuDebt  sim.Time
 	stealing bool // a steal request is in flight
-	parked   bool // waiting on the thief list
+	hungry   bool // ran dry under the steal balancer; matched at barriers
 	rng      *rand.Rand
 	stats    earth.NodeStats
+	// seen records delivered duplicate-plan sequence numbers for messages
+	// originally addressed to this node (entries self-clean when the second
+	// copy arrives). Keyed by the original target so both copies of a
+	// duplicate consult one map even when crash re-routing moves them.
+	seen map[uint64]bool
+	rr   int // per-node round-robin placement cursor
 	// spans records busy intervals for utilisation sampling; only
-	// maintained while runSampled drives the loop.
+	// maintained while a tracer with UtilSamplePeriod is installed.
 	spans []span
 	// dispatchFn is the node's dispatch continuation, allocated once and
 	// reused for every reschedule of the dispatch chain.
@@ -220,7 +248,7 @@ const (
 )
 
 // msg is a pooled in-flight runtime message. Every remote leg the engine
-// schedules is one envelope drawn from the runtime's free list; the fire
+// schedules is one envelope drawn from a shard's free list; the fire
 // closure is allocated once per envelope and survives recycling, so
 // steady-state message traffic schedules simulator events without
 // allocating (beyond the application-level bodies the caller created).
@@ -246,31 +274,50 @@ type msg struct {
 	// leg); drops is how many modelled retransmissions preceded delivery.
 	seq   uint64
 	drops uint16
-	fire  func()
+	// dup marks both copies of a duplicated transmission (idempotent
+	// delivery suppresses the second at the original target's seen map).
+	dup bool
+	// origTo/arr0/rerouted record the pre-crash-routing target and arrival
+	// so the fire path can reconstruct the failover hops for accounting.
+	origTo   earth.NodeID
+	arr0     sim.Time
+	rerouted bool
+	fire     func()
 }
 
 // Runtime is a simulated EARTH machine.
 type Runtime struct {
-	cfg   earth.Config
-	eng   *sim.Engine
-	mach  *manna.Machine
-	nodes []*node
-	tr    earth.Tracer // cached cfg.Tracer; nil disables all emission
-	// sampling is true while runSampled drives the loop; it makes the
-	// Busy accrual points also record spans for window attribution.
+	cfg    earth.Config
+	mach   *manna.Machine
+	nodes  []*node
+	shards []*shard
+	// lookahead is the conservative window width: no cross-node message
+	// issued at T can arrive before T+lookahead (manna.MinRemoteLatency,
+	// which stays a lower bound under every fault perturbation).
+	lookahead sim.Time
+	tr        earth.Tracer // cached cfg.Tracer; nil disables all emission
+	// sampling is true when a tracer with UtilSamplePeriod is installed; it
+	// makes the Busy accrual points also record spans for window attribution.
 	sampling bool
-	thieves  []earth.NodeID // parked idle nodes, FIFO
-	rrNext   int            // round-robin placement cursor
-	// tokensInPools tracks the global token population, so idle nodes only
-	// hunt when there is something to find.
-	tokensInPools int
-	// msgFree is the envelope free list; victimScratch is reused by
-	// pickVictim.
-	msgFree       []*msg
+	// cord buffers trace events emitted by the coordinator between windows
+	// (barrier work: boundaries, steal matching, samples). Merged with the
+	// shard buffers and canonically sorted at the end of the run.
+	cord []earth.Event
+	// atBarrier is true while the coordinator runs between windows: sends
+	// issued then insert directly into the (quiesced) target engines
+	// instead of the shard outboxes. Only the coordinator writes it, and
+	// only while the workers are parked at the barrier.
+	atBarrier bool
+	// victimScratch is reused by pickVictim; boxScratch/missScratch by the
+	// barrier merges.
 	victimScratch []*node
-	// Fault injection (nil inj means a clean run: every fault hook is a
-	// single pointer check).
-	inj      *faults.Injector
+	boxScratch    []outboxEntry
+	missScratch   []missNote
+	actScratch    []*shard
+	// Fault injection (nil injs means a clean run: every fault hook is a
+	// single pointer check). One injector lane per sender node, so verdict
+	// draws depend only on that node's deterministic send order.
+	injs     []*faults.Injector
 	plan     *faults.Plan
 	retry    earth.RetryPolicy
 	hasPause bool
@@ -278,12 +325,21 @@ type Runtime struct {
 	// crash hook is a single slice check). crashAt is the per-node crash
 	// schedule (-1 = never); dead marks nodes past their crash instant;
 	// detected marks nodes whose lease has expired and whose state has
-	// failed over to a survivor. reassignRR is the round-robin cursor the
-	// load balancer uses to re-place a dead node's tokens.
+	// failed over to a survivor; boundaries is the precomputed sorted
+	// crash/detection schedule the window loop never simulates across.
+	// reassignRR is the round-robin cursor the load balancer uses to
+	// re-place a dead node's tokens.
 	crashAt    []sim.Time
 	dead       []bool
 	detected   []bool
+	boundaries []boundary
 	reassignRR int
+	// Window progress: maxExec is the furthest executed instant (events and
+	// boundaries); bApplied counts applied boundaries toward Stats.Events;
+	// sampleNext is the next pending utilisation-sample boundary.
+	maxExec    sim.Time
+	bApplied   uint64
+	sampleNext sim.Time
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -299,13 +355,29 @@ func New(cfg earth.Config) *Runtime {
 		mc = manna.Default(cfg.Nodes)
 		mc.BandwidthBytesPerSec = cfg.Bandwidth
 	}
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > cfg.Nodes {
+		nShards = cfg.Nodes
+	}
 	rt := &Runtime{
 		cfg:           cfg,
-		eng:           sim.New(),
 		mach:          manna.New(mc),
 		nodes:         make([]*node, cfg.Nodes),
+		shards:        make([]*shard, nShards),
+		lookahead:     mc.MinRemoteLatency(),
 		tr:            cfg.Tracer,
 		victimScratch: make([]*node, 0, cfg.Nodes),
+	}
+	for i := range rt.shards {
+		rt.shards[i] = &shard{
+			id: i,
+			lo: i * cfg.Nodes / nShards,
+			hi: (i + 1) * cfg.Nodes / nShards,
+			rt: rt,
+		}
 	}
 	for i := range rt.nodes {
 		n := &node{
@@ -317,11 +389,19 @@ func New(cfg earth.Config) *Runtime {
 		n.dispatchFn = func() { rt.dispatch(n) }
 		rt.nodes[i] = n
 	}
+	for _, s := range rt.shards {
+		for j := s.lo; j < s.hi; j++ {
+			rt.nodes[j].sh = s
+		}
+	}
 	if cfg.Faults.Enabled() {
 		rt.plan = cfg.Faults
-		rt.inj = faults.NewInjector(cfg.Faults, cfg.Seed)
 		rt.retry = cfg.Retry.WithDefaults()
 		rt.hasPause = cfg.Faults.HasPause()
+		rt.injs = make([]*faults.Injector, cfg.Nodes)
+		for i := range rt.injs {
+			rt.injs[i] = faults.NewLaneInjector(cfg.Faults, cfg.Seed, i)
+		}
 		if cfg.Faults.HasDegrade() {
 			rt.mach.SetLinkScale(cfg.Faults.LinkScale)
 		}
@@ -338,17 +418,20 @@ func New(cfg earth.Config) *Runtime {
 			}
 			rt.dead = make([]bool, cfg.Nodes)
 			rt.detected = make([]bool, cfg.Nodes)
+			rt.boundaries = makeBoundaries(rt.crashAt, rt.retry.Lease)
 		}
 	}
 	return rt
 }
 
-// newMsg draws an envelope from the free list (or allocates one with its
-// permanent fire closure).
-func (rt *Runtime) newMsg() *msg {
-	if k := len(rt.msgFree); k > 0 {
-		m := rt.msgFree[k-1]
-		rt.msgFree = rt.msgFree[:k-1]
+// newMsg draws an envelope from a shard's free list (or allocates one with
+// its permanent fire closure). Mid-window the list must be the executing
+// shard's; between windows any list is safe and the coordinator uses the
+// target's.
+func (rt *Runtime) newMsg(sh *shard) *msg {
+	if k := len(sh.msgFree); k > 0 {
+		m := sh.msgFree[k-1]
+		sh.msgFree = sh.msgFree[:k-1]
 		return m
 	}
 	m := &msg{rt: rt}
@@ -356,17 +439,42 @@ func (rt *Runtime) newMsg() *msg {
 	return m
 }
 
-// freeMsg returns an envelope to the pool, dropping reference fields.
-func (rt *Runtime) freeMsg(m *msg) {
+// freeMsg returns an envelope to the pool of the shard it fired on,
+// dropping reference fields.
+func (rt *Runtime) freeMsg(sh *shard, m *msg) {
 	m.stage = 0
 	m.f = nil
 	m.body = nil
 	m.read = nil
 	m.write = nil
 	m.deliver = nil
+	// issue must clear: deliver treats a zero issue as "stamp me", and a
+	// stale value from the envelope's previous life would vary with the
+	// pool's reuse order — which is exactly what must not leak into
+	// recovery-latency accounting across shard layouts.
+	m.issue = 0
+	m.bytes = 0
+	m.cause = 0
 	m.seq = 0
 	m.drops = 0
-	rt.msgFree = append(rt.msgFree, m)
+	m.dup = false
+	m.origTo = 0
+	m.arr0 = 0
+	m.rerouted = false
+	sh.msgFree = append(sh.msgFree, m)
+}
+
+// emit buffers a trace event on the executing shard's stream, or on the
+// coordinator stream (sh == nil) for between-window emissions. All buffers
+// are merged and canonically sorted when the run completes, so placement
+// never affects the final stream — it only keeps concurrent shards from
+// sharing one slice.
+func (rt *Runtime) emit(sh *shard, ev earth.Event) {
+	if sh == nil {
+		rt.cord = append(rt.cord, ev)
+		return
+	}
+	sh.events = append(sh.events, ev)
 }
 
 // P returns the node count.
@@ -377,18 +485,28 @@ func (rt *Runtime) P() int { return len(rt.nodes) }
 // from a fresh virtual clock but reuses node RNG streams (so consecutive
 // runs explore different schedules, as repeated real runs would).
 func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
-	rt.eng = sim.New()
 	rt.mach.Reset()
-	rt.thieves = rt.thieves[:0]
-	rt.tokensInPools = 0
-	if rt.inj != nil {
-		rt.inj.Reset()
+	for _, s := range rt.shards {
+		s.eng = sim.New()
+		s.outbox = s.outbox[:0]
+		s.misses = s.misses[:0]
+		s.events = s.events[:0]
+	}
+	rt.cord = rt.cord[:0]
+	if rt.injs != nil {
+		for _, in := range rt.injs {
+			in.Reset()
+		}
 	}
 	for _, n := range rt.nodes {
 		n.ready.reset()
 		n.tokens.reset()
-		n.running, n.stealing, n.parked = false, false, false
+		n.running, n.stealing, n.hungry = false, false, false
 		n.cpuDebt = 0
+		n.outSeq = 0
+		n.rr = 0
+		n.seen = nil
+		n.spans = n.spans[:0]
 		n.stats = earth.NodeStats{}
 	}
 	if rt.crashAt != nil {
@@ -397,87 +515,35 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 			rt.dead[i] = false
 			rt.detected[i] = false
 		}
-		// Schedule the plan's crash-stop failures up front, in node order,
-		// so same-instant crashes fire deterministically.
-		for i, at := range rt.crashAt {
-			if at >= 0 {
-				x := i
-				rt.eng.At(at, func() { rt.crashNode(x) })
-			}
-		}
 	}
+	rt.maxExec = 0
+	rt.bApplied = 0
+	rt.sampling = rt.tr != nil && rt.cfg.UtilSamplePeriod > 0
+	rt.sampleNext = rt.cfg.UtilSamplePeriod
 	if rt.cfg.Balancer == earth.BalanceSteal {
-		// All nodes except node 0 start idle: park them as thieves so the
-		// first tokens flow out immediately (receiver-initiated balancing).
+		// All nodes except node 0 start idle and hungry, so the first
+		// tokens flow out at the first barrier (receiver-initiated
+		// balancing).
 		for _, n := range rt.nodes[1:] {
-			n.parked = true
-			rt.thieves = append(rt.thieves, n.id)
+			n.hungry = true
 		}
 	}
-	rt.enqueue(rt.nodes[0], item{body: main, cause: earth.CauseSpawn})
-	if rt.tr != nil && rt.cfg.UtilSamplePeriod > 0 {
-		rt.runSampled()
-	} else {
-		rt.eng.Run()
-	}
+	rt.atBarrier = true
+	rt.enqueueAt(rt.nodes[0], item{body: main, cause: earth.CauseSpawn}, 0)
+	rt.runWindows()
 	st := &earth.Stats{
-		Elapsed: rt.eng.Now(),
+		Elapsed: rt.maxExec,
 		Nodes:   make([]earth.NodeStats, len(rt.nodes)),
-		Events:  rt.eng.Events,
+		Events:  rt.bApplied,
+	}
+	for _, s := range rt.shards {
+		st.Events += s.eng.Events
 	}
 	for i, n := range rt.nodes {
 		st.Nodes[i] = n.stats
 	}
+	rt.flushTrace()
 	return st
-}
-
-// runSampled drives the event loop one step at a time so per-node
-// utilisation can be sampled at fixed virtual-time boundaries without
-// polluting the event queue (a self-rescheduling sampler event would
-// prevent quiescence). Nodes record busy spans while sampling is on, and
-// each window's sample is the total span overlap with that window, so a
-// long-running thread contributes to every window it covers rather than
-// lumping into the window of its dispatch event. Spans always begin at
-// the current event time, so windows already emitted can never gain
-// retroactive work.
-func (rt *Runtime) runSampled() {
-	period := rt.cfg.UtilSamplePeriod
-	rt.sampling = true
-	defer func() { rt.sampling = false }()
-	next := period
-	for rt.eng.Step() {
-		for rt.eng.Now() >= next {
-			w0 := next - period
-			for _, n := range rt.nodes {
-				var busy sim.Time
-				keep := n.spans[:0]
-				for _, s := range n.spans {
-					lo, hi := s.start, s.end
-					if lo < w0 {
-						lo = w0
-					}
-					if hi > next {
-						hi = next
-					}
-					if hi > lo {
-						busy += hi - lo
-					}
-					if s.end > next {
-						keep = append(keep, s)
-					}
-				}
-				n.spans = keep
-				// runSampled only runs when Run saw rt.tr != nil; the
-				// guard is one frame up, out of synclint's view.
-				//synclint:allow runSampled is only entered under the rt.tr != nil check in Run
-				rt.tr.Event(earth.Event{
-					Time: next, Node: n.id, Peer: earth.NoPeer,
-					Kind: earth.EvUtilSample, Dur: busy,
-				})
-			}
-			next += period
-		}
-	}
 }
 
 // addSpan records a busy interval for utilisation sampling.
@@ -487,48 +553,43 @@ func (n *node) addSpan(rt *Runtime, start, end sim.Time) {
 	}
 }
 
-// crashNode executes a scheduled crash-stop failure: the node halts at
-// its next dispatch boundary (a thread body running across the crash
-// instant completes — bodies are atomic in this model) and stops
-// dispatching, stealing and serving its queues. Its state stays frozen
-// until the failure detector's lease expires and detectCrash hands it
-// over to a survivor.
-func (rt *Runtime) crashNode(x int) {
+// applyCrash executes a scheduled crash-stop failure at its window
+// boundary: the node halts at its next dispatch boundary (a thread body
+// running across the crash instant completes — bodies are atomic in this
+// model) and stops dispatching, stealing and serving its queues. Its state
+// stays frozen until the failure detector's lease expires and applyDetect
+// hands it over to a survivor.
+func (rt *Runtime) applyCrash(b boundary) {
+	x := b.node
 	rt.dead[x] = true
 	n := rt.nodes[x]
 	n.stats.FaultsInjected++
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: n.id, Peer: earth.NoPeer,
+		rt.emit(nil, earth.Event{Time: b.at, Node: n.id, Peer: earth.NoPeer,
 			Kind: earth.EvFaultInjected, Cause: earth.CauseCrash, Dur: rt.retry.Lease})
 	}
-	rt.eng.After(rt.retry.Lease, func() { rt.detectCrash(x) })
 }
 
-// detectCrash fires one lease after a crash: survivors have missed
-// enough heartbeats/acks to declare the node dead. Its ring successor
-// adopts the checkpointed frames and queued threads, and its pooled
-// tokens go back to the load balancer for re-placement. Frame state in
-// this embedding lives in host memory, so adoption is the god-view
-// counterpart of the retransmit model: the failure perturbs placement
-// and timing, never data.
-func (rt *Runtime) detectCrash(x int) {
+// applyDetect fires one lease after a crash: survivors have missed enough
+// heartbeats/acks to declare the node dead. Its ring successor adopts the
+// checkpointed frames and queued threads, and its pooled tokens go back to
+// the load balancer for re-placement. Frame state in this embedding lives
+// in host memory, so adoption is the god-view counterpart of the
+// retransmit model: the failure perturbs placement and timing, never data.
+func (rt *Runtime) applyDetect(b boundary) {
+	x := b.node
 	rt.detected[x] = true
 	n := rt.nodes[x]
 	n.stats.DetectionLatency = rt.retry.Lease
 	s := rt.resolve(earth.NodeID(x))
 	sn := rt.nodes[s]
-	now := rt.eng.Now()
+	now := b.at
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+		rt.emit(nil, earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
 			Kind: earth.EvNodeDown, Dur: rt.retry.Lease, Cause: earth.CauseCrash})
 	}
 	// The dead node no longer participates in stealing.
-	for i, id := range rt.thieves {
-		if int(id) == x {
-			rt.thieves = append(rt.thieves[:i], rt.thieves[i+1:]...)
-			break
-		}
-	}
+	n.hungry, n.stealing = false, false
 	// Replay the node's queued threads from their checkpointed frames on
 	// the adopter.
 	for n.ready.len() > 0 {
@@ -536,22 +597,23 @@ func (rt *Runtime) detectCrash(x int) {
 		it.enq = now
 		sn.stats.FramesReplayed++
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+			rt.emit(nil, earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
 				Kind: earth.EvFrameReplayed, Cause: earth.CauseCrash})
 		}
-		rt.enqueue(sn, it)
+		rt.enqueueAt(sn, it, now)
 	}
 	// Return pooled tokens to the balancer for deterministic re-placement.
 	for n.tokens.len() > 0 {
 		tk := n.tokens.popFront()
-		rt.tokensInPools--
-		rt.reassignToken(earth.NodeID(x), sn, tk)
+		rt.reassignToken(earth.NodeID(x), sn, tk, now)
 	}
 }
 
 // resolve maps a node to the live owner of its state: the node itself
 // while it is up (or crashed but undetected — the failure is not
 // observable before the lease expires), else its transitive adopter.
+// detected only changes at window boundaries, so mid-window reads from
+// concurrent shards see one frozen value.
 func (rt *Runtime) resolve(x earth.NodeID) earth.NodeID {
 	if rt.crashAt == nil {
 		return x
@@ -561,10 +623,9 @@ func (rt *Runtime) resolve(x earth.NodeID) earth.NodeID {
 
 // reassignToken returns one of a dead node's pooled tokens to the load
 // balancer: round-robin placement over surviving nodes, shipped from the
-// adopter (which holds the checkpointed args now) at normal network
-// cost.
-func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token) {
-	now := rt.eng.Now()
+// adopter (which holds the checkpointed args now) at normal network cost.
+// Runs only at detection boundaries, with every shard quiesced.
+func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token, now sim.Time) {
 	p := len(rt.nodes)
 	t := earth.NodeID(rt.reassignRR % p)
 	for rt.dead[t] {
@@ -575,15 +636,15 @@ func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token) {
 	tn := rt.nodes[t]
 	tn.stats.TokensReassigned++
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: now, Node: t, Peer: x,
+		rt.emit(nil, earth.Event{Time: now, Node: t, Peer: x,
 			Kind: earth.EvWorkReassigned, Bytes: tk.argBytes, Cause: earth.CauseCrash})
 	}
 	if t == sn.id {
-		rt.enqueue(tn, item{body: tk.body, token: true, enq: now, cause: earth.CauseToken})
+		rt.enqueueAt(tn, item{body: tk.body, token: true, enq: now, cause: earth.CauseToken}, now)
 		return
 	}
 	arrival := rt.send(now+rt.cfg.Costs.AsyncSend, sn.id, t, tk.argBytes)
-	m := rt.newMsg()
+	m := rt.newMsg(tn.sh)
 	m.kind = msgThread
 	m.from, m.to = sn.id, t
 	m.body = tk.body
@@ -591,91 +652,105 @@ func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token) {
 	m.issue = now
 	m.cause = earth.CauseToken
 	m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
-	rt.deliver(now, arrival, m)
+	rt.deliver(nil, now, arrival, m)
 }
 
-// routeCrash vets an arriving message's target when a crash plan is
-// active. A message headed to a dead node is held until the node's lease
+// walkCrash statically routes an arrival when a crash plan is active,
+// using only the immutable crash schedule and lease — no shard-local
+// state — so it can run on any shard at send time. A message headed to a
+// node that has crashed by its arrival is held until that node's lease
 // expires (the sender's missed heartbeats/acks are what expose the
-// failure) and then re-routed to the adopter; the loop covers chained
-// failures. Returns false when the message was re-scheduled for the
-// detection instant.
-func (rt *Runtime) routeCrash(m *msg) bool {
-	for {
-		t := int(m.to)
-		if !rt.dead[t] {
-			return true
+// failure) and re-routed to the adopter; the loop covers chained
+// failures. hop, when non-nil, observes each failover (post-hold time and
+// the dead node being abandoned) so the fire path can account them.
+func (rt *Runtime) walkCrash(a sim.Time, dst earth.NodeID, hop func(at sim.Time, x earth.NodeID)) (sim.Time, earth.NodeID) {
+	lease := rt.retry.Lease
+	for rt.crashAt[dst] >= 0 && a >= rt.crashAt[dst] {
+		if td := rt.crashAt[dst] + lease; a < td {
+			a = td
 		}
-		if !rt.detected[t] {
-			// The detection event was scheduled at crash time, so at the
-			// lease boundary it fires before this re-scheduled arrival.
-			rt.eng.At(rt.crashAt[t]+rt.retry.Lease, m.fire)
-			return false
-		}
-		rt.failover(m)
-	}
-}
-
-// failover re-targets a message addressed to a detected-dead node at its
-// adopter, accounting the re-dispatched work: an in-flight invoke
-// re-instantiates its frame on the adopter; an in-flight token (placed,
-// stolen or granted) counts as a balancer re-assignment. Sync, put, get
-// and post legs re-route silently — the adopter owns the checkpointed
-// frame state they target.
-func (rt *Runtime) failover(m *msg) {
-	x := m.to
-	s := rt.resolve(x)
-	m.to = s
-	sn := rt.nodes[s]
-	now := rt.eng.Now()
-	switch {
-	case m.kind == msgStealGrant, m.kind == msgThread && m.cause == earth.CauseToken:
-		sn.stats.TokensReassigned++
-		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: x,
-				Kind: earth.EvWorkReassigned, Bytes: m.bytes, Cause: earth.CauseCrash})
-		}
-	case m.kind == msgThread:
-		sn.stats.FramesReplayed++
-		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: x,
-				Kind: earth.EvFrameReplayed, Cause: earth.CauseCrash})
+		x := dst
+		aa := a
+		dst = earth.Adopter(dst, len(rt.nodes), func(c earth.NodeID) bool {
+			return rt.crashAt[c] >= 0 && aa >= rt.crashAt[c]+lease
+		})
+		if hop != nil {
+			hop(a, x)
 		}
 	}
+	return a, dst
 }
 
-// enqueue places it on n's ready queue and kicks the dispatch chain if the
-// node is idle. Must be called from an event context.
-func (rt *Runtime) enqueue(n *node, it item) {
+// emitReroute reconstructs the failover hops of a crash-rerouted envelope
+// at delivery time and accounts the re-dispatched work: an in-flight
+// invoke re-instantiates its frame; an in-flight token (placed, stolen or
+// granted) counts as a balancer re-assignment. Sync, put, get and post
+// legs re-route silently — the adopter owns the checkpointed frame state
+// they target. Stats and events land on the final target, which is the
+// node whose shard is executing.
+func (rt *Runtime) emitReroute(sh *shard, m *msg) {
+	fn := rt.nodes[m.to]
+	rt.walkCrash(m.arr0, m.origTo, func(at sim.Time, x earth.NodeID) {
+		switch {
+		case m.kind == msgStealGrant, m.kind == msgThread && m.cause == earth.CauseToken:
+			fn.stats.TokensReassigned++
+			if rt.tr != nil {
+				rt.emit(sh, earth.Event{Time: at, Node: m.to, Peer: x,
+					Kind: earth.EvWorkReassigned, Bytes: m.bytes, Cause: earth.CauseCrash})
+			}
+		case m.kind == msgThread:
+			fn.stats.FramesReplayed++
+			if rt.tr != nil {
+				rt.emit(sh, earth.Event{Time: at, Node: m.to, Peer: x,
+					Kind: earth.EvFrameReplayed, Cause: earth.CauseCrash})
+			}
+		}
+	})
+}
+
+// enqueueAt places it on n's ready queue and kicks the dispatch chain at
+// the given instant if the node is idle. Mid-window callers pass the
+// executing engine's current time (see enqueue); boundary work passes the
+// boundary instant, since the node's own engine clock is stale between
+// windows.
+func (rt *Runtime) enqueueAt(n *node, it item, at sim.Time) {
 	n.ready.push(it)
+	n.hungry = false
 	if !n.running {
 		n.running = true
-		rt.eng.After(0, n.dispatchFn)
+		n.sh.eng.At(at, n.dispatchFn)
 	}
+}
+
+// enqueue places it on n's ready queue from an event executing on n's own
+// shard.
+func (rt *Runtime) enqueue(n *node, it item) {
+	rt.enqueueAt(n, it, n.sh.eng.Now())
 }
 
 // dispatch pops and executes the next unit of work on n. It runs as a
-// simulator event at the node's availability time.
+// simulator event at the node's availability time, on n's own shard.
 func (rt *Runtime) dispatch(n *node) {
 	// A crashed node halts at its dispatch boundary: whatever was running
 	// has completed, and nothing further dispatches. Queued state stays
-	// frozen until detectCrash hands it to the adopter.
+	// frozen until the detection boundary hands it to the adopter.
 	if rt.dead != nil && rt.dead[n.id] {
 		return
 	}
+	eng := n.sh.eng
 	// A paused node defers its whole dispatch chain to the window's end.
 	// Messages still land and sync slots still fire during the pause (the
 	// Synchronization Unit keeps servicing the network); only thread
 	// execution stalls.
 	if rt.hasPause {
-		now := rt.eng.Now()
+		now := eng.Now()
 		if pu := rt.plan.PauseUntil(int(n.id), now); pu > now {
 			n.stats.FaultsInjected++
 			if rt.tr != nil {
-				rt.tr.Event(earth.Event{Time: now, Node: n.id, Peer: earth.NoPeer,
+				rt.emit(n.sh, earth.Event{Time: now, Node: n.id, Peer: earth.NoPeer,
 					Kind: earth.EvFaultInjected, Cause: earth.CausePause, Dur: pu - now})
 			}
-			rt.eng.At(pu, n.dispatchFn)
+			eng.At(pu, n.dispatchFn)
 			return
 		}
 	}
@@ -683,7 +758,7 @@ func (rt *Runtime) dispatch(n *node) {
 	if n.cpuDebt > 0 {
 		d := n.cpuDebt
 		n.cpuDebt = 0
-		rt.eng.After(d, n.dispatchFn)
+		eng.After(d, n.dispatchFn)
 		return
 	}
 	var it item
@@ -693,15 +768,21 @@ func (rt *Runtime) dispatch(n *node) {
 	case n.tokens.len() > 0:
 		// Run own tokens newest-first (depth-first on task trees).
 		tk := n.tokens.popBack()
-		rt.tokensInPools--
 		it = item{body: tk.body, token: true, enq: tk.enq, cause: earth.CauseToken}
 	default:
 		n.running = false
-		rt.trySteal(n)
+		// Dry under the steal balancer: flag the node hungry; the next
+		// window barrier matches it against a victim. (Steal requests are
+		// barrier work because victim selection needs a consistent view of
+		// every pool, which mid-window shards do not have.)
+		if rt.cfg.Balancer == earth.BalanceSteal && !n.stealing &&
+			(rt.dead == nil || !rt.dead[n.id]) {
+			n.hungry = true
+		}
 		return
 	}
 
-	start := rt.eng.Now()
+	start := eng.Now()
 	c := n.getCtx(rt, start+rt.cfg.Costs.ThreadSwitch+it.recvCost)
 	it.body(c)
 	end := c.cursor
@@ -716,22 +797,22 @@ func (rt *Runtime) dispatch(n *node) {
 		}
 	}
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{
+		rt.emit(n.sh, earth.Event{
 			Time: start, Node: n.id, Peer: earth.NoPeer, Kind: earth.EvThreadRun,
 			Dur: end - start, Wait: start - it.enq, Cause: it.cause,
 		})
 	}
 	if end > start {
-		rt.eng.At(end, n.dispatchFn)
+		eng.At(end, n.dispatchFn)
 	} else {
-		rt.eng.After(0, n.dispatchFn)
+		eng.After(0, n.dispatchFn)
 	}
 }
 
 // execHandlerBody runs an active-message handler body on n at the current
 // event time (the receiver-side cost has already been charged).
 func (rt *Runtime) execHandlerBody(n *node, body earth.ThreadBody) {
-	start := rt.eng.Now()
+	start := n.sh.eng.Now()
 	hc := n.getCtx(rt, start)
 	body(hc)
 	end := hc.cursor
@@ -739,7 +820,7 @@ func (rt *Runtime) execHandlerBody(n *node, body earth.ThreadBody) {
 	n.stats.Busy += end - start
 	n.addSpan(rt, start, end)
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{
+		rt.emit(n.sh, earth.Event{
 			Time: start, Node: n.id, Peer: earth.NoPeer, Kind: earth.EvHandlerRun,
 			Dur: end - start, Cause: earth.CauseHandler,
 		})
@@ -750,8 +831,9 @@ func (rt *Runtime) execHandlerBody(n *node, body earth.ThreadBody) {
 // time. If the cost model consumes the CPU on receive, the node's next
 // dispatch is delayed correspondingly.
 func (rt *Runtime) chargeRecv(n *node, cost sim.Time) {
+	now := n.sh.eng.Now()
 	n.stats.Busy += cost
-	n.addSpan(rt, rt.eng.Now(), rt.eng.Now()+cost)
+	n.addSpan(rt, now, now+cost)
 	if rt.consumesCPUOnRecv() {
 		n.cpuDebt += cost
 	}
@@ -764,15 +846,17 @@ func (rt *Runtime) stageRecv(m *msg, n *node, cost sim.Time) bool {
 	rt.chargeRecv(n, cost)
 	if cost > 0 {
 		m.stage = 1
-		rt.eng.After(cost, m.fire)
+		n.sh.eng.After(cost, m.fire)
 		return true
 	}
 	return false
 }
 
-// deliver schedules remote envelope m to fire at arrival, applying the
-// fault plan when one is installed. issue is when the sender-side
-// software finished.
+// deliver applies the fault plan to remote envelope m and routes it toward
+// its target. issue is when the sender-side software finished; sh is the
+// executing shard (nil for coordinator barrier work). Verdicts come from
+// the sender's injector lane, which only the sender's shard (or the
+// quiesced coordinator) ever draws from.
 //
 // Recovery is accounted "god view" in virtual time: a transmission the
 // plan dropped k times arrives at issue plus the sum of its first k
@@ -783,12 +867,12 @@ func (rt *Runtime) stageRecv(m *msg, n *node, cost sim.Time) bool {
 // receiver keeps the first copy (fireMsg's idempotent-delivery check).
 // Retransmissions do not re-charge NIC serialisation, a deliberate model
 // simplification.
-func (rt *Runtime) deliver(issue, arrival sim.Time, m *msg) {
-	if rt.inj == nil {
-		rt.eng.At(arrival, m.fire)
+func (rt *Runtime) deliver(sh *shard, issue, arrival sim.Time, m *msg) {
+	if rt.injs == nil {
+		rt.routeMsg(sh, arrival, m)
 		return
 	}
-	v := rt.inj.Next(rt.retry.MaxRetries)
+	v := rt.injs[m.from].Next(rt.retry.MaxRetries)
 	m.seq = v.Seq
 	if m.issue == 0 {
 		m.issue = issue
@@ -804,14 +888,14 @@ func (rt *Runtime) deliver(issue, arrival sim.Time, m *msg) {
 			to := rt.retry.AttemptTimeout(a)
 			deadline += to
 			if rt.tr != nil {
-				rt.tr.Event(earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+				rt.emit(sh, earth.Event{Time: deadline, Node: m.from, Peer: m.to,
 					Kind: earth.EvTimedOut, Dur: to, Bytes: m.bytes, Cause: earth.CauseDrop})
-				rt.tr.Event(earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+				rt.emit(sh, earth.Event{Time: deadline, Node: m.from, Peer: m.to,
 					Kind: earth.EvRetry, Bytes: m.bytes, Cause: earth.CauseDrop})
 			}
 		}
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: issue, Node: m.from, Peer: m.to,
+			rt.emit(sh, earth.Event{Time: issue, Node: m.from, Peer: m.to,
 				Kind: earth.EvFaultInjected, Cause: earth.CauseDrop, Bytes: m.bytes,
 				Dur: deadline - issue})
 		}
@@ -820,7 +904,7 @@ func (rt *Runtime) deliver(issue, arrival sim.Time, m *msg) {
 	if v.Delay > 0 {
 		sender.stats.FaultsInjected++
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: issue, Node: m.from, Peer: m.to,
+			rt.emit(sh, earth.Event{Time: issue, Node: m.from, Peer: m.to,
 				Kind: earth.EvFaultInjected, Cause: earth.CauseDelay, Bytes: m.bytes,
 				Dur: v.Delay})
 		}
@@ -829,21 +913,55 @@ func (rt *Runtime) deliver(issue, arrival sim.Time, m *msg) {
 	if v.Dup {
 		sender.stats.FaultsInjected++
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: issue, Node: m.from, Peer: m.to,
+			rt.emit(sh, earth.Event{Time: issue, Node: m.from, Peer: m.to,
 				Kind: earth.EvFaultInjected, Cause: earth.CauseDup, Bytes: m.bytes})
 		}
-		d := rt.cloneMsg(m)
-		rt.eng.At(arrival+rt.retry.AttemptTimeout(0), d.fire)
+		m.dup = true
+		pool := sh
+		if pool == nil {
+			pool = rt.nodes[m.to].sh
+		}
+		d := rt.cloneMsg(pool, m)
+		// Each copy is routed from its own arrival: the clone trails by one
+		// base timeout and may cross a later detection boundary, failing
+		// over further along the adoption ring than the original.
+		rt.routeMsg(sh, arrival+rt.retry.AttemptTimeout(0), d)
 	}
-	rt.eng.At(arrival, m.fire)
+	rt.routeMsg(sh, arrival, m)
 }
 
-// cloneMsg duplicates a scheduled envelope for duplicate injection. The
-// copy shares the original's closures and sequence number: whichever
-// copy fires second is suppressed by the idempotent-delivery check, so
-// the shared closures run at most once.
-func (rt *Runtime) cloneMsg(m *msg) *msg {
-	d := rt.newMsg()
+// routeMsg finalises an envelope's target and arrival (static crash-stop
+// routing) and hands it over: mid-window it joins the executing shard's
+// outbox for the canonical barrier merge; between windows the coordinator
+// inserts it directly into the quiesced target engine. Conservative
+// lookahead guarantees the arrival lies at or beyond the current window's
+// end, so neither path can schedule into a shard's past.
+func (rt *Runtime) routeMsg(sh *shard, arrival sim.Time, m *msg) {
+	m.origTo = m.to
+	if rt.crashAt != nil {
+		a, dst := rt.walkCrash(arrival, m.to, nil)
+		if dst != m.to {
+			m.rerouted = true
+			m.arr0 = arrival
+			m.to = dst
+		}
+		arrival = a
+	}
+	if rt.atBarrier {
+		rt.nodes[m.to].sh.eng.At(arrival, m.fire)
+		return
+	}
+	from := rt.nodes[m.from]
+	from.outSeq++
+	sh.outbox = append(sh.outbox, outboxEntry{at: arrival, from: m.from, seq: from.outSeq, m: m})
+}
+
+// cloneMsg duplicates an envelope for duplicate injection. The copy shares
+// the original's closures and sequence number: whichever copy fires second
+// is suppressed by the idempotent-delivery check, so the shared closures
+// run at most once.
+func (rt *Runtime) cloneMsg(sh *shard, m *msg) *msg {
+	d := rt.newMsg(sh)
 	d.kind = m.kind
 	d.stage = 0
 	d.from, d.to = m.from, m.to
@@ -855,34 +973,48 @@ func (rt *Runtime) cloneMsg(m *msg) *msg {
 	d.cause = m.cause
 	d.seq = m.seq
 	d.drops = 0
+	d.dup = m.dup
 	return d
 }
 
-// fireMsg applies a message envelope at its scheduled time.
+// fireMsg applies a message envelope at its scheduled time, on the shard
+// owning its (final) target node.
 func (rt *Runtime) fireMsg(m *msg) {
-	// Crash-stop routing happens first, at arrival (stage 0): a message
-	// for a dead node is held to the lease boundary or failed over to the
-	// adopter before any delivery bookkeeping runs.
-	if rt.dead != nil && m.stage == 0 && !rt.routeCrash(m) {
-		return
-	}
-	// Idempotent delivery under a fault plan: sequence-numbered envelopes
-	// are checked once, at arrival (stage 0), before any effect runs —
-	// the second copy of a duplicated message is discarded here, which is
-	// what makes duplicates and reorders safe (a doubled Sync would
-	// otherwise over-decrement its slot).
-	if m.seq != 0 && m.stage == 0 {
-		if !rt.inj.FirstDelivery(m.seq) {
-			rt.nodes[m.to].stats.DupsDropped++
-			rt.freeMsg(m)
-			return
+	sh := rt.nodes[m.to].sh
+	if m.stage == 0 {
+		// Account crash-stop failovers first, at arrival, before any
+		// delivery bookkeeping runs — mirroring the pre-computed routing
+		// done at send time.
+		if m.rerouted {
+			rt.emitReroute(sh, m)
+		}
+		// Idempotent delivery under a fault plan: both copies of a
+		// duplicated transmission consult the original target's seen map —
+		// the second copy is discarded here, which is what makes duplicates
+		// and reorders safe (a doubled Sync would otherwise over-decrement
+		// its slot). The original always arrives first in virtual time, and
+		// same-window copies always share a final target, so the map is
+		// only ever touched by one shard at a time.
+		if m.dup {
+			tn := rt.nodes[m.origTo]
+			if tn.seen == nil {
+				tn.seen = make(map[uint64]bool)
+			}
+			if tn.seen[m.seq] {
+				delete(tn.seen, m.seq)
+				rt.nodes[m.to].stats.DupsDropped++
+				rt.freeMsg(sh, m)
+				return
+			}
+			tn.seen[m.seq] = true
 		}
 		if m.drops > 0 {
 			n := rt.nodes[m.to]
 			n.stats.Recovered++
 			if rt.tr != nil {
-				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
-					Kind: earth.EvRecovered, Dur: rt.eng.Now() - m.issue, Bytes: m.bytes,
+				now := sh.eng.Now()
+				rt.emit(sh, earth.Event{Time: now, Node: m.to, Peer: m.from,
+					Kind: earth.EvRecovered, Dur: now - m.issue, Bytes: m.bytes,
 					Cause: earth.CauseDrop})
 			}
 		}
@@ -896,24 +1028,25 @@ func (rt *Runtime) fireMsg(m *msg) {
 			return
 		}
 		from, f, slot := m.from, m.f, m.slot
-		rt.freeMsg(m)
-		rt.decSlot(n, from, rt.eng.Now(), f, slot)
+		rt.freeMsg(sh, m)
+		rt.decSlot(n, from, sh.eng.Now(), f, slot)
 
 	case msgThread:
 		dst := rt.nodes[m.to]
+		now := sh.eng.Now()
 		if rt.tr != nil {
 			switch m.cause {
 			case earth.CauseInvoke:
-				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
-					Kind: earth.EvInvokeDeliver, Bytes: m.bytes, Dur: rt.eng.Now() - m.issue})
+				rt.emit(sh, earth.Event{Time: now, Node: m.to, Peer: m.from,
+					Kind: earth.EvInvokeDeliver, Bytes: m.bytes, Dur: now - m.issue})
 			case earth.CauseToken:
-				rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: m.to, Peer: m.from,
-					Kind: earth.EvTokenDeliver, Bytes: m.bytes, Dur: rt.eng.Now() - m.issue})
+				rt.emit(sh, earth.Event{Time: now, Node: m.to, Peer: m.from,
+					Kind: earth.EvTokenDeliver, Bytes: m.bytes, Dur: now - m.issue})
 			}
 		}
-		it := item{body: m.body, recvCost: m.recvCost, enq: rt.eng.Now(),
+		it := item{body: m.body, recvCost: m.recvCost, enq: now,
 			cause: m.cause, token: m.cause == earth.CauseToken}
-		rt.freeMsg(m)
+		rt.freeMsg(sh, m)
 		rt.enqueue(dst, it)
 
 	case msgPost:
@@ -922,7 +1055,7 @@ func (rt *Runtime) fireMsg(m *msg) {
 			return
 		}
 		body := m.body
-		rt.freeMsg(m)
+		rt.freeMsg(sh, m)
 		rt.execHandlerBody(n, body)
 
 	case msgPut:
@@ -932,17 +1065,18 @@ func (rt *Runtime) fireMsg(m *msg) {
 		}
 		from, owner, f, slot := m.from, m.to, m.f, m.slot
 		bytes, issue, write := m.bytes, m.issue, m.write
-		rt.freeMsg(m)
+		rt.freeMsg(sh, m)
 		write()
+		now := sh.eng.Now()
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: owner, Peer: from,
-				Kind: earth.EvPutDeliver, Bytes: bytes, Dur: rt.eng.Now() - issue})
+			rt.emit(sh, earth.Event{Time: now, Node: owner, Peer: from,
+				Kind: earth.EvPutDeliver, Bytes: bytes, Dur: now - issue})
 		}
 		if f != nil {
 			if rt.resolve(f.Home) == owner {
-				rt.decSlot(dst, owner, rt.eng.Now(), f, slot)
+				rt.decSlot(dst, owner, now, f, slot)
 			} else {
-				rt.sendSyncAt(rt.eng.Now(), owner, f, slot)
+				rt.sendSyncAt(sh, now, owner, f, slot)
 			}
 		}
 
@@ -962,9 +1096,11 @@ func (rt *Runtime) fireMsg(m *msg) {
 		m.stage = 0
 		m.from, m.to = m.to, m.from
 		m.seq, m.drops = 0, 0
+		m.dup, m.rerouted, m.arr0 = false, false, 0
 		m.recvCost = rt.cfg.Costs.RecvCost(m.bytes, false)
-		arrival := rt.send(rt.eng.Now(), owner.id, m.to, m.bytes)
-		rt.deliver(rt.eng.Now(), arrival, m)
+		now := sh.eng.Now()
+		arrival := rt.send(now, owner.id, m.to, m.bytes)
+		rt.deliver(sh, now, arrival, m)
 
 	case msgGetResp:
 		src := rt.nodes[m.to]
@@ -972,18 +1108,19 @@ func (rt *Runtime) fireMsg(m *msg) {
 			return
 		}
 		owner, f, slot := m.from, m.f, m.slot
-		bytes, issue, deliver := m.bytes, m.issue, m.deliver
-		rt.freeMsg(m)
-		deliver()
+		bytes, issue, deliverFn := m.bytes, m.issue, m.deliver
+		rt.freeMsg(sh, m)
+		deliverFn()
+		now := sh.eng.Now()
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: rt.eng.Now(), Node: src.id, Peer: owner,
-				Kind: earth.EvGetDeliver, Bytes: bytes, Dur: rt.eng.Now() - issue})
+			rt.emit(sh, earth.Event{Time: now, Node: src.id, Peer: owner,
+				Kind: earth.EvGetDeliver, Bytes: bytes, Dur: now - issue})
 		}
 		if f != nil {
 			if rt.resolve(f.Home) == src.id {
-				rt.decSlot(src, owner, rt.eng.Now(), f, slot)
+				rt.decSlot(src, owner, now, f, slot)
 			} else {
-				rt.sendSyncAt(rt.eng.Now(), src.id, f, slot)
+				rt.sendSyncAt(sh, now, src.id, f, slot)
 			}
 		}
 
@@ -992,17 +1129,19 @@ func (rt *Runtime) fireMsg(m *msg) {
 		if m.stage == 0 && rt.stageRecv(m, victim, rt.cfg.Costs.AsyncRecv) {
 			return
 		}
-		thief := rt.nodes[m.from]
-		thief.stealing = false
+		thief := m.from
+		now := sh.eng.Now()
 		if victim.tokens.len() == 0 {
-			rt.freeMsg(m)
+			rt.freeMsg(sh, m)
 			if rt.tr != nil {
-				rt.tr.Event(earth.Event{
-					Time: rt.eng.Now(), Node: thief.id, Peer: victim.id,
+				rt.emit(sh, earth.Event{
+					Time: now, Node: thief, Peer: victim.id,
 					Kind: earth.EvStealMiss,
 				})
 			}
-			rt.trySteal(thief)
+			// The thief lives on another shard: it learns of the miss (and
+			// becomes eligible for re-matching) at the next barrier.
+			sh.misses = append(sh.misses, missNote{at: now, thief: thief})
 			return
 		}
 		// Ship the victim's oldest token (largest subtree, for tree-shaped
@@ -1010,33 +1149,35 @@ func (rt *Runtime) fireMsg(m *msg) {
 		// grant is a fresh transmission with its own fault verdict; m.issue
 		// keeps the request's issue so EvStealGrant's Dur is the round trip.
 		tk := victim.tokens.popFront()
-		rt.tokensInPools--
-		grantIssue := rt.eng.Now() + rt.cfg.Costs.AsyncSend
-		arrival := rt.send(grantIssue, victim.id, thief.id, tk.argBytes)
+		grantIssue := now + rt.cfg.Costs.AsyncSend
+		arrival := rt.send(grantIssue, victim.id, thief, tk.argBytes)
 		m.kind = msgStealGrant
 		m.stage = 0
-		m.from, m.to = victim.id, thief.id
+		m.from, m.to = victim.id, thief
 		m.body = tk.body
 		m.bytes = tk.argBytes
 		m.seq, m.drops = 0, 0
+		m.dup, m.rerouted, m.arr0 = false, false, 0
 		m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
-		rt.deliver(grantIssue, arrival, m)
+		rt.deliver(sh, grantIssue, arrival, m)
 
 	case msgStealGrant:
 		thief := rt.nodes[m.to]
 		if m.stage == 0 && rt.stageRecv(m, thief, m.recvCost) {
 			return
 		}
+		thief.stealing = false
 		victimID, issue, bytes, body := m.from, m.issue, m.bytes, m.body
-		rt.freeMsg(m)
+		rt.freeMsg(sh, m)
+		now := sh.eng.Now()
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{
-				Time: rt.eng.Now(), Node: thief.id, Peer: victimID,
-				Kind: earth.EvStealGrant, Dur: rt.eng.Now() - issue, Bytes: bytes,
+			rt.emit(sh, earth.Event{
+				Time: now, Node: thief.id, Peer: victimID,
+				Kind: earth.EvStealGrant, Dur: now - issue, Bytes: bytes,
 			})
 		}
 		rt.enqueue(thief, item{body: body, token: true, stolen: true,
-			enq: rt.eng.Now(), cause: earth.CauseSteal})
+			enq: now, cause: earth.CauseSteal})
 
 	default:
 		panic(fmt.Sprintf("simrt: unknown message kind %d", m.kind))
@@ -1053,28 +1194,29 @@ func (rt *Runtime) consumesCPUOnRecv() bool {
 
 // sendSyncAt charges the network for an 8-byte sync signal issued by from
 // at ready and schedules its pooled delivery envelope at f's home node —
-// or the home's adopter once a crash has been detected.
-func (rt *Runtime) sendSyncAt(ready sim.Time, from earth.NodeID, f *earth.Frame, slot int) {
+// or the home's adopter once a crash has been detected. sh is the
+// executing shard (from's own).
+func (rt *Runtime) sendSyncAt(sh *shard, ready sim.Time, from earth.NodeID, f *earth.Frame, slot int) {
 	home := rt.resolve(f.Home)
 	arrival := rt.send(ready, from, home, 8)
-	m := rt.newMsg()
+	m := rt.newMsg(sh)
 	m.kind = msgSync
 	m.from = from
 	m.to = home
 	m.f = f
 	m.slot = slot
 	m.bytes = 8
-	rt.deliver(ready, arrival, m)
+	rt.deliver(sh, ready, arrival, m)
 }
 
 // decSlot decrements a slot on its home node and enqueues the enabled
 // thread when it fires. at is the virtual time of the decrement (the
 // caller's cursor for local syncs, the handler effect time for remote
-// ones); from is the signalling node.
+// ones); from is the signalling node. n is always the executing node.
 func (rt *Runtime) decSlot(n *node, from earth.NodeID, at sim.Time, f *earth.Frame, slot int) {
 	n.stats.Syncs++
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: at, Node: n.id, Peer: from, Kind: earth.EvSyncSignal})
+		rt.emit(n.sh, earth.Event{Time: at, Node: n.id, Peer: from, Kind: earth.EvSyncSignal})
 	}
 	if fired, th := f.Dec(slot); fired {
 		rt.enqueue(n, item{body: f.ThreadBody(th), enq: at, cause: earth.CauseSync})
@@ -1082,7 +1224,9 @@ func (rt *Runtime) decSlot(n *node, from earth.NodeID, at sim.Time, f *earth.Fra
 }
 
 // send charges the network for a message and returns its arrival time.
-// ready is the virtual time the sender-side software finished.
+// ready is the virtual time the sender-side software finished. All mutated
+// state (sender stats, the sender's NIC reservation, per-source machine
+// counters) belongs to src, so concurrent shards never contend.
 func (rt *Runtime) send(ready sim.Time, src, dst earth.NodeID, payload int) sim.Time {
 	n := rt.nodes[src]
 	n.stats.MsgsSent++
@@ -1090,76 +1234,24 @@ func (rt *Runtime) send(ready sim.Time, src, dst earth.NodeID, payload int) sim.
 	return rt.mach.Send(ready, int(src), int(dst), payload+msgHeader)
 }
 
-// depositToken adds a token to n's pool, or ships it straight to a parked
-// thief. cursor is the depositing thread's current virtual time; the
-// returned value includes any send-side cost charged to the depositor.
+// depositToken adds a token to n's pool. cursor is the depositing thread's
+// current virtual time. Idle thieves are matched against the pool at the
+// next window barrier (receiver-initiated balancing needs a consistent
+// view of every pool, which only the barrier has).
 func (rt *Runtime) depositToken(n *node, cursor sim.Time, tk token) sim.Time {
-	if len(rt.thieves) > 0 {
-		thiefID := rt.thieves[0]
-		rt.thieves = rt.thieves[1:]
-		thief := rt.nodes[thiefID]
-		thief.parked = false
-		cursor += rt.cfg.Costs.AsyncSend
-		arrival := rt.send(cursor, n.id, thiefID, tk.argBytes)
-		// A parked thief receiving a fresh deposit is a grant with no
-		// preceding request; its traced Dur is the ship latency from issue.
-		m := rt.newMsg()
-		m.kind = msgStealGrant
-		m.from, m.to = n.id, thiefID
-		m.body = tk.body
-		m.bytes = tk.argBytes
-		m.issue = cursor
-		m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
-		rt.deliver(cursor, arrival, m)
-		return cursor
-	}
 	tk.enq = cursor
 	n.tokens.push(tk)
-	rt.tokensInPools++
+	n.hungry = false
 	if !n.running {
 		n.running = true
-		rt.eng.After(0, n.dispatchFn)
+		n.sh.eng.After(0, n.dispatchFn)
 	}
 	return cursor
 }
 
-// trySteal is called when node n runs dry. Under the steal balancer it
-// initiates a steal request; otherwise the node simply idles.
-func (rt *Runtime) trySteal(n *node) {
-	if rt.cfg.Balancer != earth.BalanceSteal || n.stealing || n.parked || n.running {
-		return
-	}
-	if rt.dead != nil && rt.dead[n.id] {
-		return
-	}
-	victim := rt.pickVictim(n)
-	if victim == nil {
-		if rt.tokensInPools == 0 {
-			// Nothing to steal anywhere: park until a deposit wakes us.
-			n.parked = true
-			rt.thieves = append(rt.thieves, n.id)
-		}
-		return
-	}
-	n.stealing = true
-	issue := rt.eng.Now() + rt.cfg.Costs.AsyncSend
-	if rt.tr != nil {
-		rt.tr.Event(earth.Event{
-			Time: issue, Node: n.id, Peer: victim.id,
-			Kind: earth.EvStealRequest, Bytes: stealReqBytes,
-		})
-	}
-	reqArrival := rt.send(issue, n.id, victim.id, stealReqBytes)
-	m := rt.newMsg()
-	m.kind = msgStealReq
-	m.from, m.to = n.id, victim.id
-	m.issue = issue
-	m.bytes = stealReqBytes
-	rt.deliver(issue, reqArrival, m)
-}
-
 // pickVictim returns a random node with a non-empty token pool, or nil.
-// The candidate list is scratch reused across calls.
+// The candidate list is scratch reused across calls. Only the coordinator
+// calls this (steal matching is barrier work).
 func (rt *Runtime) pickVictim(thief *node) *node {
 	candidates := rt.victimScratch[:0]
 	for _, v := range rt.nodes {
@@ -1224,7 +1316,7 @@ func (c *ctx) Sync(f *earth.Frame, slot int) {
 		return
 	}
 	c.cursor += c.rt.cfg.Costs.AsyncSend
-	c.rt.sendSyncAt(c.cursor, c.n.id, f, slot)
+	c.rt.sendSyncAt(c.n.sh, c.cursor, c.n.id, f, slot)
 }
 
 func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, slot int) {
@@ -1243,11 +1335,11 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 	issue := c.cursor
 	src := c.n.id
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: owner,
+		rt.emit(c.n.sh, earth.Event{Time: issue, Node: src, Peer: owner,
 			Kind: earth.EvPutSend, Bytes: nbytes})
 	}
 	arrival := rt.send(c.cursor, src, owner, nbytes)
-	m := rt.newMsg()
+	m := rt.newMsg(c.n.sh)
 	m.kind = msgPut
 	m.from, m.to = src, owner
 	m.f = f
@@ -1256,7 +1348,7 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 	m.bytes = nbytes
 	m.issue = issue
 	m.recvCost = rt.cfg.Costs.RecvCost(nbytes, false)
-	rt.deliver(issue, arrival, m)
+	rt.deliver(c.n.sh, issue, arrival, m)
 }
 
 func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.Frame, slot int) {
@@ -1275,11 +1367,11 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 	c.cursor += rt.cfg.Costs.SendCost(0, true)
 	issue := c.cursor
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: issue, Node: c.n.id, Peer: owner,
+		rt.emit(c.n.sh, earth.Event{Time: issue, Node: c.n.id, Peer: owner,
 			Kind: earth.EvGetSend, Bytes: nbytes})
 	}
 	reqArrival := rt.send(c.cursor, c.n.id, owner, 8)
-	m := rt.newMsg()
+	m := rt.newMsg(c.n.sh)
 	m.kind = msgGetReq
 	m.from, m.to = c.n.id, owner
 	m.f = f
@@ -1288,7 +1380,7 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 	m.bytes = nbytes
 	m.issue = issue
 	m.recvCost = rt.cfg.Costs.RecvCost(nbytes, true)
-	rt.deliver(issue, reqArrival, m)
+	rt.deliver(c.n.sh, issue, reqArrival, m)
 }
 
 func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
@@ -1303,11 +1395,11 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 	issue := c.cursor
 	src := c.n.id
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: nodeID,
+		rt.emit(c.n.sh, earth.Event{Time: issue, Node: src, Peer: nodeID,
 			Kind: earth.EvInvokeSend, Bytes: argBytes})
 	}
 	arrival := rt.send(c.cursor, src, nodeID, argBytes)
-	m := rt.newMsg()
+	m := rt.newMsg(c.n.sh)
 	m.kind = msgThread
 	m.from, m.to = src, nodeID
 	m.body = body
@@ -1315,7 +1407,7 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 	m.issue = issue
 	m.cause = earth.CauseInvoke
 	m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
-	rt.deliver(issue, arrival, m)
+	rt.deliver(c.n.sh, issue, arrival, m)
 }
 
 // Post delivers handler on the target's message-handling path: its effect
@@ -1331,27 +1423,27 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 		// Local post: handled immediately after the current thread's
 		// current point; modelled as a local spawn on the handler path.
 		c.cursor += rt.cfg.Costs.SpawnLocal
-		m := rt.newMsg()
+		m := rt.newMsg(c.n.sh)
 		m.kind = msgPost
 		m.from, m.to = c.n.id, nodeID
 		m.body = handler
 		m.recvCost = 0
-		rt.eng.At(c.cursor, m.fire)
+		c.n.sh.eng.At(c.cursor, m.fire)
 		return
 	}
 	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
 	if rt.tr != nil {
-		rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: nodeID,
+		rt.emit(c.n.sh, earth.Event{Time: c.cursor, Node: c.n.id, Peer: nodeID,
 			Kind: earth.EvPostSend, Bytes: argBytes})
 	}
 	arrival := rt.send(c.cursor, c.n.id, nodeID, argBytes)
-	m := rt.newMsg()
+	m := rt.newMsg(c.n.sh)
 	m.kind = msgPost
 	m.from, m.to = c.n.id, nodeID
 	m.body = handler
 	m.bytes = argBytes
 	m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
-	rt.deliver(c.cursor, arrival, m)
+	rt.deliver(c.n.sh, c.cursor, arrival, m)
 }
 
 func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
@@ -1363,13 +1455,16 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 		if rt.cfg.Balancer == earth.BalanceRandomPlace {
 			target = earth.NodeID(c.n.rng.Intn(len(rt.nodes)))
 		} else {
-			target = earth.NodeID(rt.rrNext % len(rt.nodes))
-			rt.rrNext++
+			// Per-node cursor: round-robin placement must not depend on a
+			// machine-global counter, whose increment order would vary with
+			// the shard count.
+			target = earth.NodeID(c.n.rr % len(rt.nodes))
+			c.n.rr++
 		}
 		if target == c.n.id {
 			c.cursor += rt.cfg.Costs.SpawnLocal
 			if rt.tr != nil {
-				rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: target,
+				rt.emit(c.n.sh, earth.Event{Time: c.cursor, Node: c.n.id, Peer: target,
 					Kind: earth.EvTokenSpawn, Bytes: argBytes})
 			}
 			rt.enqueue(c.n, item{body: body, token: true, enq: c.cursor, cause: earth.CauseToken})
@@ -1377,11 +1472,11 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 		}
 		c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: target,
+			rt.emit(c.n.sh, earth.Event{Time: c.cursor, Node: c.n.id, Peer: target,
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})
 		}
 		arrival := rt.send(c.cursor, c.n.id, target, argBytes)
-		m := rt.newMsg()
+		m := rt.newMsg(c.n.sh)
 		m.kind = msgThread
 		m.from, m.to = c.n.id, target
 		m.body = body
@@ -1389,11 +1484,11 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 		m.issue = c.cursor
 		m.cause = earth.CauseToken
 		m.recvCost = rt.cfg.Costs.RecvCost(argBytes, false)
-		rt.deliver(c.cursor, arrival, m)
+		rt.deliver(c.n.sh, c.cursor, arrival, m)
 	default: // BalanceSteal, BalanceNone
 		c.cursor += rt.cfg.Costs.SpawnLocal
 		if rt.tr != nil {
-			rt.tr.Event(earth.Event{Time: c.cursor, Node: c.n.id, Peer: earth.NoPeer,
+			rt.emit(c.n.sh, earth.Event{Time: c.cursor, Node: c.n.id, Peer: earth.NoPeer,
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})
 		}
 		c.cursor = rt.depositToken(c.n, c.cursor, token{body: body, argBytes: argBytes})

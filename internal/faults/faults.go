@@ -435,6 +435,10 @@ type Injector struct {
 	seed int64
 	rng  *rand.Rand
 	seq  uint64
+	// seqBase offsets every Verdict.Seq issued by this injector. Lane
+	// injectors (NewLaneInjector) use disjoint bases so sequence numbers
+	// stay globally unique across per-node fault streams.
+	seqBase uint64
 	// dup tracks sequence numbers that were duplicated and not yet seen
 	// twice: absent = single delivery, false = no copy delivered yet,
 	// true = one copy delivered. Entries self-clean on the second copy.
@@ -450,6 +454,30 @@ func NewInjector(plan *Plan, fallbackSeed int64) *Injector {
 		seed = fallbackSeed*1_000_003 + 12289
 	}
 	in := &Injector{plan: plan, seed: seed}
+	in.Reset()
+	return in
+}
+
+// NewLaneInjector builds one lane of a sharded injector bank: lane n draws
+// from its own seeded stream (derived from the plan seed and the lane
+// index) and issues sequence numbers from a disjoint range, so per-node
+// lanes can be consulted from concurrently running shards without sharing
+// any state while keeping every decision a pure function of (plan, seed,
+// lane, per-lane issue order). The realisation differs from a single
+// shared injector's, but it is equally plan-faithful and — crucially —
+// independent of how nodes are partitioned into shards.
+//
+// The lane index must be in [0, 1<<23): 2^40 sequence numbers per lane
+// leaves seqs unique for any realistic run length.
+func NewLaneInjector(plan *Plan, fallbackSeed int64, lane int) *Injector {
+	seed := plan.Seed
+	if seed == 0 {
+		seed = fallbackSeed*1_000_003 + 12289
+	}
+	// Golden-ratio mix keeps adjacent lanes' streams uncorrelated even for
+	// small consecutive seeds.
+	seed ^= int64(uint64(lane+1) * 0x9E3779B97F4A7C15)
+	in := &Injector{plan: plan, seed: seed, seqBase: uint64(lane+1) << 40}
 	in.Reset()
 	return in
 }
@@ -474,7 +502,7 @@ func (in *Injector) Next(maxDrops int) Verdict {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.seq++
-	v := Verdict{Seq: in.seq}
+	v := Verdict{Seq: in.seqBase + in.seq}
 	p := in.plan
 	if p.Drop > 0 {
 		for v.Drops < maxDrops && in.rng.Float64() < p.Drop {

@@ -48,7 +48,7 @@ func Overhead(cfg Config) *Report {
 	forEachCell(cfg.Workers, len(cells), func(i int) {
 		wi, v := i/variants, i%variants
 		rec := obs.NewRecorder()
-		ec := earth.Config{Nodes: nodes, Seed: cfg.Seed, Tracer: rec}
+		ec := earth.Config{Nodes: nodes, Seed: cfg.Seed, Tracer: rec, Shards: cfg.Shards}
 		if v == 1 {
 			p := *plan
 			ec.Faults = &p

@@ -102,6 +102,28 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// MinRemoteLatency returns a lower bound on the wire time of any remote
+// (src != dst) message: the cheapest route is a single first-level
+// crossbar hop carrying the smallest possible payload. Every real message
+// is at least one byte (in practice >= the runtime's header), traverses
+// at least one switch stage (Validate enforces CrossbarPorts >= 2, so two
+// distinct nodes are never zero hops apart), and link degradation only
+// ever stretches wire time (SetLinkScale ignores factors <= 1). The bound
+// is therefore conservative under every fault plan, which is what makes
+// it a safe lookahead for time-windowed parallel simulation: a message
+// issued at or after time T cannot arrive anywhere before
+// T + MinRemoteLatency.
+//
+// Degenerate 1-node machines have no remote pairs at all; the bound is
+// still returned (and still positive) so callers can use it uniformly.
+func (c Config) MinRemoteLatency() sim.Time {
+	lb := c.HopLatency + c.TxTime(1)
+	if lb < 1 {
+		lb = 1 // never zero: a zero lookahead would collapse the window
+	}
+	return lb
+}
+
 // Hops returns the number of crossbar stages a message from src to dst
 // traverses. Same node: 0 (local). Same first-level crossbar: 1. Otherwise
 // the message climbs through the second-level crossbar: 3 stages
@@ -144,10 +166,13 @@ type Machine struct {
 	// linkScale, when set, multiplies wire time per send (transient link
 	// degradation from a fault plan). See SetLinkScale.
 	linkScale func(at sim.Time, src, dst int) float64
-	// Stats
-	Messages  uint64
-	Bytes     uint64
-	LocalMsgs uint64
+	// Stats, kept per source node so that shards simulating disjoint node
+	// ranges can send concurrently without sharing a cache line or racing
+	// on a global tally (a node's sends always run on its own shard, like
+	// its NIC reservation above). Totals via Messages/Bytes/LocalMsgs.
+	messages  []uint64
+	bytes     []uint64
+	localMsgs []uint64
 }
 
 // New builds a Machine. It panics on an invalid Config, since a machine is
@@ -156,7 +181,30 @@ func New(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{cfg: cfg, nicFreeAt: make([]sim.Time, cfg.Nodes)}
+	return &Machine{
+		cfg:       cfg,
+		nicFreeAt: make([]sim.Time, cfg.Nodes),
+		messages:  make([]uint64, cfg.Nodes),
+		bytes:     make([]uint64, cfg.Nodes),
+		localMsgs: make([]uint64, cfg.Nodes),
+	}
+}
+
+// Messages returns the total number of remote messages sent.
+func (m *Machine) Messages() uint64 { return sumCounters(m.messages) }
+
+// Bytes returns the total number of bytes clocked onto the network.
+func (m *Machine) Bytes() uint64 { return sumCounters(m.bytes) }
+
+// LocalMsgs returns the number of local (src == dst) deliveries.
+func (m *Machine) LocalMsgs() uint64 { return sumCounters(m.localMsgs) }
+
+func sumCounters(per []uint64) uint64 {
+	var t uint64
+	for _, v := range per {
+		t += v
+	}
+	return t
 }
 
 // Config returns the machine's static configuration.
@@ -174,7 +222,7 @@ func (m *Machine) Nodes() int { return m.cfg.Nodes }
 // immediately at ready.
 func (m *Machine) Send(ready sim.Time, src, dst, nbytes int) (arrival sim.Time) {
 	if src == dst {
-		m.LocalMsgs++
+		m.localMsgs[src]++
 		return ready
 	}
 	start := ready
@@ -190,8 +238,8 @@ func (m *Machine) Send(ready sim.Time, src, dst, nbytes int) (arrival sim.Time) 
 		}
 	}
 	m.nicFreeAt[src] = start + tx
-	m.Messages++
-	m.Bytes += uint64(nbytes)
+	m.messages[src]++
+	m.bytes[src] += uint64(nbytes)
 	return start + tx + lat
 }
 
@@ -212,6 +260,8 @@ func (m *Machine) NICFreeAt(node int) sim.Time { return m.nicFreeAt[node] }
 func (m *Machine) Reset() {
 	for i := range m.nicFreeAt {
 		m.nicFreeAt[i] = 0
+		m.messages[i] = 0
+		m.bytes[i] = 0
+		m.localMsgs[i] = 0
 	}
-	m.Messages, m.Bytes, m.LocalMsgs = 0, 0, 0
 }

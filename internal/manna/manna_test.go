@@ -75,8 +75,8 @@ func TestSendSerialisesNIC(t *testing.T) {
 	if a2-a1 != sim.Microsecond {
 		t.Errorf("second arrival %v, first %v: want 1us spacing", a2, a1)
 	}
-	if m.Messages != 2 || m.Bytes != 100 {
-		t.Errorf("stats = %d msgs %d bytes", m.Messages, m.Bytes)
+	if m.Messages() != 2 || m.Bytes() != 100 {
+		t.Errorf("stats = %d msgs %d bytes", m.Messages(), m.Bytes())
 	}
 }
 
@@ -88,8 +88,8 @@ func TestSendLocalBypassesNIC(t *testing.T) {
 	if m.NICFreeAt(1) != 0 {
 		t.Error("local send reserved the NIC")
 	}
-	if m.LocalMsgs != 1 {
-		t.Errorf("LocalMsgs = %d", m.LocalMsgs)
+	if m.LocalMsgs() != 1 {
+		t.Errorf("LocalMsgs = %d", m.LocalMsgs())
 	}
 }
 
@@ -108,7 +108,7 @@ func TestReset(t *testing.T) {
 	m := New(Default(2))
 	m.Send(0, 0, 1, 5000)
 	m.Reset()
-	if m.NICFreeAt(0) != 0 || m.Messages != 0 || m.Bytes != 0 {
+	if m.NICFreeAt(0) != 0 || m.Messages() != 0 || m.Bytes() != 0 {
 		t.Error("Reset did not clear state")
 	}
 }
@@ -148,6 +148,79 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 		}
 	}()
 	New(Config{})
+}
+
+func TestMinRemoteLatencyPresets(t *testing.T) {
+	// For every preset the bound is exactly one first-level hop plus the
+	// serialisation of a single byte — the cheapest remote message the
+	// model can produce.
+	for name, cfg := range map[string]Config{
+		"manna":   Default(20),
+		"sp2":     SP2(20),
+		"myrinet": Myrinet(20),
+	} {
+		want := cfg.HopLatency + cfg.TxTime(1)
+		got := cfg.MinRemoteLatency()
+		if got != want {
+			t.Errorf("%s: MinRemoteLatency = %v, want %v", name, got, want)
+		}
+		if got <= 0 {
+			t.Errorf("%s: MinRemoteLatency = %v, must be positive", name, got)
+		}
+		// The bound must be a true lower bound on every remote wire time.
+		for _, nbytes := range []int{1, 8, 64, 4096} {
+			for _, dst := range []int{1, cfg.CrossbarPorts} {
+				if dst >= cfg.Nodes {
+					continue
+				}
+				if wt := cfg.WireTime(0, dst, nbytes); wt < got {
+					t.Errorf("%s: WireTime(0,%d,%d) = %v below bound %v",
+						name, dst, nbytes, wt, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMinRemoteLatencyDegenerateConfigs(t *testing.T) {
+	// A 1-node machine has no remote pairs; the accessor still returns a
+	// positive, well-defined bound so lookahead code needs no special case.
+	if got := Default(1).MinRemoteLatency(); got <= 0 {
+		t.Errorf("1-node MinRemoteLatency = %v, want positive", got)
+	}
+	// Zero hop latency: the bound degrades to pure serialisation time.
+	c := Default(2)
+	c.HopLatency = 0
+	if got, want := c.MinRemoteLatency(), c.TxTime(1); got != want {
+		t.Errorf("zero-hop-latency bound = %v, want %v", got, want)
+	}
+	// Pathologically fast link where even TxTime(1) rounds to zero: the
+	// bound is clamped to one nanosecond, never zero.
+	c.BandwidthBytesPerSec = 1e18
+	if got := c.MinRemoteLatency(); got < 1 {
+		t.Errorf("clamped bound = %v, want >= 1ns", got)
+	}
+}
+
+func TestMinRemoteLatencyConservativeUnderLinkScale(t *testing.T) {
+	// SetLinkScale models link degradation; it must never let a message
+	// arrive earlier than the unscaled bound (factors <= 1 are ignored,
+	// factors > 1 stretch). Lookahead computed from the unscaled Config
+	// therefore stays safe for the machine's whole lifetime.
+	cfg := Default(4)
+	bound := cfg.MinRemoteLatency()
+	for _, scale := range []float64{0.0, 0.25, 1.0, 1.5, 8.0} {
+		m := New(cfg)
+		scale := scale
+		m.SetLinkScale(func(at sim.Time, src, dst int) float64 { return scale })
+		for _, nbytes := range []int{1, 16, 512} {
+			ready := 5 * sim.Microsecond
+			if arr := m.Send(ready, 0, 1, nbytes); arr-ready < bound {
+				t.Errorf("scale %g nbytes %d: arrival-ready = %v below bound %v",
+					scale, nbytes, arr-ready, bound)
+			}
+		}
+	}
 }
 
 func TestPortedMachinePresets(t *testing.T) {

@@ -221,7 +221,7 @@ func runCrashTracedSim(t *testing.T) *Recorder {
 		Nodes: 4, Seed: 9, Tracer: rec,
 		Balancer: earth.BalanceSteal,
 		Faults: &faults.Plan{Seed: 9, Crash: []faults.Crash{
-			{Node: 2, At: 80 * sim.Microsecond}}},
+			{Node: 2, At: 250 * sim.Microsecond}}},
 	})
 	rt.Run(func(c earth.Ctx) {
 		// An invoke fan-in builds a backlog of queued threads on node 2

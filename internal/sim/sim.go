@@ -206,6 +206,34 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// Peek returns the timestamp of the earliest pending event, or false when
+// the queue is empty. It does not advance the clock or dispatch anything.
+func (e *Engine) Peek() (Time, bool) {
+	if e.pq.isEmpty() {
+		return 0, false
+	}
+	return e.pq.peek().at, true
+}
+
+// RunBefore dispatches events with timestamps strictly before end, leaving
+// the clock at the last dispatched event (the clock is NOT advanced to
+// end). It is the building block for conservative time-windowed parallel
+// simulation: a window [start, end) is exhausted when RunBefore returns,
+// but the engine's notion of "now" stays at real activity so that
+// subsequent At calls at any t >= the last event remain legal. Follow-on
+// events that window work schedules for instants still before end are
+// dispatched in the same call.
+func (e *Engine) RunBefore(end Time) Time {
+	e.stopped = false
+	for !e.pq.isEmpty() && !e.stopped && e.pq.peek().at < end {
+		ev := e.pq.popEvent()
+		e.now = ev.at
+		e.Events++
+		ev.fn()
+	}
+	return e.now
+}
+
 // Step dispatches exactly one event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
 	if e.pq.isEmpty() {

@@ -273,6 +273,87 @@ func TestFromRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestPeek(t *testing.T) {
+	e := New()
+	if _, ok := e.Peek(); ok {
+		t.Fatal("Peek on empty engine reported an event")
+	}
+	e.At(30, func() {})
+	e.At(10, func() {})
+	at, ok := e.Peek()
+	if !ok || at != 10 {
+		t.Fatalf("Peek = %v, %v; want 10, true", at, ok)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Peek advanced the clock to %v", e.Now())
+	}
+	e.Run()
+	if _, ok := e.Peek(); ok {
+		t.Fatal("Peek after drain reported an event")
+	}
+}
+
+func TestRunBeforeStrictAndClock(t *testing.T) {
+	e := New()
+	var ran []Time
+	for _, at := range []Time{5, 10, 20, 20, 35} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	e.RunBefore(20)
+	if len(ran) != 2 || ran[0] != 5 || ran[1] != 10 {
+		t.Fatalf("RunBefore(20) ran %v; want [5 10]", ran)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock at %v after RunBefore(20); want 10 (last event, not the bound)", e.Now())
+	}
+	// The boundary event itself must wait for the next window.
+	e.RunBefore(21)
+	if len(ran) != 4 {
+		t.Fatalf("RunBefore(21) left %d events run; want 4", len(ran))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock at %v; want 20", e.Now())
+	}
+	// Scheduling at any instant >= the last event stays legal even though
+	// the window bound was further out.
+	e.At(20, func() { ran = append(ran, 20) })
+	e.Run()
+	if len(ran) != 6 {
+		t.Fatalf("final run count %d; want 6", len(ran))
+	}
+}
+
+func TestRunBeforeFollowOnEvents(t *testing.T) {
+	// Work scheduled by window events for instants still inside the window
+	// runs in the same RunBefore call.
+	e := New()
+	var got []Time
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) }) // 15 < 20: same window
+		e.After(15, func() { got = append(got, e.Now()) })
+	})
+	e.RunBefore(20)
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("RunBefore(20) dispatched %v; want [10 15]", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d; want the out-of-window event to remain", e.Pending())
+	}
+}
+
+func TestRunBeforeEmptyWindow(t *testing.T) {
+	e := New()
+	e.At(50, func() {})
+	if now := e.RunBefore(40); now != 0 {
+		t.Fatalf("RunBefore over an empty window moved the clock to %v", now)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d; want 1", e.Pending())
+	}
+}
+
 func BenchmarkEngineThroughput(b *testing.B) {
 	e := New()
 	b.ReportAllocs()
