@@ -149,6 +149,10 @@ func BenchmarkTable3Neural(b *testing.B) {
 }
 
 // --- Figures 7 and 8: NN speedups ------------------------------------------
+//
+// The NN figures run on the batched wire path by default (same-destination
+// messages coalesce within an engine step); the Unbatched variants pin the
+// pre-coalescer per-message path so the pair tracks the win side by side.
 
 func BenchmarkFigure7NeuralForward(b *testing.B) {
 	b.ReportAllocs()
@@ -160,10 +164,34 @@ func BenchmarkFigure7NeuralForward(b *testing.B) {
 	}
 }
 
+func BenchmarkFigure7NeuralForwardUnbatched(b *testing.B) {
+	cfg := benchCfg()
+	cfg.NoCoalesce = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, series := harness.Figure7(cfg)
+		if len(series) != 3 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
 func BenchmarkFigure8NeuralTraining(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, series := harness.Figure8(benchCfg())
+		if len(series) != 3 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFigure8NeuralTrainingUnbatched(b *testing.B) {
+	cfg := benchCfg()
+	cfg.NoCoalesce = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, series := harness.Figure8(cfg)
 		if len(series) != 3 {
 			b.Fatal("bad series")
 		}

@@ -8,8 +8,14 @@
 //	         [-balancer steal|random|roundrobin|none] [-distributed] [-live]
 //	         [-trace out.json] [-metrics] [-bars] [-stats-json out.json]
 //	         [-critpath] [-debug-http addr]
-//	         [-sample DUR] [-runs N] [-workers W]
+//	         [-sample DUR] [-runs N] [-workers W] [-coalesce]
 //	         [-faults PLAN] [-fault-seed S]
+//
+// -coalesce enables the batched wire path: same-destination small
+// messages issued within one engine step merge into a single wire
+// transfer (flushed at step boundaries or the configured byte/count
+// threshold), costed as one per-message overhead plus the summed
+// serialisation. Statistics remain deterministic and shard-independent.
 //
 // -faults installs a deterministic fault plan on the simulated network
 // (message drops recovered by modelled retry/timeout, duplication
@@ -99,6 +105,8 @@ func main() {
 	workers := flag.Int("workers", 0, "host worker pool size for -runs > 1 (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 1,
 		"simulator shards (parallel conservative simulation; 0 = GOMAXPROCS); never changes results, only wall time")
+	coalesce := flag.Bool("coalesce", false,
+		"merge same-destination small messages within an engine step (batched wire path)")
 	faultSpec := flag.String("faults", "",
 		`fault plan, e.g. "drop=0.05,dup=0.02,reorder=0.1,window=200us,pause=2@1ms-2ms,degrade=*@0s-5msx4"`)
 	faultSeed := flag.Int64("fault-seed", 0,
@@ -144,7 +152,8 @@ func main() {
 		*shards = runtime.GOMAXPROCS(0)
 	}
 	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal,
-		JitterPct: *jitter, Shards: *shards}
+		JitterPct: *jitter, Shards: *shards,
+		Coalesce: earth.CoalesceConfig{Enabled: *coalesce}}
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)
 		if err != nil {

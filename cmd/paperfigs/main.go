@@ -5,7 +5,7 @@
 //
 //	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos|crash|overhead]
 //	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-workers W]
-//	          [-shards S] [-json out.json] [-faults PLAN]
+//	          [-shards S] [-json out.json] [-faults PLAN] [-nocoalesce]
 //
 // -exp chaos runs the fault-injection sweep: every workload under a
 // deterministic drop/dup/reorder plan (-faults, seed-pinnable) next to a
@@ -22,6 +22,13 @@
 // clean and under the default chaos plan — plus the longest
 // critical-path segments. The report is byte-identical across runs for
 // a given seed.
+//
+// The NN figures (7, 8), the Figure 5 message-passing comparison and
+// -exp overhead run on the batched wire path: same-destination small
+// messages coalesce within an engine step into one wire transfer.
+// -nocoalesce pins the pre-batching per-message path everywhere, which
+// is how the overhead-attribution before/after tables in EXPERIMENTS.md
+// are produced.
 //
 // The paper used 20 runs per Gröbner configuration; -runs 20 reproduces
 // that (slower). The default of 5 gives stable means in seconds.
@@ -60,12 +67,15 @@ func main() {
 	jsonPath := flag.String("json", "", "write reports (with figure series) as JSON")
 	faultSpec := flag.String("faults", "",
 		"fault plan for -exp chaos (default: the 5% drop + dup + reorder envelope)")
+	noCoalesce := flag.Bool("nocoalesce", false,
+		"pin the per-message wire path (disable same-destination coalescing)")
 	flag.Parse()
 
 	if *shards == 0 {
 		*shards = runtime.GOMAXPROCS(0)
 	}
-	cfg := harness.Config{Runs: *runs, Seed: *seed, Workers: *workers, Shards: *shards}
+	cfg := harness.Config{Runs: *runs, Seed: *seed, Workers: *workers,
+		Shards: *shards, NoCoalesce: *noCoalesce}
 	if *nodes != "" {
 		for _, part := range strings.Split(*nodes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

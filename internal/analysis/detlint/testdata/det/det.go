@@ -88,6 +88,24 @@ func shardWorkerUnannotated(shards []*fakeShard) {
 	}
 }
 
+// A coalescer keyed on a destination MAP: flushing by ranging the map
+// reaches the wire (an emit call) in randomised per-run order, so the
+// flush sequence — and with it every trace byte — differs run to run.
+// Buffers must be destination-sorted slices (see the detok mirror).
+type mapCoalescer struct {
+	bufs map[int][]int // dst -> buffered payload sizes
+}
+
+func (c *mapCoalescer) flushAll(emit func(dst, bytes int)) {
+	for dst, ops := range c.bufs { // want `map iteration order can reach a statement with side effects`
+		total := 0
+		for _, b := range ops {
+			total += b
+		}
+		emit(dst, total)
+	}
+}
+
 func reasonlessDirective(m map[string]int) {
 	//detlint:allow // want `directive needs a reason`
 	for k := range m { // want `map iteration order`

@@ -91,6 +91,43 @@ func allowedTrailing(m map[string]int) int {
 	return last
 }
 
+// The coalescer-buffer idiom: per-destination buffers held in a
+// destination-sorted slice (never a map), flushed in ascending
+// destination order — the flush sequence is a pure function of the
+// program, so traces stay byte-reproducible.
+type coalBuf struct {
+	dst int
+	ops []int
+}
+
+type sliceCoalescer struct {
+	bufs []coalBuf // sorted by dst; sorted-insert keeps order canonical
+}
+
+func (c *sliceCoalescer) add(dst, bytes int) {
+	i := 0
+	for i < len(c.bufs) && c.bufs[i].dst < dst {
+		i++
+	}
+	if i == len(c.bufs) || c.bufs[i].dst != dst {
+		c.bufs = append(c.bufs, coalBuf{})
+		copy(c.bufs[i+1:], c.bufs[i:])
+		c.bufs[i] = coalBuf{dst: dst}
+	}
+	c.bufs[i].ops = append(c.bufs[i].ops, bytes)
+}
+
+func (c *sliceCoalescer) flushAll(emit func(dst, bytes int)) {
+	for _, b := range c.bufs { // ascending dst: deterministic flush order
+		total := 0
+		for _, n := range b.ops {
+			total += n
+		}
+		emit(b.dst, total)
+	}
+	c.bufs = c.bufs[:0]
+}
+
 // The shard-worker idiom: per-shard goroutines that synchronise only at
 // window barriers (simrt's conservative parallel simulation) are a
 // sanctioned, annotated exception to the bare-go rule.

@@ -52,15 +52,19 @@ const (
 	// EvGhostDeliver mirrors adding an arrival-leg constant without ever
 	// wiring the emission into an engine.
 	EvGhostDeliver // want `trace-event constant EvGhostDeliver is defined but never emitted`
+	// EvBatchFlush mirrors the coalescer's batch-flush event: ok.go emits
+	// it behind the nil guard and misuse.go without one.
+	EvBatchFlush
 )
 
 // Event mirrors earth.Event, including the latency and peer attribution
 // fields the deliver legs carry.
 type Event struct {
-	Time int64
-	Dur  int64
-	Peer int
-	Kind EventKind
+	Time  int64
+	Dur   int64
+	Peer  int
+	Bytes int
+	Kind  EventKind
 }
 
 // Tracer mirrors earth.Tracer.

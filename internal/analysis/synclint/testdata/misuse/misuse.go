@@ -59,3 +59,9 @@ func (e *engine) wrongGuard(other api.Tracer, now int64) {
 		e.tr.Event(api.Event{Time: now, Kind: api.EvAlsoUsed}) // want `e.tr.Event emission without a nil-tracer guard`
 	}
 }
+
+// unguardedFlush mirrors a coalescer flush that emits the batch event
+// without the nil-tracer guard: every untraced batched run would crash.
+func (e *engine) unguardedFlush(now int64, dst, bytes int) {
+	e.tr.Event(api.Event{Time: now, Peer: dst, Bytes: bytes, Kind: api.EvBatchFlush}) // want `e.tr.Event emission without a nil-tracer guard`
+}

@@ -82,3 +82,13 @@ func (e *engine) deliver(now, issue int64, src int) {
 		e.tr.Event(api.Event{Time: now, Peer: src, Kind: api.EvTokenDeliver, Dur: now - issue})
 	}
 }
+
+// flushBatch mirrors the coalescer's flush path: the batch-flush event is
+// emitted behind the canonical nil guard, with the destination and the
+// summed payload attached.
+func (e *engine) flushBatch(now int64, dst, bytes, msgs int) {
+	if e.tr != nil {
+		e.tr.Event(api.Event{Time: now, Peer: dst, Bytes: bytes,
+			Kind: api.EvBatchFlush, Dur: int64(msgs)})
+	}
+}

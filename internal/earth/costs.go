@@ -89,6 +89,12 @@ func PaperMPModels() []CostModel {
 	}
 }
 
+// CopyCost returns the buffer-copy charge for nbytes on one side. It is
+// the per-operation serialisation the wire-path coalescer charges at
+// issue time; the shared per-message overhead (AsyncSend) is charged
+// once per batch at flush.
+func (c CostModel) CopyCost(nbytes int) sim.Time { return c.copyCost(nbytes) }
+
 // copyCost returns the buffer-copy charge for nbytes on one side.
 func (c CostModel) copyCost(nbytes int) sim.Time {
 	if nbytes <= 0 {

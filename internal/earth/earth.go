@@ -205,6 +205,20 @@ type Config struct {
 	// Retry tunes the recovery protocol used when Faults is set; zero
 	// fields take RetryPolicy defaults.
 	Retry RetryPolicy
+	// Coalesce enables automatic same-destination message coalescing on
+	// the wire path: remote Put/Sync/Post operations issued by one thread
+	// or handler body to the same destination are merged into a single
+	// batched wire transfer, flushed at the body's end (the engine-step
+	// boundary) or earlier when a byte/count threshold is reached. A batch
+	// pays one per-message overhead plus the summed serialisation
+	// (manna.BatchCost) instead of one full overhead per operation, and
+	// traverses the fault injector as a single envelope, so injector
+	// verdicts apply per-batch deterministically. Get/Invoke/Token and
+	// local operations are never coalesced. Under simrt coalesced runs
+	// remain byte-reproducible for every shard count; coalescing changes
+	// the cost model, so outputs differ from (and are not comparable to)
+	// uncoalesced runs.
+	Coalesce CoalesceConfig
 	// Shards partitions the simulated nodes across host workers for
 	// conservative time-windowed parallel simulation under simrt. Results
 	// (stats JSON, traces, critical-path attribution) are byte-identical
@@ -216,6 +230,26 @@ type Config struct {
 	Shards int
 }
 
+// CoalesceConfig tunes the wire-path coalescer (see Config.Coalesce).
+// The zero value disables coalescing.
+type CoalesceConfig struct {
+	// Enabled turns the coalescer on.
+	Enabled bool
+	// MaxBytes flushes a destination's buffer once its summed payload
+	// reaches this many bytes (0: DefaultCoalesceMaxBytes).
+	MaxBytes int
+	// MaxMsgs flushes a destination's buffer once it holds this many
+	// messages (0: DefaultCoalesceMaxMsgs).
+	MaxMsgs int
+}
+
+// Default coalescer thresholds, applied by WithDefaults when the
+// corresponding CoalesceConfig field is zero.
+const (
+	DefaultCoalesceMaxBytes = 4096
+	DefaultCoalesceMaxMsgs  = 16
+)
+
 // withDefaults normalises a Config.
 func (c Config) WithDefaults() Config {
 	if c.Nodes <= 0 {
@@ -226,6 +260,14 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Bandwidth == 0 {
 		c.Bandwidth = 50e6
+	}
+	if c.Coalesce.Enabled {
+		if c.Coalesce.MaxBytes <= 0 {
+			c.Coalesce.MaxBytes = DefaultCoalesceMaxBytes
+		}
+		if c.Coalesce.MaxMsgs <= 0 {
+			c.Coalesce.MaxMsgs = DefaultCoalesceMaxMsgs
+		}
 	}
 	return c
 }

@@ -1,0 +1,221 @@
+package enginetest
+
+import (
+	"bytes"
+	"encoding/json"
+	"slices"
+	"testing"
+
+	"earth/internal/critpath"
+	"earth/internal/earth"
+	"earth/internal/earth/simrt"
+	"earth/internal/faults"
+	"earth/internal/sim"
+)
+
+// Coalescing conformance: the batched wire path is a different cost
+// model (one per-message overhead per batch instead of per message) but
+// it must stay exactly as deterministic as the unbatched path. For every
+// coalesce mode — off, a tight byte/count threshold that forces mid-body
+// flushes, and pure step-boundary flushing — the stats, trace and
+// critical-path report must be byte-identical across shard counts and
+// across repeated same-seed runs, on clean, chaotic and crash-stop
+// scenarios alike. CI runs this table under the race detector so the
+// window-barrier interaction with the flush path is exercised for real.
+
+// coalModes is the coalescing axis of the conformance table.
+var coalModes = []struct {
+	name string
+	cc   earth.CoalesceConfig
+}{
+	{"off", earth.CoalesceConfig{}},
+	// Tiny thresholds: most batches flush early on the byte or count
+	// limit, exercising the mid-body flush path.
+	{"size-threshold", earth.CoalesceConfig{Enabled: true, MaxBytes: 24, MaxMsgs: 2}},
+	// Huge thresholds: batches only flush at step (body) boundaries.
+	{"step-flush", earth.CoalesceConfig{Enabled: true, MaxBytes: 1 << 20, MaxMsgs: 1 << 20}},
+}
+
+// coalCases is the scenario axis: clean, chaos, crash-stop.
+var coalCases = []struct {
+	name string
+	cfg  func() earth.Config
+}{
+	{"clean", func() earth.Config {
+		return earth.Config{Nodes: 8, Seed: 21, Balancer: earth.BalanceSteal,
+			UtilSamplePeriod: 50 * sim.Microsecond}
+	}},
+	{"chaos", func() earth.Config {
+		return earth.Config{Nodes: 8, Seed: 22, Balancer: earth.BalanceSteal,
+			Faults: &faults.Plan{Seed: 22, Drop: 0.08, Dup: 0.05, Reorder: 0.1,
+				Window: 150 * sim.Microsecond}}
+	}},
+	{"crash", func() earth.Config {
+		return earth.Config{Nodes: 8, Seed: 23, Balancer: earth.BalanceSteal,
+			Faults: &faults.Plan{Seed: 23, Drop: 0.05, Dup: 0.02,
+				Crash: []faults.Crash{
+					{Node: 2, At: 150 * sim.Microsecond},
+					{Node: 5, At: 400 * sim.Microsecond},
+				}}}
+	}},
+}
+
+// coalRun executes the mixed-op program under one (coalesce, shards)
+// cell and returns the marshalled stats, trace, rendered critical-path
+// report and the number of EvBatchFlush events.
+func coalRun(t *testing.T, cfg earth.Config, cc earth.CoalesceConfig, shards int) (statsJSON, traceJSON, critTxt []byte, flushes int) {
+	t.Helper()
+	log := &eventLog{}
+	cfg.Tracer = log
+	cfg.Coalesce = cc
+	cfg.Shards = shards
+	var total int
+	var done bool
+	body, want := shardMixProg(cfg.Nodes, &total, &done)
+	st := simrt.New(cfg).Run(body)
+	if total != want || !done {
+		t.Fatalf("coalesce=%+v shards=%d: total=%d done=%v, want %d", cc, shards, total, done, want)
+	}
+	sj, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, err := json.Marshal(log.evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range log.evs {
+		if e.Kind == earth.EvBatchFlush {
+			flushes++
+		}
+	}
+	crit := []byte(critpath.Analyze(log.evs, cfg.Nodes, st.Elapsed).Render(8))
+	return sj, tj, crit, flushes
+}
+
+func TestCoalesceConformance(t *testing.T) {
+	for _, mode := range coalModes {
+		for _, tc := range coalCases {
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				baseStats, baseTrace, baseCrit, flushes := coalRun(t, tc.cfg(), mode.cc, 1)
+				if mode.cc.Enabled && flushes == 0 {
+					t.Error("coalescing enabled but no EvBatchFlush events emitted")
+				}
+				if !mode.cc.Enabled && flushes > 0 {
+					t.Errorf("coalescing off but %d EvBatchFlush events emitted", flushes)
+				}
+				// Shard independence: shards=4 must not change a byte.
+				sj, tj, cj, _ := coalRun(t, tc.cfg(), mode.cc, 4)
+				if !bytes.Equal(sj, baseStats) {
+					t.Errorf("shards=4 stats diverge\n got: %s\nwant: %s", sj, baseStats)
+				}
+				if !bytes.Equal(tj, baseTrace) {
+					t.Errorf("shards=4 trace diverges: %s", firstTraceDiff(tj, baseTrace))
+				}
+				if !bytes.Equal(cj, baseCrit) {
+					t.Errorf("shards=4 critpath report diverges\n got: %s\nwant: %s", cj, baseCrit)
+				}
+				// Same-seed repeatability (the chaos/crash realisations are
+				// part of the seed): a second run must be byte-identical.
+				sj2, tj2, cj2, _ := coalRun(t, tc.cfg(), mode.cc, 1)
+				if !bytes.Equal(sj2, baseStats) || !bytes.Equal(tj2, baseTrace) || !bytes.Equal(cj2, baseCrit) {
+					t.Error("repeated same-seed run diverges from the first")
+				}
+			})
+		}
+	}
+}
+
+// coalBurst is a byte-derived burst program: every worker node sends a
+// run of small puts to a node-0 per-sender sequence log, then syncs into
+// a fan-in slot. Whatever the bytes say, each sender's payloads must
+// arrive exactly once, and (absent faults) in issue order — coalesced or
+// not.
+type coalBurst struct {
+	nodes  int
+	counts []int // puts issued by worker w (index 0 unused)
+}
+
+func decodeCoalBurst(data []byte) coalBurst {
+	b := func(i int) int {
+		if len(data) == 0 {
+			return 0
+		}
+		return int(data[i%len(data)])
+	}
+	p := coalBurst{nodes: 2 + b(0)%5}
+	p.counts = make([]int, p.nodes)
+	for w := 1; w < p.nodes; w++ {
+		p.counts[w] = 1 + b(w)%12
+	}
+	return p
+}
+
+// run executes the burst and returns each sender's delivered payload
+// sequence plus whether the fan-in fired.
+func (p coalBurst) run(cfg earth.Config) (seqs [][]int, done bool) {
+	seqs = make([][]int, p.nodes)
+	rt := simrt.New(cfg)
+	rt.Run(func(c earth.Ctx) {
+		f := earth.NewFrame(0, 1, 1)
+		f.InitSync(0, p.nodes-1, 0, 0)
+		f.SetThread(0, func(earth.Ctx) { done = true })
+		for w := 1; w < p.nodes; w++ {
+			w := w
+			c.Invoke(earth.NodeID(w), 8, func(c earth.Ctx) {
+				for i := 0; i < p.counts[w]; i++ {
+					v := w*1000 + i
+					c.Put(0, 4, func() { seqs[w] = append(seqs[w], v) }, nil, 0)
+				}
+				c.Sync(f, 0)
+			})
+		}
+	})
+	return seqs, done
+}
+
+// FuzzCoalescedDelivery: for any byte-derived burst schedule, any
+// coalesce thresholds and any drop/dup plan within the supported
+// envelope, the coalesced run must deliver exactly the payload
+// sequences of the uncoalesced run — per-sender exactly-once always,
+// and byte-for-byte in issue order when no faults perturb timing
+// (retries may legally reorder independent messages, so faulted runs
+// compare the sorted sequences).
+func FuzzCoalescedDelivery(f *testing.F) {
+	f.Add(uint8(4), uint8(32), uint8(0), uint8(0), []byte{3, 5, 7})
+	f.Add(uint8(1), uint8(0), uint8(10), uint8(5), []byte{255, 9, 2, 4})
+	f.Add(uint8(16), uint8(255), uint8(49), uint8(49), []byte{})
+	f.Add(uint8(2), uint8(8), uint8(0), uint8(20), []byte{1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, maxMsgs, maxBytes, drop, dup uint8, data []byte) {
+		p := decodeCoalBurst(data)
+		var plan *faults.Plan
+		if drop%50 > 0 || dup%50 > 0 {
+			plan = &faults.Plan{Seed: 9, Drop: float64(drop%50) / 100,
+				Dup: float64(dup%50) / 100, Window: 120 * sim.Microsecond}
+		}
+		base := earth.Config{Nodes: p.nodes, Seed: 1, Faults: plan}
+		plain, plainDone := p.run(base)
+		coalCfg := base
+		coalCfg.Coalesce = earth.CoalesceConfig{Enabled: true,
+			MaxMsgs: 1 + int(maxMsgs)%32, MaxBytes: 4 * (1 + int(maxBytes)%64)}
+		coal, coalDone := p.run(coalCfg)
+		if !plainDone || !coalDone {
+			t.Fatalf("fan-in never fired: plain=%v coalesced=%v", plainDone, coalDone)
+		}
+		for w := 1; w < p.nodes; w++ {
+			if plan == nil {
+				if !slices.Equal(coal[w], plain[w]) {
+					t.Errorf("sender %d: coalesced sequence %v != uncoalesced %v", w, coal[w], plain[w])
+				}
+				continue
+			}
+			a := slices.Clone(plain[w])
+			b := slices.Clone(coal[w])
+			slices.Sort(a)
+			slices.Sort(b)
+			if !slices.Equal(a, b) {
+				t.Errorf("sender %d under %v: delivered sets differ: %v vs %v", w, plan, b, a)
+			}
+		}
+	})
+}

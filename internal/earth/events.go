@@ -99,6 +99,15 @@ const (
 	// node being returned to the load balancer and re-placed: Node is the
 	// new owner, Peer the dead node.
 	EvWorkReassigned
+	// EvBatchFlush reports the coalescer shipping one batched wire
+	// transfer: Node is the sender, Peer the destination, Bytes the summed
+	// payload of the merged messages, and Wait the number of messages in
+	// the batch (the field is otherwise unused by send-side events; obs
+	// builds its batch-size histogram from it). Time is the flush instant.
+	// The per-operation send events (EvPutSend/EvPostSend) are still
+	// emitted at their issue points; EvBatchFlush marks the single wire
+	// transfer that carries them.
+	EvBatchFlush
 
 	numEventKinds
 )
@@ -131,6 +140,7 @@ var eventKindNames = [numEventKinds]string{
 	EvNodeDown:       "node.down",
 	EvFrameReplayed:  "frame.replayed",
 	EvWorkReassigned: "work.reassigned",
+	EvBatchFlush:     "batch.flush",
 }
 
 func (k EventKind) String() string {

@@ -120,6 +120,8 @@ type Runtime struct {
 	crashTimers []*time.Timer
 	crashWG     sync.WaitGroup
 	reassignRR  atomic.Int64
+	// coalOn caches cfg.Coalesce.Enabled for the per-operation hot path.
+	coalOn bool
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -128,7 +130,7 @@ var _ earth.Runtime = (*Runtime)(nil)
 // accepted for interface compatibility but not charged.
 func New(cfg earth.Config) *Runtime {
 	cfg = cfg.WithDefaults()
-	rt := &Runtime{cfg: cfg, tr: cfg.Tracer}
+	rt := &Runtime{cfg: cfg, tr: cfg.Tracer, coalOn: cfg.Coalesce.Enabled}
 	rt.nodes = make([]*lnode, cfg.Nodes)
 	for i := range rt.nodes {
 		rt.nodes[i] = &lnode{
@@ -699,6 +701,9 @@ func (n *lnode) loop(lctx context.Context) {
 		} else {
 			it.body(c)
 		}
+		if n.rt.coalOn {
+			c.flushCoal()
+		}
 		c.dead = true
 		d := time.Since(t0)
 		n.busy += d
@@ -749,6 +754,9 @@ type ctx struct {
 	rt   *Runtime
 	n    *lnode
 	dead bool
+	// coal holds this body's per-destination coalescing buffers, sorted
+	// by destination id (see coalesce.go). Unused unless rt.coalOn.
+	coal []lcoalBuf
 }
 
 var _ earth.Ctx = (*ctx)(nil)
@@ -788,6 +796,10 @@ func (c *ctx) Sync(f *earth.Frame, slot int) {
 		home.decSlot(from, f, slot)
 		return
 	}
+	if c.rt.coalOn {
+		c.coalAdd(home, 8, func(earth.Ctx) { home.decSlot(from, f, slot) })
+		return
+	}
 	c.rt.sendHandler(from, home, func(earth.Ctx) { home.decSlot(from, f, slot) })
 }
 
@@ -808,7 +820,7 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: owner,
 			Kind: earth.EvPutSend, Bytes: nbytes})
 	}
-	rt.sendHandler(src, dst, func(hc earth.Ctx) {
+	deliver := func(hc earth.Ctx) {
 		write()
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{Time: rt.now(), Node: owner, Peer: src,
@@ -817,7 +829,12 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 		if f != nil {
 			hc.Sync(f, slot)
 		}
-	})
+	}
+	if rt.coalOn {
+		c.coalAdd(dst, nbytes, deliver)
+		return
+	}
+	rt.sendHandler(src, dst, deliver)
 }
 
 func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.Frame, slot int) {
@@ -831,6 +848,11 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 			c.Sync(f, slot)
 		}
 		return
+	}
+	if rt.coalOn {
+		// Gets are never coalesced, but the request must not overtake
+		// batched traffic already buffered for the owner.
+		c.flushCoalTo(dst)
 	}
 	issue := rt.now()
 	if rt.tr != nil {
@@ -863,6 +885,9 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 	c.check()
 	rt := c.rt
 	src := c.n.id
+	if rt.coalOn && nodeID != src {
+		c.flushCoalTo(rt.nodes[nodeID])
+	}
 	if rt.tr != nil && nodeID != src {
 		issue := rt.now()
 		rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: nodeID,
@@ -879,6 +904,10 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 		rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: nodeID,
 			Kind: earth.EvPostSend, Bytes: argBytes})
 	}
+	if rt.coalOn && nodeID != c.n.id {
+		c.coalAdd(rt.nodes[nodeID], argBytes, handler)
+		return
+	}
 	rt.sendHandler(c.n.id, rt.nodes[nodeID], handler)
 }
 
@@ -888,6 +917,9 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 	switch rt.cfg.Balancer {
 	case earth.BalanceRandomPlace:
 		target := earth.NodeID(c.n.rng.Intn(len(rt.nodes)))
+		if rt.coalOn && target != c.n.id {
+			c.flushCoalTo(rt.nodes[target])
+		}
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: target,
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})
@@ -895,6 +927,9 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 		rt.sendItem(c.n.id, rt.nodes[target], item{body: body, token: true, cause: earth.CauseToken})
 	case earth.BalanceRoundRobin:
 		i := int(rt.rrNext.Add(1)-1) % len(rt.nodes)
+		if rt.coalOn && earth.NodeID(i) != c.n.id {
+			c.flushCoalTo(rt.nodes[i])
+		}
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{Time: rt.now(), Node: c.n.id, Peer: earth.NodeID(i),
 				Kind: earth.EvTokenSpawn, Bytes: argBytes})

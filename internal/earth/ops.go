@@ -87,6 +87,81 @@ func BlkMovBytes(c Ctx, owner NodeID, nbytes int, write func(), f *Frame, slot i
 	c.Put(owner, nbytes, write, f, slot)
 }
 
+// BlkMovFromV is the vectored BLKMOV gather: it fetches several blocks
+// owned by one node in a single wire transfer (one request, one response
+// carrying the summed bytes, one sync) instead of one BlkMovFrom per
+// block. srcs[i] is copied into dsts[i]; elemBytes is the element size
+// used for cost accounting (SizeF64, SizeF32, ...). srcs and dsts must
+// pair up with equal lengths.
+func BlkMovFromV[T any](c Ctx, owner NodeID, elemBytes int, srcs, dsts [][]T, f *Frame, slot int) {
+	if len(srcs) != len(dsts) {
+		panic("earth: BlkMovFromV block-count mismatch")
+	}
+	total := 0
+	for i := range srcs {
+		if len(srcs[i]) != len(dsts[i]) {
+			panic("earth: BlkMovFromV length mismatch")
+		}
+		total += len(srcs[i]) * elemBytes
+	}
+	c.Get(owner, total, func() func() {
+		tmp := make([][]T, len(srcs))
+		for i := range srcs {
+			tmp[i] = append([]T(nil), srcs[i]...)
+		}
+		return func() {
+			for i := range tmp {
+				copy(dsts[i], tmp[i])
+			}
+		}
+	}, f, slot)
+}
+
+// BlkMovToV is the vectored BLKMOV scatter: it stores several local
+// blocks into slices owned by one node in a single wire transfer, then
+// signals (f, slot) once. srcs[i] is copied into dsts[i]; every block is
+// snapshotted at call time (the data leaves the node when the operation
+// is issued), exactly like BlkMovTo.
+func BlkMovToV[T any](c Ctx, owner NodeID, elemBytes int, srcs, dsts [][]T, f *Frame, slot int) {
+	if len(srcs) != len(dsts) {
+		panic("earth: BlkMovToV block-count mismatch")
+	}
+	total := 0
+	tmp := make([][]T, len(srcs))
+	for i := range srcs {
+		if len(srcs[i]) != len(dsts[i]) {
+			panic("earth: BlkMovToV length mismatch")
+		}
+		total += len(srcs[i]) * elemBytes
+		tmp[i] = append([]T(nil), srcs[i]...)
+	}
+	c.Put(owner, total, func() {
+		for i := range tmp {
+			copy(dsts[i], tmp[i])
+		}
+	}, f, slot)
+}
+
+// BlkMovBytesV is the untyped vectored block move: sizes[i] bytes whose
+// effect is writes[i], all shipped to owner as one transfer of the
+// summed size with a single completion signal. Used when the payloads
+// are application structures (e.g. replicating a set of polynomials).
+func BlkMovBytesV(c Ctx, owner NodeID, sizes []int, writes []func(), f *Frame, slot int) {
+	if len(sizes) != len(writes) {
+		panic("earth: BlkMovBytesV sizes/writes mismatch")
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	ws := append([]func(){}, writes...)
+	c.Put(owner, total, func() {
+		for _, w := range ws {
+			w()
+		}
+	}, f, slot)
+}
+
 // Rsync signals a (possibly remote) sync slot: EARTH's RSYNC, used to
 // report the completion of a threaded function to its caller.
 func Rsync(c Ctx, f *Frame, slot int) { c.Sync(f, slot) }

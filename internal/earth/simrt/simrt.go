@@ -57,8 +57,9 @@ import (
 )
 
 // msgHeader is the fixed per-message header size in bytes used for network
-// cost accounting.
-const msgHeader = 16
+// cost accounting. It equals manna.HeaderBytes so the engine's charges and
+// manna.BatchCost describe the same wire format.
+const msgHeader = manna.HeaderBytes
 
 // stealReqBytes is the size of a work-stealing request message.
 const stealReqBytes = 8
@@ -210,6 +211,10 @@ type node struct {
 	// freeCtx caches the most recently retired thread context for reuse,
 	// so steady-state dispatching does not allocate.
 	freeCtx *ctx
+	// coal is the node's wire-path coalescer (nil until first used; only
+	// allocated when Config.Coalesce is enabled). Its buffers are empty
+	// whenever no body is executing on the node.
+	coal *coalescer
 }
 
 // getCtx returns a reset thread context, reusing the node's retired one
@@ -245,6 +250,7 @@ const (
 	msgGetResp                   // get response leg arriving back at the requester
 	msgStealReq                  // steal request arriving at the victim
 	msgStealGrant                // stolen/deposited token arriving at the thief
+	msgBatch                     // coalesced same-destination batch (see coalesce.go)
 )
 
 // msg is a pooled in-flight runtime message. Every remote leg the engine
@@ -282,7 +288,9 @@ type msg struct {
 	origTo   earth.NodeID
 	arr0     sim.Time
 	rerouted bool
-	fire     func()
+	// batch carries a coalesced envelope's operations (kind == msgBatch).
+	batch []coalOp
+	fire  func()
 }
 
 // Runtime is a simulated EARTH machine.
@@ -296,6 +304,8 @@ type Runtime struct {
 	// which stays a lower bound under every fault perturbation).
 	lookahead sim.Time
 	tr        earth.Tracer // cached cfg.Tracer; nil disables all emission
+	// coalOn caches cfg.Coalesce.Enabled for the per-operation hot path.
+	coalOn bool
 	// sampling is true when a tracer with UtilSamplePeriod is installed; it
 	// makes the Busy accrual points also record spans for window attribution.
 	sampling bool
@@ -369,6 +379,7 @@ func New(cfg earth.Config) *Runtime {
 		shards:        make([]*shard, nShards),
 		lookahead:     mc.MinRemoteLatency(),
 		tr:            cfg.Tracer,
+		coalOn:        cfg.Coalesce.Enabled,
 		victimScratch: make([]*node, 0, cfg.Nodes),
 	}
 	for i := range rt.shards {
@@ -461,6 +472,10 @@ func (rt *Runtime) freeMsg(sh *shard, m *msg) {
 	m.origTo = 0
 	m.arr0 = 0
 	m.rerouted = false
+	// Drop the slice header only: a duplicate-injection clone shares the
+	// backing array and may not have fired yet, so the elements must not
+	// be cleared here.
+	m.batch = nil
 	sh.msgFree = append(sh.msgFree, m)
 }
 
@@ -508,6 +523,9 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		n.seen = nil
 		n.spans = n.spans[:0]
 		n.stats = earth.NodeStats{}
+		if n.coal != nil {
+			n.coal.reset()
+		}
 	}
 	if rt.crashAt != nil {
 		rt.reassignRR = 0
@@ -785,6 +803,11 @@ func (rt *Runtime) dispatch(n *node) {
 	start := eng.Now()
 	c := n.getCtx(rt, start+rt.cfg.Costs.ThreadSwitch+it.recvCost)
 	it.body(c)
+	if rt.coalOn {
+		// Step boundary: the body is done, ship its batched traffic. The
+		// flush charges accrue to the body's span (before end is read).
+		c.flushCoalAll()
+	}
 	end := c.cursor
 	n.putCtx(c)
 	n.stats.Busy += end - start
@@ -815,6 +838,9 @@ func (rt *Runtime) execHandlerBody(n *node, body earth.ThreadBody) {
 	start := n.sh.eng.Now()
 	hc := n.getCtx(rt, start)
 	body(hc)
+	if rt.coalOn {
+		hc.flushCoalAll()
+	}
 	end := hc.cursor
 	n.putCtx(hc)
 	n.stats.Busy += end - start
@@ -951,6 +977,18 @@ func (rt *Runtime) routeMsg(sh *shard, arrival sim.Time, m *msg) {
 		rt.nodes[m.to].sh.eng.At(arrival, m.fire)
 		return
 	}
+	if m.to == m.from {
+		// Self-delivery: crash rerouting can target the sender itself (an
+		// adopted owner answering its own get, or a failover ring that
+		// wraps home), and such legs pay local — sub-lookahead — latency.
+		// They must not take the outbox: their arrival can precede the
+		// window end, and the barrier would insert them into the shard's
+		// past. Scheduling into the issuing shard's own future is always
+		// legal mid-window, and the choice depends only on (from, to), so
+		// it is identical for every shard layout.
+		sh.eng.At(arrival, m.fire)
+		return
+	}
 	from := rt.nodes[m.from]
 	from.outSeq++
 	sh.outbox = append(sh.outbox, outboxEntry{at: arrival, from: m.from, seq: from.outSeq, m: m})
@@ -974,6 +1012,9 @@ func (rt *Runtime) cloneMsg(sh *shard, m *msg) *msg {
 	d.seq = m.seq
 	d.drops = 0
 	d.dup = m.dup
+	// The clone shares the batch backing array; idempotent delivery
+	// guarantees the operations apply at most once.
+	d.batch = m.batch
 	return d
 }
 
@@ -1179,6 +1220,44 @@ func (rt *Runtime) fireMsg(m *msg) {
 		rt.enqueue(thief, item{body: body, token: true, stolen: true,
 			enq: now, cause: earth.CauseSteal})
 
+	case msgBatch:
+		n := rt.nodes[m.to]
+		if m.stage == 0 && rt.stageRecv(m, n, m.recvCost) {
+			return
+		}
+		from, ops := m.from, m.batch
+		rt.freeMsg(sh, m)
+		// Apply the merged operations in issue order, all at the batch's
+		// single effect instant. Frame routing mirrors the unbatched fire
+		// paths (msgSync/msgPut/msgPost above); the receiver-side overhead
+		// was charged once for the whole batch — the amortisation the
+		// coalescer models.
+		for i := range ops {
+			op := &ops[i]
+			switch op.kind {
+			case msgSync:
+				rt.decSlot(n, from, sh.eng.Now(), op.f, op.slot)
+			case msgPut:
+				op.write()
+				now := sh.eng.Now()
+				if rt.tr != nil {
+					rt.emit(sh, earth.Event{Time: now, Node: n.id, Peer: from,
+						Kind: earth.EvPutDeliver, Bytes: op.bytes, Dur: now - op.issue})
+				}
+				if op.f != nil {
+					if rt.resolve(op.f.Home) == n.id {
+						rt.decSlot(n, n.id, now, op.f, op.slot)
+					} else {
+						rt.sendSyncAt(sh, now, n.id, op.f, op.slot)
+					}
+				}
+			case msgPost:
+				rt.execHandlerBody(n, op.body)
+			default:
+				panic(fmt.Sprintf("simrt: kind %d inside a batch", op.kind))
+			}
+		}
+
 	default:
 		panic(fmt.Sprintf("simrt: unknown message kind %d", m.kind))
 	}
@@ -1315,6 +1394,13 @@ func (c *ctx) Sync(f *earth.Frame, slot int) {
 		c.rt.decSlot(c.n, c.n.id, c.cursor, f, slot)
 		return
 	}
+	if c.rt.coalOn {
+		// The send overhead is charged once per batch at flush; a sync
+		// carries no payload to serialise at issue.
+		c.coalAdd(c.rt.resolve(f.Home), coalOp{kind: msgSync, f: f, slot: slot,
+			bytes: 8, issue: c.cursor})
+		return
+	}
 	c.cursor += c.rt.cfg.Costs.AsyncSend
 	c.rt.sendSyncAt(c.n.sh, c.cursor, c.n.id, f, slot)
 }
@@ -1329,6 +1415,19 @@ func (c *ctx) Put(owner earth.NodeID, nbytes int, write func(), f *earth.Frame, 
 		if f != nil {
 			c.Sync(f, slot)
 		}
+		return
+	}
+	if rt.coalOn {
+		// Charge the per-byte serialisation now; the shared per-message
+		// overhead and header are paid once per batch at flush.
+		c.cursor += rt.cfg.Costs.CopyCost(nbytes)
+		issue := c.cursor
+		if rt.tr != nil {
+			rt.emit(c.n.sh, earth.Event{Time: issue, Node: c.n.id, Peer: owner,
+				Kind: earth.EvPutSend, Bytes: nbytes})
+		}
+		c.coalAdd(owner, coalOp{kind: msgPut, f: f, slot: slot, write: write,
+			bytes: nbytes, issue: issue})
 		return
 	}
 	c.cursor += rt.cfg.Costs.SendCost(nbytes, false)
@@ -1363,6 +1462,11 @@ func (c *ctx) Get(owner earth.NodeID, nbytes int, read func() func(), f *earth.F
 		}
 		return
 	}
+	if rt.coalOn {
+		// Gets are never coalesced, but the request must not overtake
+		// batched traffic already buffered for the owner.
+		c.flushCoalTo(owner)
+	}
 	// Request leg: small message, sender pays the synchronous overhead.
 	c.cursor += rt.cfg.Costs.SendCost(0, true)
 	issue := c.cursor
@@ -1390,6 +1494,9 @@ func (c *ctx) Invoke(nodeID earth.NodeID, argBytes int, body earth.ThreadBody) {
 		c.cursor += rt.cfg.Costs.SpawnLocal
 		rt.enqueue(c.n, item{body: body, enq: c.cursor, cause: earth.CauseInvoke})
 		return
+	}
+	if rt.coalOn {
+		c.flushCoalTo(nodeID)
 	}
 	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
 	issue := c.cursor
@@ -1431,6 +1538,16 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 		c.n.sh.eng.At(c.cursor, m.fire)
 		return
 	}
+	if rt.coalOn {
+		c.cursor += rt.cfg.Costs.CopyCost(argBytes)
+		if rt.tr != nil {
+			rt.emit(c.n.sh, earth.Event{Time: c.cursor, Node: c.n.id, Peer: nodeID,
+				Kind: earth.EvPostSend, Bytes: argBytes})
+		}
+		c.coalAdd(nodeID, coalOp{kind: msgPost, body: handler,
+			bytes: argBytes, issue: c.cursor})
+		return
+	}
 	c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
 	if rt.tr != nil {
 		rt.emit(c.n.sh, earth.Event{Time: c.cursor, Node: c.n.id, Peer: nodeID,
@@ -1469,6 +1586,9 @@ func (c *ctx) Token(argBytes int, body earth.ThreadBody) {
 			}
 			rt.enqueue(c.n, item{body: body, token: true, enq: c.cursor, cause: earth.CauseToken})
 			return
+		}
+		if rt.coalOn {
+			c.flushCoalTo(target)
 		}
 		c.cursor += rt.cfg.Costs.SendCost(argBytes, false)
 		if rt.tr != nil {

@@ -389,7 +389,7 @@ func phaseRank(k earth.EventKind) uint8 {
 	case earth.EvHandlerRun:
 		return 2
 	case earth.EvPutSend, earth.EvGetSend, earth.EvInvokeSend, earth.EvPostSend,
-		earth.EvTokenSpawn, earth.EvStealRequest:
+		earth.EvTokenSpawn, earth.EvStealRequest, earth.EvBatchFlush:
 		return 3
 	case earth.EvFaultInjected, earth.EvTimedOut, earth.EvRetry, earth.EvRecovered:
 		return 4

@@ -294,15 +294,20 @@ func (st *parState) bootstrap(c earth.Ctx, G []*poly.Poly) {
 	}
 	st.created = len(pairs)
 
-	// Replicate the input polynomials to every worker (block moves).
+	// Replicate the input polynomials to every worker. One vectored block
+	// move per worker gathers the whole input system into a single wire
+	// transfer (one header, one per-message overhead) instead of one
+	// BlkMovBytes per polynomial.
 	for w := 0; w < st.workers; w++ {
 		w := w
+		sizes := make([]int, len(G))
+		writes := make([]func(), len(G))
 		for idx, g := range G {
 			idx, g := idx, g
-			earth.BlkMovBytes(c, earth.NodeID(w), g.Bytes(), func() {
-				st.nodeCachePut(w, idx, g)
-			}, nil, 0)
+			sizes[idx] = g.Bytes()
+			writes[idx] = func() { st.nodeCachePut(w, idx, g) }
 		}
+		earth.BlkMovBytesV(c, earth.NodeID(w), sizes, writes, nil, 0)
 	}
 
 	if st.cfg.DistributedQueues {

@@ -60,6 +60,19 @@ type Config struct {
 	// Results are byte-identical for every value; 0 leaves each cell
 	// single-sharded.
 	Shards int
+	// NoCoalesce disables same-destination message coalescing
+	// (earth.Config.Coalesce) in the sweeps converted to the batched
+	// wire path: the neural-network figures (7 and 8) and the Figure 5
+	// message-passing comparison. The batched path is the default so the
+	// regenerated figures reflect it; benchmarks set NoCoalesce to
+	// measure the unbatched wire path side by side.
+	NoCoalesce bool
+}
+
+// coalesce returns the earth.CoalesceConfig the batched-path sweeps
+// pass to their machines.
+func (c Config) coalesce() earth.CoalesceConfig {
+	return earth.CoalesceConfig{Enabled: !c.NoCoalesce}
 }
 
 // WithDefaults normalises a Config.
@@ -263,7 +276,7 @@ func groebnerBaseline(in groebner.NamedInput) (groebner.StepCost, sim.Time) {
 // (input, model) pair, input-major. The sequential baselines are pool
 // cells too, computed once per input — they are deterministic, so
 // sharing one baseline across cost models changes no reported value.
-func groebnerSweeps(cfg Config, ins []groebner.NamedInput, models []earth.CostModel, runs int) [][]*stats.Series {
+func groebnerSweeps(cfg Config, ins []groebner.NamedInput, models []earth.CostModel, runs int, coal earth.CoalesceConfig) [][]*stats.Series {
 	scs := make([]groebner.StepCost, len(ins))
 	bases := make([]sim.Time, len(ins))
 	forEachCell(cfg.Workers, len(ins), func(i int) {
@@ -280,6 +293,7 @@ func groebnerSweeps(cfg Config, ins []groebner.NamedInput, models []earth.CostMo
 		rt := simrt.New(earth.Config{
 			Nodes: nodeList[ni], Seed: cfg.Seed + int64(run)*7919,
 			Costs: models[mi], JitterPct: 2, Shards: cfg.Shards,
+			Coalesce: coal,
 		})
 		res, err := groebner.ParallelBuchberger(rt, ins[ii].F,
 			groebner.ParallelConfig{Opt: ins[ii].Opt, StepCost: scs[ii]})
@@ -313,7 +327,7 @@ func Figure4(cfg Config) (*Report, []*stats.Series) {
 	cfg = cfg.WithDefaults()
 	r := &Report{ID: "Figure 4", Title: fmt.Sprintf("Gröbner speedups, mean [min,max] over %d runs (EARTH)", cfg.Runs)}
 	var series []*stats.Series
-	for _, ss := range groebnerSweeps(cfg, groebner.PaperInputs(), []earth.CostModel{earth.EARTHCosts()}, cfg.Runs) {
+	for _, ss := range groebnerSweeps(cfg, groebner.PaperInputs(), []earth.CostModel{earth.EARTHCosts()}, cfg.Runs, earth.CoalesceConfig{}) {
 		series = append(series, ss[0])
 	}
 	r.addFigure(series...)
@@ -331,9 +345,12 @@ func Figure5(cfg Config) (*Report, map[string][]*stats.Series) {
 	cfg = cfg.WithDefaults()
 	runs := max(1, cfg.Runs/2)
 	r := &Report{ID: "Figure 5", Title: fmt.Sprintf("Gröbner speedups under message-passing costs (mean over %d runs)", runs)}
+	// The message-passing comparison runs on the batched wire path: the
+	// coalescer merges the per-pair result/fetch messages, which is
+	// exactly where the inflated MP models pay per-message overhead.
 	models := append([]earth.CostModel{earth.EARTHCosts()}, earth.PaperMPModels()...)
 	ins := groebner.PaperInputs()
-	sweeps := groebnerSweeps(cfg, ins, models, runs)
+	sweeps := groebnerSweeps(cfg, ins, models, runs, cfg.coalesce())
 	out := map[string][]*stats.Series{}
 	for ii, in := range ins {
 		series := sweeps[ii]
@@ -420,7 +437,8 @@ func nnSweeps(cfg Config, widths []int, train bool) []*stats.Series {
 			return
 		}
 		xs, ts := nnSamples(u, samples)
-		rt := simrt.New(earth.Config{Nodes: cfg.Nodes[k-1], Seed: cfg.Seed, Shards: cfg.Shards})
+		rt := simrt.New(earth.Config{Nodes: cfg.Nodes[k-1], Seed: cfg.Seed, Shards: cfg.Shards,
+			Coalesce: cfg.coalesce()})
 		res := neural.ParallelRun(rt, neural.Square(u, 1), xs, ts,
 			neural.ParallelConfig{Train: train, Tree: true, LR: 0.1})
 		elapsed[i] = res.Stats.Elapsed

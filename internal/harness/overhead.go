@@ -33,12 +33,19 @@ type overheadCell struct {
 // Overhead attributes machine time for every sweep workload on the
 // largest configured machine size, clean and under the default fault
 // plan, and reports the five-way breakdown plus the longest
-// critical-path segments.
+// critical-path segments. Cells run on the batched wire path (the one
+// the NN and MP-comparison figures use) unless Config.NoCoalesce pins
+// the per-message path, so the before/after pair isolates what
+// coalescing does to the comm column.
 func Overhead(cfg Config) *Report {
 	cfg = cfg.WithDefaults()
 	nodes := max(2, slices.Max(cfg.Nodes))
+	wire := "batched wire path"
+	if cfg.NoCoalesce {
+		wire = "per-message wire path"
+	}
 	r := &Report{ID: "Overhead", Title: fmt.Sprintf(
-		"Causal overhead attribution per app (P=%d, critical-path analysis)", nodes)}
+		"Causal overhead attribution per app (P=%d, critical-path analysis, %s)", nodes, wire)}
 	wls := faultWorkloads(cfg.Seed)
 	plan := DefaultFaultPlan()
 	plan.Seed = cfg.Seed
@@ -48,7 +55,8 @@ func Overhead(cfg Config) *Report {
 	forEachCell(cfg.Workers, len(cells), func(i int) {
 		wi, v := i/variants, i%variants
 		rec := obs.NewRecorder()
-		ec := earth.Config{Nodes: nodes, Seed: cfg.Seed, Tracer: rec, Shards: cfg.Shards}
+		ec := earth.Config{Nodes: nodes, Seed: cfg.Seed, Tracer: rec,
+			Shards: cfg.Shards, Coalesce: cfg.coalesce()}
 		if v == 1 {
 			p := *plan
 			ec.Faults = &p

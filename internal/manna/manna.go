@@ -124,6 +124,32 @@ func (c Config) MinRemoteLatency() sim.Time {
 	return lb
 }
 
+// HeaderBytes is the fixed wire-header size of one runtime message (and
+// of one coalesced batch — the whole point of batching is that merged
+// messages share a single header). It matches the header both engines
+// charge on every transfer.
+const HeaderBytes = 16
+
+// BatchCost returns the wire time of one coalesced batch of n messages
+// carrying payloadBytes of summed payload from src to dst: a single
+// per-message header plus the summed serialisation, instead of n full
+// headers. For a 1-message batch this equals the wire time of the
+// unbatched message (WireTime of payload+header), so coalescing is never
+// modelled as a penalty; and because every remote batch still carries at
+// least the header across at least one hop, the result is always >=
+// MinRemoteLatency for src != dst — the PR 7 shard lookahead stays sound
+// with batching enabled. The n parameter is the batch's message count;
+// it does not change the wire time (the saving is exactly the n-1
+// elided headers and hop traversals) but documents the call sites and
+// anchors the boundary-case tests. Negative payloads count as empty.
+func (c Config) BatchCost(src, dst, n, payloadBytes int) sim.Time {
+	_ = n
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	return c.WireTime(src, dst, payloadBytes+HeaderBytes)
+}
+
 // Hops returns the number of crossbar stages a message from src to dst
 // traverses. Same node: 0 (local). Same first-level crossbar: 1. Otherwise
 // the message climbs through the second-level crossbar: 3 stages

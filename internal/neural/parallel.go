@@ -259,10 +259,14 @@ func (st *pstate) broadcast(c earth.Ctx, payload int, transfer func(k int, src, 
 		onArrive(c, 0)
 		return
 	}
+	// One snapshot per sending node, shared by every recipient: the data
+	// leaves the node once and the recipients only read it, so sharing is
+	// safe on both engines (and cuts the host-side copying that used to be
+	// done once per child).
 	if !st.cfg.Tree {
+		snap := snapshotNode(n0)
 		for k := 1; k < st.cm.p; k++ {
 			k := k
-			snap := snapshotNode(n0)
 			c.Post(earth.NodeID(k), payload, func(c earth.Ctx) {
 				transfer(k, snap, st.nodes[k])
 				onArrive(c, k)
@@ -273,13 +277,17 @@ func (st *pstate) broadcast(c earth.Ctx, payload int, transfer func(k int, src, 
 	}
 	var down func(c earth.Ctx, k int)
 	down = func(c earth.Ctx, k int) {
-		for _, ch := range st.cm.children(k) {
-			ch := ch
-			snap := snapshotNode(st.nodes[k])
-			c.Post(earth.NodeID(ch), payload, func(c earth.Ctx) {
-				transfer(ch, snap, st.nodes[ch])
-				down(c, ch)
-				onArrive(c, ch)
+		ch := st.cm.children(k)
+		if len(ch) == 0 {
+			return
+		}
+		snap := snapshotNode(st.nodes[k])
+		for _, chk := range ch {
+			chk := chk
+			c.Post(earth.NodeID(chk), payload, func(c earth.Ctx) {
+				transfer(chk, snap, st.nodes[chk])
+				down(c, chk)
+				onArrive(c, chk)
 			})
 		}
 	}

@@ -34,6 +34,8 @@ type Metrics struct {
 	invokeLatency Histogram // EvInvokeDeliver latency
 	stealRTT      Histogram // EvStealGrant round trip
 	msgBytes      Histogram // payload of every send-side event
+	batchSize     Histogram // EvBatchFlush messages per coalesced batch
+	batchBytes    Histogram // EvBatchFlush summed payload per batch
 
 	util []utilSample
 }
@@ -52,6 +54,8 @@ func NewMetrics() *Metrics {
 	m.invokeLatency = Histogram{Name: "invoke.latency", Unit: "ns"}
 	m.stealRTT = Histogram{Name: "steal.rtt", Unit: "ns"}
 	m.msgBytes = Histogram{Name: "msg.bytes", Unit: "bytes"}
+	m.batchSize = Histogram{Name: "batch.size", Unit: "msgs"}
+	m.batchBytes = Histogram{Name: "batch.bytes", Unit: "bytes"}
 	return m
 }
 
@@ -84,6 +88,10 @@ func (m *Metrics) Event(e earth.Event) {
 		m.invokeLatency.Add(int64(e.Dur))
 	case earth.EvStealGrant:
 		m.stealRTT.Add(int64(e.Dur))
+	case earth.EvBatchFlush:
+		// Wait carries the batch's message count on flush events.
+		m.batchSize.Add(int64(e.Wait))
+		m.batchBytes.Add(int64(e.Bytes))
 	case earth.EvUtilSample:
 		m.util = append(m.util, utilSample{t: e.Time, node: e.Node, busy: e.Dur})
 	}
@@ -120,6 +128,7 @@ func (m *Metrics) histograms() []*Histogram {
 	return []*Histogram{
 		&m.threadRun, &m.handlerRun, &m.dispatchDelay, &m.syncDispatch,
 		&m.getRTT, &m.putLatency, &m.invokeLatency, &m.stealRTT, &m.msgBytes,
+		&m.batchSize, &m.batchBytes,
 	}
 }
 

@@ -348,6 +348,8 @@ func TestMetricsAggregation(t *testing.T) {
 	m.Event(earth.Event{Kind: earth.EvThreadRun, Node: 1, Dur: 3000, Wait: 100, Cause: earth.CauseSpawn})
 	m.Event(earth.Event{Kind: earth.EvGetDeliver, Node: 0, Peer: 1, Dur: 8000, Bytes: 64})
 	m.Event(earth.Event{Kind: earth.EvPutSend, Node: 0, Peer: 1, Bytes: 256})
+	m.Event(earth.Event{Kind: earth.EvBatchFlush, Node: 0, Peer: 1, Bytes: 96, Wait: 5})
+	m.Event(earth.Event{Kind: earth.EvBatchFlush, Node: 1, Peer: 0, Bytes: 16, Wait: 2})
 	m.Event(earth.Event{Kind: earth.EvUtilSample, Node: 0, Time: 1000, Dur: 700})
 	m.Event(earth.Event{Kind: earth.EvUtilSample, Node: 1, Time: 1000, Dur: 2000}) // clamped
 	m.Event(earth.Event{Kind: earth.EvUtilSample, Node: 0, Time: 2000, Dur: 0})
@@ -364,6 +366,12 @@ func TestMetricsAggregation(t *testing.T) {
 	}
 	if n := m.msgBytes.N(); n != 1 || m.msgBytes.Max() != 256 {
 		t.Errorf("msgBytes n=%d max=%d", n, m.msgBytes.Max())
+	}
+	if n := m.batchSize.N(); n != 2 || m.batchSize.Max() != 5 {
+		t.Errorf("batchSize n=%d max=%d (Wait carries the batch message count)", n, m.batchSize.Max())
+	}
+	if n := m.batchBytes.N(); n != 2 || m.batchBytes.Max() != 96 {
+		t.Errorf("batchBytes n=%d max=%d", n, m.batchBytes.Max())
 	}
 	period, wins := m.utilWindows()
 	if period != 1000 || len(wins) != 2 {
