@@ -9,6 +9,7 @@
 //	         [-trace out.json] [-metrics] [-bars] [-stats-json out.json]
 //	         [-critpath] [-debug-http addr]
 //	         [-sample DUR] [-runs N] [-workers W] [-coalesce]
+//	         [-sanitize] [-sanitize-json out.json]
 //	         [-faults PLAN] [-fault-seed S]
 //
 // -coalesce enables the batched wire path: same-destination small
@@ -16,6 +17,15 @@
 // transfer (flushed at step boundaries or the configured byte/count
 // threshold), costed as one per-message overhead plus the summed
 // serialisation. Statistics remain deterministic and shard-independent.
+//
+// -sanitize attaches a signal ledger to every frame the engines touch
+// and reports sync-contract violations at run end (see
+// earth.SanitizeReport): one-shot slots signalled past exhaustion, Adds
+// that would drive a counter negative, slots still armed at quiescence
+// and installed threads that never ran. The report aggregates structural
+// facts only, so it is byte-identical across -shards counts and
+// -coalesce modes. -sanitize-json writes just the report (implies
+// -sanitize), which is what CI diffs across those modes.
 //
 // -faults installs a deterministic fault plan on the simulated network
 // (message drops recovered by modelled retry/timeout, duplication
@@ -107,6 +117,10 @@ func main() {
 		"simulator shards (parallel conservative simulation; 0 = GOMAXPROCS); never changes results, only wall time")
 	coalesce := flag.Bool("coalesce", false,
 		"merge same-destination small messages within an engine step (batched wire path)")
+	sanitize := flag.Bool("sanitize", false,
+		"track per-slot signal ledgers and report sync-contract violations at run end")
+	sanitizeJSON := flag.String("sanitize-json", "",
+		"write the sanitizer report as JSON to this file (implies -sanitize)")
 	faultSpec := flag.String("faults", "",
 		`fault plan, e.g. "drop=0.05,dup=0.02,reorder=0.1,window=200us,pause=2@1ms-2ms,degrade=*@0s-5msx4"`)
 	faultSeed := flag.Int64("fault-seed", 0,
@@ -151,8 +165,11 @@ func main() {
 	if *shards == 0 {
 		*shards = runtime.GOMAXPROCS(0)
 	}
+	if *sanitizeJSON != "" {
+		*sanitize = true
+	}
 	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal,
-		JitterPct: *jitter, Shards: *shards,
+		JitterPct: *jitter, Shards: *shards, Sanitize: *sanitize,
 		Coalesce: earth.CoalesceConfig{Enabled: *coalesce}}
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)
@@ -262,8 +279,8 @@ func main() {
 		// The repeated runs are independent simulations evaluated on a
 		// host worker pool; only the deterministic summary is printed.
 		if *live || *tracePath != "" || *showMetrics || *showBars || *statsJSON != "" ||
-			*critPath || *debugAddr != "" {
-			fail("-runs > 1 excludes -live, -trace, -metrics, -bars, -stats-json, -critpath and -debug-http")
+			*critPath || *debugAddr != "" || *sanitize {
+			fail("-runs > 1 excludes -live, -trace, -metrics, -bars, -stats-json, -critpath, -sanitize and -debug-http")
 		}
 		sweepRuns(cfg, *runs, *workers, *seed, runApp)
 		return
@@ -288,6 +305,18 @@ func main() {
 	st := runApp(rt, true)
 
 	fmt.Println(st)
+	if *sanitize && !st.Sanitize.Clean() {
+		fmt.Print(st.Sanitize)
+	}
+	if *sanitizeJSON != "" {
+		b, err := json.MarshalIndent(st.Sanitize, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*sanitizeJSON, append(b, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
+	}
 	if *showBars {
 		fmt.Print(trace.RenderStats(st))
 	}

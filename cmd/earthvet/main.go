@@ -1,16 +1,21 @@
 // Command earthvet is the repo's domain-specific vet driver: it runs the
-// determinism and EARTH-API analyzers (detlint, synclint, locklint) over
-// the given package patterns and exits non-zero on any finding.
+// determinism and EARTH-API analyzers (detlint, synclint, locklint,
+// framelint) over the given package patterns and exits non-zero on any
+// finding.
 //
 // Usage:
 //
 //	go run ./cmd/earthvet ./...
 //	go run ./cmd/earthvet -list
 //	go run ./cmd/earthvet -only detlint ./internal/harness/...
+//	go run ./cmd/earthvet -json ./... > findings.json
 //
-// Findings print as file:line:col: [analyzer] message. A finding is
-// silenced in source with a //<analyzer>:allow <reason> comment — the
-// reason is mandatory and reasonless directives are themselves findings.
+// Findings print as file:line:col: [analyzer] message, or with -json as
+// a machine-readable array of {file, line, col, analyzer, message}
+// objects (always an array, "[]" when clean, so CI consumers need no
+// special empty case). A finding is silenced in source with a
+// //<analyzer>:allow <reason> comment — the reason is mandatory and
+// reasonless directives are themselves findings.
 //
 // earthvet is built on the stdlib-only framework in internal/analysis
 // (no golang.org/x/tools dependency), so it runs offline straight from
@@ -21,14 +26,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"earth/internal/analysis/detlint"
+	"earth/internal/analysis/framelint"
 	"earth/internal/analysis/framework"
 	"earth/internal/analysis/locklint"
 	"earth/internal/analysis/synclint"
@@ -38,13 +46,24 @@ var analyzers = []*framework.Analyzer{
 	detlint.Analyzer,
 	synclint.Analyzer,
 	locklint.Analyzer,
+	framelint.Analyzer,
+}
+
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: earthvet [-list] [-only names] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: earthvet [-list] [-only names] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -95,16 +114,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "earthvet: %v\n", err)
 		os.Exit(2)
 	}
+	if err := render(os.Stdout, fset, cwd, diags, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "earthvet: %v\n", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "earthvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// render writes the diagnostics as text or JSON with cwd-relative paths.
+func render(w io.Writer, fset *token.FileSet, cwd string, diags []framework.Diagnostic, asJSON bool) error {
+	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		file := pos.Filename
 		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
 			file = rel
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+		findings = append(findings, jsonFinding{
+			File: file, Line: pos.Line, Col: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "earthvet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(findings)
 	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
 }

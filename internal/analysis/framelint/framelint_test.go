@@ -1,0 +1,27 @@
+package framelint
+
+import (
+	"testing"
+
+	"earth/internal/analysis/framework"
+)
+
+func TestFramelint(t *testing.T) {
+	framework.RunTest(t, "testdata", Analyzer, "./...")
+}
+
+func TestInScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"earth/internal/neural":      true,
+		"earth/internal/groebner":    true,
+		"earth/examples/quickstart":  true,
+		"earthvet.test/misuse":       true,
+		"earth/internal/earth":       false,
+		"earth/internal/earth/simrt": false,
+		"earth/internal/obs":         false,
+	} {
+		if got := InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module earthvet.test
+
+go 1.22

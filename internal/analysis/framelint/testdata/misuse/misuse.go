@@ -1,0 +1,126 @@
+// Package misuse holds one fire case per framelint check.
+package misuse
+
+import "earthvet.test/api"
+
+// Check (a): a signal site targeting a slot no InitSync initialises.
+func UninitedSlot(c api.Ctx) {
+	f := api.NewFrame(0, 1, 2)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0)
+	c.Sync(f, 0)
+	c.Sync(f, 1) // want `signal targets slot 1 of frame f, but no InitSync ever initialises it`
+}
+
+// Check (a): Add on a slot no InitSync initialises.
+func UninitedAdd(c api.Ctx) {
+	f := api.NewFrame(0, 1, 2)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0)
+	c.Sync(f, 0)
+	f.Add(1, 3) // want `Add on slot 1 of frame f, but no InitSync ever initialises it`
+}
+
+// Check (a): a slot enabling a thread no SetThread installs.
+func UnsetThread(c api.Ctx) {
+	f := api.NewFrame(0, 2, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 1) // want `slot 0 enables thread 1 of frame f, but no SetThread ever installs it`
+	c.Sync(f, 0)
+	c.Spawn(f, 0)
+}
+
+// Check (a): spawning a thread no SetThread installs.
+func SpawnUnset(c api.Ctx) {
+	f := api.NewFrame(0, 2, 0)
+	f.SetThread(0, func(api.Ctx) {})
+	c.Spawn(f, 0)
+	c.Spawn(f, 1) // want `Spawn of thread 1 of frame f, but no SetThread ever installs it`
+}
+
+// Check (b): more unconditional signal sites than a one-shot absorbs.
+func OverSignal(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0) // want `one-shot slot 0 of frame f takes 1 signal\(s\) but 2 unconditional signal sites target it`
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+}
+
+// Check (b): the slot promises more signals than any site can deliver —
+// the enabled thread is silently lost.
+func UnderSignal(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 3, 0, 0) // want `slot 0 of frame f promises 3 signal\(s\) but only 2 signal site\(s\) can ever target it`
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+}
+
+// contribute signals (f, 0) once; framelint folds this into callers.
+func contribute(c api.Ctx, f *api.Frame) {
+	c.Sync(f, 0)
+}
+
+// Check (b), interprocedural: the second signal arrives through a
+// same-package helper and still counts.
+func OverViaHelper(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0) // want `one-shot slot 0 of frame f takes 1 signal\(s\) but 2 unconditional signal sites target it`
+	c.Sync(f, 0)
+	contribute(c, f)
+}
+
+// Check (c): constant indices out of the frame's NewFrame dimensions.
+func OutOfRange(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.SetThread(2, func(api.Ctx) {}) // want `SetThread id 2 out of range for frame f with 1 thread\(s\)`
+	f.InitSync(1, 1, 0, 0)           // want `InitSync on slot 1 of frame f, which has only 1 slot\(s\)`
+	f.InitSync(0, 1, 0, 0)
+	c.Sync(f, 0)
+}
+
+// Check (c): a signal to a slot beyond the frame's shape.
+func SignalOutOfRange(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0)
+	c.Sync(f, 0)
+	c.Sync(f, 3) // want `signal targets slot 3 of frame f, which has only 1 slot\(s\)`
+}
+
+// Check (d): vectored block moves whose literal vectors do not pair up.
+func VectorShapes(c api.Ctx, f *api.Frame, a, b []float64) {
+	api.BlkMovFromV(c, 1, 8, [][]float64{a, b}, [][]float64{a}, f, 0) // want `BlkMovFromV with 2 srcs but 1 dsts`
+	api.BlkMovToV(c, 1, 8, [][]float64{a}, [][]float64{a, b}, f, 1)   // want `BlkMovToV with 1 srcs but 2 dsts`
+	api.BlkMovBytesV(c, 1, []int{8, 8}, []func(){}, f, 2)             // want `BlkMovBytesV with 2 sizes but 0 writes`
+}
+
+// Check (e): a thread body signalling its own gating one-shot slot —
+// the slot is exhausted by the time the body runs.
+func TerminalSignal(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.InitSync(0, 1, 0, 0)
+	f.SetThread(0, func(cc api.Ctx) {
+		cc.Sync(f, 0) // want `thread 0 signals slot 0 of frame f, but that one-shot slot is what enables thread 0`
+	})
+	c.Sync(f, 0)
+}
+
+// installBad installs a thread body on its parameter frame that signals
+// the frame's own slot 0; whether that is terminal depends on the
+// caller's InitSync, so the verdict lands there.
+func installBad(c api.Ctx, f *api.Frame) {
+	f.SetThread(0, func(cc api.Ctx) { cc.Sync(f, 0) })
+}
+
+// Check (e), interprocedural: the self-signal is installed by a helper,
+// and the caller's one-shot init makes it terminal.
+func TerminalViaHelper(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.InitSync(0, 1, 0, 0)
+	installBad(c, f) // want `thread 0 signals slot 0 of frame f, but that one-shot slot is what enables thread 0`
+	c.Sync(f, 0)
+}

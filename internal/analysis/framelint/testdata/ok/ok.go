@@ -1,0 +1,141 @@
+// Package ok holds the no-fire cases: legitimate split-phase patterns
+// framelint must stay silent on.
+package ok
+
+import "earthvet.test/api"
+
+// FanIn is the canonical clean shape: a counted fan-in slot signalled
+// from a loop (uncountable, so no arithmetic claims) chaining into a
+// one-shot continuation signalled from the first thread's body.
+func FanIn(c api.Ctx) {
+	f := api.NewFrame(0, 2, 2)
+	f.SetThread(0, func(cc api.Ctx) { cc.Sync(f, 1) })
+	f.SetThread(1, func(api.Ctx) {})
+	f.InitSync(0, 4, 0, 0)
+	f.InitSync(1, 1, 0, 1)
+	for i := 0; i < 4; i++ {
+		c.Sync(f, 0)
+	}
+}
+
+// Recurring slots (reset != 0) absorb any number of signals; the
+// one-shot arithmetic must not apply.
+func Recurring(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 2, 2, 0)
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+}
+
+// Add makes the slot's arity dynamic: no static claim is possible.
+func Grown(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0)
+	f.Add(0, 2)
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+}
+
+// Conditional signal sites count toward the possible total (so no
+// under-signal) but not the certain one (so no over-signal).
+func Conditional(c api.Ctx, pick bool) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0)
+	if pick {
+		c.Sync(f, 0)
+	} else {
+		api.Rsync(c, f, 0)
+	}
+}
+
+// signalOnce contributes exactly one signal through the summary.
+func signalOnce(c api.Ctx, f *api.Frame) { c.Sync(f, 0) }
+
+// ViaHelper: interprocedural counting that adds up exactly.
+func ViaHelper(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 2, 0, 0)
+	c.Sync(f, 0)
+	signalOnce(c, f)
+}
+
+// A dynamic slot index disables the counting checks for the frame
+// rather than guessing.
+func Dynamic(c api.Ctx, which int) {
+	f := api.NewFrame(0, 1, 2)
+	f.SetThread(0, func(api.Ctx) {})
+	f.InitSync(0, 1, 0, 0)
+	f.InitSync(1, 1, 0, 0)
+	c.Sync(f, which)
+	c.Sync(f, 0)
+	c.Sync(f, 1)
+}
+
+type holder struct{ frame *api.Frame }
+
+// Escapes: a frame stored into a structure leaves the analysed flow;
+// framelint must skip it entirely (the slot-5 signal would be a range
+// violation if the frame were still tracked).
+func Escapes(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	h := holder{frame: f}
+	_ = h
+	c.Sync(f, 5)
+}
+
+// Allowed: a deliberate over-signal silenced with a reasoned directive.
+func Allowed(c api.Ctx) {
+	f := api.NewFrame(0, 1, 1)
+	f.SetThread(0, func(api.Ctx) {})
+	//framelint:allow duplicate signal exercises the sanitizer's overflow path in a test harness
+	f.InitSync(0, 1, 0, 0)
+	c.Sync(f, 0)
+	c.Sync(f, 0)
+}
+
+// VectorsPairUp: matching literal lengths and non-literal vectors are
+// both fine.
+func VectorsPairUp(c api.Ctx, f *api.Frame, a, b []float64, sizes []int) {
+	api.BlkMovFromV(c, 1, 8, [][]float64{a, b}, [][]float64{a, b}, f, 0)
+	api.BlkMovBytesV(c, 1, sizes, []func(){}, f, 1)
+}
+
+// Threaded-function completion: the thread body signals a slot of a
+// DIFFERENT frame (the caller's), the RSYNC idiom — not its own gate.
+func Completion(c api.Ctx, parent *api.Frame) {
+	f := api.NewFrame(0, 1, 1)
+	f.InitSync(0, 1, 0, 0)
+	f.SetThread(0, func(cc api.Ctx) {
+		api.Rsync(cc, parent, 0)
+	})
+	c.Sync(f, 0)
+}
+
+// CrossFrame is the vadd shape from the quickstart example: per-element
+// frames whose thread bodies each signal the collector frame's fan-in
+// slot, and the collector's thread RSYNCs the caller's one-shot counter.
+// Both slots look like "thread 0 signals slot 0 / reset 0" — but each
+// body belongs to a different frame than the one it signals, so neither
+// the terminal-signal check nor the one-shot arithmetic may bind them.
+func CrossFrame(c api.Ctx, done *api.Frame) {
+	f := api.NewFrame(0, 1, 1)
+	f.InitSync(0, 2, 0, 0)
+	f.SetThread(0, func(cc api.Ctx) {
+		api.Rsync(cc, done, 0)
+	})
+	for j := 0; j < 2; j++ {
+		ef := api.NewFrame(0, 1, 1)
+		ef.InitSync(0, 1, 0, 0)
+		ef.SetThread(0, func(cc api.Ctx) {
+			cc.Sync(f, 0)
+		})
+		c.Sync(ef, 0)
+	}
+}

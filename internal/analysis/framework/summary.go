@@ -1,0 +1,133 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file adds the per-function summary facility interprocedural
+// analyzers (framelint) build on: BottomUp visits a package's function
+// declarations callee-before-caller over the same-package static call
+// graph, so a visit callback can compute a summary for each function and
+// rely on its same-package callees' summaries already being available.
+// Cross-package calls are not edges — analyzers treat them through
+// exported summaries or conservatively (typically as escapes).
+
+// BottomUp visits every function declaration of the pass's package in
+// callee-before-caller order. recursive reports that the function takes
+// part in a call cycle, in which case the summaries of its cycle
+// companions are incomplete when it is visited and the analyzer should
+// degrade conservatively. Order is deterministic: components tie-break
+// by source position.
+func BottomUp(pass *Pass, visit func(fn *types.Func, decl *ast.FuncDecl, recursive bool)) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var fns []*types.Func
+	for _, file := range pass.Files() {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.ObjectOf(fd.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return decls[fns[i]].Pos() < decls[fns[j]].Pos() })
+
+	// Static same-package call edges: caller -> callees. Calls through
+	// interfaces or function values have no static callee and simply
+	// contribute no edge.
+	callees := map[*types.Func][]*types.Func{}
+	for _, fn := range fns {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch f := call.Fun.(type) {
+			case *ast.Ident:
+				id = f
+			case *ast.SelectorExpr:
+				id = f.Sel
+			default:
+				return true
+			}
+			if callee, ok := pass.ObjectOf(id).(*types.Func); ok && !seen[callee] {
+				if _, local := decls[callee]; local {
+					seen[callee] = true
+					callees[fn] = append(callees[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Tarjan's strongly connected components, iterated in the
+	// deterministic fns order. Tarjan emits SCCs callee-before-caller
+	// (an SCC is completed only after everything reachable from it), so
+	// visiting components in emission order gives bottom-up traversal.
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	var sccs [][]*types.Func
+	next := 0
+	var strongconnect func(fn *types.Func)
+	strongconnect = func(fn *types.Func) {
+		index[fn] = next
+		low[fn] = next
+		next++
+		stack = append(stack, fn)
+		onStack[fn] = true
+		for _, c := range callees[fn] {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[fn] {
+					low[fn] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[fn] {
+				low[fn] = index[c]
+			}
+		}
+		if low[fn] == index[fn] {
+			var scc []*types.Func
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == fn {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, fn := range fns {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+
+	for _, scc := range sccs {
+		recursive := len(scc) > 1
+		if !recursive {
+			for _, c := range callees[scc[0]] {
+				if c == scc[0] {
+					recursive = true // self-loop
+				}
+			}
+		}
+		sort.Slice(scc, func(i, j int) bool { return decls[scc[i]].Pos() < decls[scc[j]].Pos() })
+		for _, fn := range scc {
+			visit(fn, decls[fn], recursive)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 // Package locklint flags mutexes held across blocking operations in the
 // engine and fault-injection packages (simrt, livert, faults): a channel
-// send/receive, a WaitGroup.Wait, a time.Sleep or a simulation-engine
-// step executed under a sync.Mutex/RWMutex serialises — or deadlocks —
-// the very concurrency those packages exist to provide. livert's node
-// mutexes in particular guard queues that the channel network feeds;
-// holding one across a channel operation is the textbook lost-wakeup
-// deadlock.
+// send/receive, a WaitGroup.Wait, a time.Sleep, a simulation-engine
+// step, or a coalescer flush (coalAdd/flushCoal*) executed under a
+// sync.Mutex/RWMutex serialises — or deadlocks — the very concurrency
+// those packages exist to provide. livert's node mutexes in particular
+// guard queues that the channel network feeds; holding one across a
+// channel operation is the textbook lost-wakeup deadlock, and the
+// coalescer's batch flush walks that same path (node locks, wakeup
+// pokes) on its way to the destination queue.
 //
 // The analysis is lexical and per-function: a region opens at X.Lock()
 // (or X.RLock()) and closes at the matching X.Unlock() in the same
@@ -30,7 +32,7 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "locklint",
 	Doc: "flag mutexes held across blocking operations (channel ops, WaitGroup.Wait, " +
-		"sleeps, engine steps) in simrt, livert and faults",
+		"sleeps, engine steps, coalescer flushes) in simrt, livert and faults",
 	Run: run,
 }
 
@@ -267,6 +269,16 @@ func reportBlockingCall(pass *framework.Pass, call *ast.CallExpr, owner string) 
 		if n := namedOf(pass.TypeOf(sel.X)); n != nil && n.Obj().Name() == "Engine" {
 			pass.Reportf(call.Pos(),
 				"engine %s while %s is held runs arbitrary handlers under the lock; "+
+					"unlock first or annotate //locklint:allow <reason>", sel.Sel.Name, owner)
+		}
+	case "flushCoal", "flushCoalTo", "flushCoalAll", "flushCoalBuf", "coalAdd":
+		// The coalescer's flush path (which coalAdd enters when a
+		// threshold trips) re-acquires node mutexes and pokes wakeup
+		// channels on its way to the destination queue — calling it with
+		// a lock held inverts the lock order or self-deadlocks.
+		if n := namedOf(pass.TypeOf(sel.X)); n != nil && n.Obj().Name() == "ctx" {
+			pass.Reportf(call.Pos(),
+				"coalescer %s while %s is held re-enters the send path (node locks, wakeup channels) under the lock; "+
 					"unlock first or annotate //locklint:allow <reason>", sel.Sel.Name, owner)
 		}
 	}

@@ -80,7 +80,57 @@ func (n *node) blockInBranch(ready bool) {
 	}
 }
 
+// ctx mirrors the engines' per-body context carrying coalescing buffers;
+// its flush family re-enters the send path (node locks, wakeup pokes).
+type ctx struct{ n *node }
+
+func (c *ctx) coalAdd(dst int, nbytes int)  {}
+func (c *ctx) flushCoal()                   {}
+func (c *ctx) flushCoalTo(dst int)          {}
+func (c *ctx) flushCoalAll()                {}
+func (c *ctx) flushCoalBuf(b *struct{})     {}
+func (c *ctx) unrelatedMethod(dst int) bool { return false }
+
+func (n *node) flushUnderLock(c *ctx) {
+	n.mu.Lock()
+	c.flushCoalAll() // want `coalescer flushCoalAll while n.mu is held`
+	n.mu.Unlock()
+}
+
+func (n *node) batchAddUnderDeferredLock(c *ctx, dst int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c.coalAdd(dst, 8) // want `coalescer coalAdd while n.mu is held`
+}
+
+func (n *node) flushToUnderRLock(c *ctx, dst int) {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	c.flushCoalTo(dst) // want `coalescer flushCoalTo while n.rw is held`
+}
+
 // --- no-fire cases ------------------------------------------------------
+
+// flushAfterUnlock drains the batch once the critical section is closed:
+// the canonical fix for the coalescer cases above.
+func (n *node) flushAfterUnlock(c *ctx, v int) {
+	n.mu.Lock()
+	n.q = append(n.q, v)
+	n.mu.Unlock()
+	c.flushCoal()
+}
+
+// notTheCoalescer: the flush names only match on the engines' ctx type.
+type otherCtx struct{}
+
+func (otherCtx) flushCoalAll() {}
+
+func (n *node) notTheCoalescer(o otherCtx) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	o.flushCoalAll()
+	(&ctx{}).unrelatedMethod(0)
+}
 
 // shrunkenSection unlocks before the channel op: the canonical fix.
 func (n *node) shrunkenSection(v int) {

@@ -219,6 +219,17 @@ type Config struct {
 	// the cost model, so outputs differ from (and are not comparable to)
 	// uncoalesced runs.
 	Coalesce CoalesceConfig
+	// Sanitize makes both engines track a per-slot signal ledger on every
+	// frame they touch and report sync-contract violations at quiescence
+	// (see SanitizeReport on Stats and the EvSanitize event): one-shot
+	// slots signalled past exhaustion, Adds driving a counter negative,
+	// slots still armed at program end and installed threads that never
+	// ran. The overflow/underflow paths that would otherwise panic are
+	// recorded and swallowed so a run reports every violation at once.
+	// The report contains no timestamps and aggregates over frame
+	// structure only, so it is byte-identical across shard counts and
+	// coalesce modes.
+	Sanitize bool
 	// Shards partitions the simulated nodes across host workers for
 	// conservative time-windowed parallel simulation under simrt. Results
 	// (stats JSON, traces, critical-path attribution) are byte-identical

@@ -69,12 +69,16 @@ func coalRun(t *testing.T, cfg earth.Config, cc earth.CoalesceConfig, shards int
 	cfg.Tracer = log
 	cfg.Coalesce = cc
 	cfg.Shards = shards
+	cfg.Sanitize = true // on by default in conformance runs: the table must stay contract-clean
 	var total int
 	var done bool
 	body, want := shardMixProg(cfg.Nodes, &total, &done)
 	st := simrt.New(cfg).Run(body)
 	if total != want || !done {
 		t.Fatalf("coalesce=%+v shards=%d: total=%d done=%v, want %d", cc, shards, total, done, want)
+	}
+	if !st.Sanitize.Clean() {
+		t.Fatalf("coalesce=%+v shards=%d: sanitizer findings:\n%s", cc, shards, st.Sanitize)
 	}
 	sj, err := json.Marshal(st)
 	if err != nil {

@@ -234,7 +234,9 @@ func TestConformanceSuite(t *testing.T) {
 			traces := map[string][]wireEvent{}
 			for _, eng := range []string{"simrt", "livert"} {
 				col := &traceCollector{}
-				cfg := earth.Config{Nodes: cse.nodes, Seed: 7, Tracer: col}
+				// Sanitize is on by default in conformance runs: every
+				// program here must be sync-contract clean on both engines.
+				cfg := earth.Config{Nodes: cse.nodes, Seed: 7, Tracer: col, Sanitize: true}
 				var rt earth.Runtime
 				if eng == "simrt" {
 					rt = simrt.New(cfg)
@@ -242,8 +244,11 @@ func TestConformanceSuite(t *testing.T) {
 					rt = livert.New(cfg)
 				}
 				prog, check := cse.make()
-				rt.Run(prog)
+				st := rt.Run(prog)
 				check(t, eng)
+				if !st.Sanitize.Clean() {
+					t.Errorf("%s: sanitizer findings:\n%s", eng, st.Sanitize)
+				}
 				traces[eng] = normalizeTrace(col.evs)
 			}
 			if !cse.chain {

@@ -1,0 +1,260 @@
+package enginetest
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"earth/internal/earth"
+	"earth/internal/earth/livert"
+	"earth/internal/earth/simrt"
+)
+
+// Runtime sanitizer conformance: with Config.Sanitize set, both engines
+// must detect every class of injected sync-contract violation, agree on
+// the aggregated report, and — under simrt — produce byte-identical
+// reports across shard counts and coalesce modes (the report carries no
+// timestamps, so even the cost-model change of coalescing cannot reach
+// it).
+
+// sanCase is one injected-bug program. Each program terminates cleanly
+// (sanitize mode records violations instead of panicking) and must yield
+// exactly the expected findings.
+type sanCase struct {
+	name string
+	prog func(c earth.Ctx)
+	want []earth.SanitizeFinding
+}
+
+func sanCases() []sanCase {
+	return []sanCase{
+		{
+			// Check: slot overflow. A one-shot slot armed for one signal
+			// receives three; the two extra syncs must be recorded (and
+			// swallowed) rather than panicking.
+			name: "overflow",
+			prog: func(c earth.Ctx) {
+				f := earth.NewFrame(0, 1, 1)
+				f.InitSync(0, 1, 0, 0)
+				f.SetThread(0, func(earth.Ctx) {})
+				for i := 0; i < 3; i++ {
+					c.Sync(f, 0)
+				}
+			},
+			want: []earth.SanitizeFinding{
+				{Kind: earth.SanOverflow, Home: 0, Threads: 1, Slots: 1, Index: 0, Count: 2, Frames: 1},
+			},
+		},
+		{
+			// Check: Add underflow. The spawned thread's Add would drive
+			// the armed counter to zero; the ledger records it and leaves
+			// the counter untouched, so the slot also reports pending and
+			// its enabled thread never ran.
+			name: "add-underflow",
+			prog: func(c earth.Ctx) {
+				f := earth.NewFrame(0, 2, 1)
+				f.InitSync(0, 2, 0, 1)
+				f.SetThread(0, func(earth.Ctx) { f.Add(0, -5) })
+				f.SetThread(1, func(earth.Ctx) {})
+				c.Spawn(f, 0)
+			},
+			want: []earth.SanitizeFinding{
+				{Kind: earth.SanUnderflow, Home: 0, Threads: 2, Slots: 1, Index: 0, Count: 1, Frames: 1},
+				{Kind: earth.SanPendingSlot, Home: 0, Threads: 2, Slots: 1, Index: 0, Count: 2, Frames: 1},
+				{Kind: earth.SanThreadNeverRan, Home: 0, Threads: 2, Slots: 1, Index: 1, Frames: 1},
+			},
+		},
+		{
+			// Check: pending slot (lost-thread deadlock). The slot promises
+			// two signals but only one ever arrives; at quiescence the
+			// residual counter and the never-dispatched thread both report.
+			name: "pending-slot",
+			prog: func(c earth.Ctx) {
+				f := earth.NewFrame(0, 2, 1)
+				f.InitSync(0, 2, 0, 1)
+				f.SetThread(0, func(c earth.Ctx) { c.Sync(f, 0) })
+				f.SetThread(1, func(earth.Ctx) {})
+				c.Spawn(f, 0)
+			},
+			want: []earth.SanitizeFinding{
+				{Kind: earth.SanPendingSlot, Home: 0, Threads: 2, Slots: 1, Index: 0, Count: 1, Frames: 1},
+				{Kind: earth.SanThreadNeverRan, Home: 0, Threads: 2, Slots: 1, Index: 1, Frames: 1},
+			},
+		},
+		{
+			// Check: thread never ran. Thread 1 is installed but nothing
+			// ever enables it — no slot names it and it is never spawned.
+			name: "thread-never-ran",
+			prog: func(c earth.Ctx) {
+				f := earth.NewFrame(0, 2, 0)
+				f.SetThread(0, func(earth.Ctx) {})
+				f.SetThread(1, func(earth.Ctx) {})
+				c.Spawn(f, 0)
+			},
+			want: []earth.SanitizeFinding{
+				{Kind: earth.SanThreadNeverRan, Home: 0, Threads: 2, Slots: 0, Index: 1, Frames: 1},
+			},
+		},
+		{
+			// Aggregation: two identical remote-homed frames with the same
+			// violation fold into a single finding with Frames == 2, keyed
+			// by structure alone. Node 1 is each frame's home, so the syncs
+			// travel the wire and the overflow is detected at delivery.
+			name: "aggregated-remote",
+			prog: func(c earth.Ctx) {
+				for i := 0; i < 2; i++ {
+					f := earth.NewFrame(1, 1, 1)
+					f.InitSync(0, 1, 0, 0)
+					f.SetThread(0, func(earth.Ctx) {})
+					c.Sync(f, 0)
+					c.Sync(f, 0)
+				}
+			},
+			want: []earth.SanitizeFinding{
+				{Kind: earth.SanOverflow, Home: 1, Threads: 1, Slots: 1, Index: 0, Count: 1, Frames: 2},
+			},
+		},
+	}
+}
+
+func checkFindings(t *testing.T, engine string, st *earth.Stats, want []earth.SanitizeFinding) {
+	t.Helper()
+	if st.Sanitize == nil {
+		t.Fatalf("%s: no sanitize report on a Sanitize run", engine)
+	}
+	got := st.Sanitize.Findings
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d finding(s), want %d:\n%s", engine, len(got), len(want), st.Sanitize)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: finding %d = %+v, want %+v", engine, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSanitizeInjectedBugs proves every sanitizer check fires, on both
+// engines, without crashing the run.
+func TestSanitizeInjectedBugs(t *testing.T) {
+	for _, tc := range sanCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, eng := range []string{"simrt", "livert"} {
+				cfg := earth.Config{Nodes: 2, Seed: 3, Sanitize: true}
+				var rt earth.Runtime
+				if eng == "simrt" {
+					rt = simrt.New(cfg)
+				} else {
+					rt = livert.New(cfg)
+				}
+				checkFindings(t, eng, rt.Run(tc.prog), tc.want)
+			}
+		})
+	}
+}
+
+// TestSanitizeReportByteIdentical pins the tentpole determinism claim:
+// the marshalled report of a sanitized run is byte-identical across
+// shard counts AND across coalesce modes. Coalescing changes virtual
+// times (a different cost model), so the full stats are not comparable —
+// but the report aggregates structure only and must not move.
+func TestSanitizeReportByteIdentical(t *testing.T) {
+	run := func(shards int, coalesce bool) []byte {
+		cfg := earth.Config{Nodes: 8, Seed: 31, Sanitize: true, Shards: shards,
+			Coalesce: earth.CoalesceConfig{Enabled: coalesce}}
+		var total int
+		var done bool
+		body, want := shardMixProg(cfg.Nodes, &total, &done)
+		st := simrt.New(cfg).Run(body)
+		if total != want || !done {
+			t.Fatalf("shards=%d coalesce=%v: wrong result", shards, coalesce)
+		}
+		b, err := json.Marshal(st.Sanitize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := run(1, false)
+	for _, v := range []struct {
+		shards   int
+		coalesce bool
+	}{{4, false}, {1, true}, {4, true}} {
+		if got := run(v.shards, v.coalesce); !bytes.Equal(got, base) {
+			t.Errorf("shards=%d coalesce=%v: report diverges\n got: %s\nwant: %s",
+				v.shards, v.coalesce, got, base)
+		}
+	}
+	// The same holds for a run with findings: inject the overflow case
+	// into the mixed program's machine size and compare across modes.
+	bugRun := func(shards int, coalesce bool) []byte {
+		cfg := earth.Config{Nodes: 4, Seed: 32, Sanitize: true, Shards: shards,
+			Coalesce: earth.CoalesceConfig{Enabled: coalesce}}
+		st := simrt.New(cfg).Run(sanCases()[0].prog)
+		b, err := json.Marshal(st.Sanitize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	bugBase := bugRun(1, false)
+	if !bytes.Contains(bugBase, []byte("slot-overflow")) {
+		t.Fatalf("expected an overflow finding in %s", bugBase)
+	}
+	for _, v := range []struct {
+		shards   int
+		coalesce bool
+	}{{4, false}, {1, true}, {4, true}} {
+		if got := bugRun(v.shards, v.coalesce); !bytes.Equal(got, bugBase) {
+			t.Errorf("shards=%d coalesce=%v: bug report diverges\n got: %s\nwant: %s",
+				v.shards, v.coalesce, got, bugBase)
+		}
+	}
+}
+
+// TestSanitizeEventEmitted pins the EvSanitize emission contract: one
+// event per aggregated finding at the run's makespan, none on clean runs.
+func TestSanitizeEventEmitted(t *testing.T) {
+	for _, eng := range []string{"simrt", "livert"} {
+		col := &traceCollector{}
+		cfg := earth.Config{Nodes: 2, Seed: 5, Sanitize: true, Tracer: col}
+		var rt earth.Runtime
+		if eng == "simrt" {
+			rt = simrt.New(cfg)
+		} else {
+			rt = livert.New(cfg)
+		}
+		st := rt.Run(sanCases()[0].prog)
+		var sanEvs []earth.Event
+		for _, e := range col.evs {
+			if e.Kind == earth.EvSanitize {
+				sanEvs = append(sanEvs, e)
+			}
+		}
+		if len(sanEvs) != len(st.Sanitize.Findings) {
+			t.Errorf("%s: %d EvSanitize events for %d findings", eng, len(sanEvs), len(st.Sanitize.Findings))
+		}
+		for _, e := range sanEvs {
+			if e.Node != 0 || e.Bytes != 0 || e.Dur != 2 {
+				t.Errorf("%s: EvSanitize = %+v, want node=0 index=0 count=2", eng, e)
+			}
+		}
+	}
+
+	// Clean run: no EvSanitize events.
+	col := &traceCollector{}
+	st := simrt.New(earth.Config{Nodes: 2, Seed: 5, Sanitize: true, Tracer: col}).
+		Run(func(c earth.Ctx) {
+			f := earth.NewFrame(0, 1, 1)
+			f.InitSync(0, 1, 0, 0)
+			f.SetThread(0, func(earth.Ctx) {})
+			c.Sync(f, 0)
+		})
+	if !st.Sanitize.Clean() {
+		t.Fatalf("clean program reported findings:\n%s", st.Sanitize)
+	}
+	for _, e := range col.evs {
+		if e.Kind == earth.EvSanitize {
+			t.Errorf("clean run emitted EvSanitize: %+v", e)
+		}
+	}
+}

@@ -133,12 +133,16 @@ func shardRun(t *testing.T, cfg earth.Config, shards int) (statsJSON, traceJSON 
 	log := &eventLog{}
 	cfg.Tracer = log
 	cfg.Shards = shards
+	cfg.Sanitize = true // on by default in conformance runs: the table must stay contract-clean
 	var total int
 	var done bool
 	body, want := shardMixProg(cfg.Nodes, &total, &done)
 	st := simrt.New(cfg).Run(body)
 	if total != want || !done {
 		t.Fatalf("shards=%d: total=%d done=%v, want %d", shards, total, done, want)
+	}
+	if !st.Sanitize.Clean() {
+		t.Fatalf("shards=%d: sanitizer findings:\n%s", shards, st.Sanitize)
 	}
 	sj, err := json.Marshal(st)
 	if err != nil {

@@ -108,6 +108,12 @@ const (
 	// emitted at their issue points; EvBatchFlush marks the single wire
 	// transfer that carries them.
 	EvBatchFlush
+	// EvSanitize reports one aggregated sync-contract violation found by
+	// the Config.Sanitize end-of-run scan (see SanitizeReport): Node is
+	// the offending frame's home, Bytes the slot or thread index, Dur the
+	// violation count, and Time the run's makespan (the scan happens at
+	// quiescence). A sanitized clean run emits none.
+	EvSanitize
 
 	numEventKinds
 )
@@ -141,6 +147,7 @@ var eventKindNames = [numEventKinds]string{
 	EvFrameReplayed:  "frame.replayed",
 	EvWorkReassigned: "work.reassigned",
 	EvBatchFlush:     "batch.flush",
+	EvSanitize:       "sanitize",
 }
 
 func (k EventKind) String() string {

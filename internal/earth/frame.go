@@ -16,6 +16,22 @@ type Frame struct {
 
 	threads []ThreadBody
 	slots   []slot
+
+	// san is the per-frame signal ledger attached by an engine running
+	// with Config.Sanitize (see sanitize.go). While attached, the
+	// contract-violation paths in Dec and Add record the violation and
+	// keep going instead of panicking, so one run can surface every
+	// violation at once. Engines attach and read it only from the frame's
+	// home-node execution context, like every other frame mutation.
+	san *frameSan
+}
+
+// frameSan is the sanitize-mode ledger: which threads ever dispatched,
+// and how many contract violations each slot absorbed.
+type frameSan struct {
+	ran       []bool   // per thread: body dispatched at least once
+	overflow  []uint32 // per slot: syncs swallowed on an exhausted one-shot
+	underflow []uint32 // per slot: Adds that would have driven the counter <= 0
 }
 
 type slot struct {
@@ -93,6 +109,10 @@ func (f *Frame) Dec(s int) (fired bool, thread int) {
 		panic(fmt.Sprintf("earth: sync on uninitialised slot %d", s))
 	}
 	if sl.count <= 0 {
+		if f.san != nil {
+			f.san.overflow[s]++
+			return false, 0
+		}
 		panic(fmt.Sprintf("earth: sync on exhausted one-shot slot %d", s))
 	}
 	sl.count--
@@ -115,10 +135,16 @@ func (f *Frame) Add(s, delta int) {
 	if !sl.inited {
 		panic(fmt.Sprintf("earth: Add on uninitialised slot %d", s))
 	}
-	sl.count += delta
-	if sl.count <= 0 {
-		panic(fmt.Sprintf("earth: Add(%d) drove slot %d to %d; use Sync to fire slots", delta, s, sl.count))
+	if nc := sl.count + delta; nc <= 0 {
+		if f.san != nil {
+			// Sanitize mode: record the underflow and leave the counter
+			// untouched, so later signals still behave predictably.
+			f.san.underflow[s]++
+			return
+		}
+		panic(fmt.Sprintf("earth: Add(%d) drove slot %d to %d; use Sync to fire slots", delta, s, nc))
 	}
+	sl.count += delta
 }
 
 // ThreadBody returns the installed body of thread id. Engine use.
@@ -127,5 +153,25 @@ func (f *Frame) ThreadBody(id int) ThreadBody {
 	if b == nil {
 		panic(fmt.Sprintf("earth: thread %d enabled but not set", id))
 	}
+	if f.san != nil {
+		f.san.ran[id] = true
+	}
 	return b
 }
+
+// BeginSanitize attaches the signal ledger the sanitizer scans at run
+// end (see BuildSanitizeReport). Engine use only; must be called from
+// the frame's home node context, like Dec.
+func (f *Frame) BeginSanitize() {
+	if f.san == nil {
+		f.san = &frameSan{
+			ran:       make([]bool, len(f.threads)),
+			overflow:  make([]uint32, len(f.slots)),
+			underflow: make([]uint32, len(f.slots)),
+		}
+	}
+}
+
+// Sanitized reports whether a signal ledger is attached, so engines
+// register each frame exactly once.
+func (f *Frame) Sanitized() bool { return f.san != nil }

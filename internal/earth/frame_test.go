@@ -167,3 +167,117 @@ func TestThreadBodyUnsetPanics(t *testing.T) {
 	}()
 	f.ThreadBody(0)
 }
+
+func TestResetReloadSemantics(t *testing.T) {
+	// A recurring slot reloads count=reset on fire, even when reset
+	// differs from the initial count — the first window is init-sized,
+	// every later window is reset-sized.
+	f := NewFrame(0, 1, 1)
+	f.SetThread(0, body)
+	f.InitSync(0, 2, 3, 0)
+	var fires []int
+	for i := 1; i <= 8; i++ {
+		if fired, _ := f.Dec(0); fired {
+			fires = append(fires, i)
+		}
+	}
+	want := []int{2, 5, 8} // 2 then every 3
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+	if got := f.SlotCount(0); got != 3 {
+		t.Fatalf("counter after last fire = %d, want reloaded reset 3", got)
+	}
+}
+
+func TestAddNegativeDelta(t *testing.T) {
+	// Negative deltas are legal as long as the counter stays positive:
+	// the slot needs fewer signals than first announced, but firing is
+	// still only ever through Dec.
+	f := NewFrame(0, 1, 1)
+	f.SetThread(0, body)
+	f.InitSync(0, 5, 0, 0)
+	f.Add(0, -3)
+	if got := f.SlotCount(0); got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+	if fired, _ := f.Dec(0); fired {
+		t.Fatal("fired one Dec early")
+	}
+	if fired, _ := f.Dec(0); !fired {
+		t.Fatal("did not fire after the adjusted count of Decs")
+	}
+}
+
+func TestOneShotDoubleFirePanics(t *testing.T) {
+	// Signalling a reset=0 slot past exhaustion is the canonical
+	// over-signal bug; without a sanitize ledger it must panic.
+	f := NewFrame(0, 1, 1)
+	f.SetThread(0, body)
+	f.InitSync(0, 1, 0, 0)
+	if fired, _ := f.Dec(0); !fired {
+		t.Fatal("one-shot slot did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("second fire of a one-shot slot did not panic")
+		}
+	}()
+	f.Dec(0)
+}
+
+func TestSanitizeModeRecordsInsteadOfPanicking(t *testing.T) {
+	// With the ledger attached, the same two bugs are recorded and
+	// swallowed: the run keeps going and the report carries the counts.
+	f := NewFrame(0, 2, 1)
+	f.SetThread(0, body)
+	f.SetThread(1, body)
+	f.InitSync(0, 1, 0, 0)
+	f.BeginSanitize()
+	if !f.Sanitized() {
+		t.Fatal("ledger not attached")
+	}
+	if fired, _ := f.Dec(0); !fired {
+		t.Fatal("one-shot slot did not fire")
+	}
+	// Double fire: swallowed, not panicking, and never reported as fired.
+	for i := 0; i < 2; i++ {
+		if fired, _ := f.Dec(0); fired {
+			t.Fatal("exhausted slot fired again under sanitize")
+		}
+	}
+	// Underflowing Add: swallowed, counter untouched.
+	f.Add(0, -7)
+	if got := f.SlotCount(0); got != 0 {
+		t.Fatalf("rejected Add changed the counter to %d", got)
+	}
+	f.ThreadBody(0) // thread 0 dispatches; thread 1 never does
+	rep := BuildSanitizeReport([]*Frame{f})
+	if rep.FramesTracked != 1 || rep.SlotsTracked != 1 {
+		t.Fatalf("tracked frames=%d slots=%d, want 1/1", rep.FramesTracked, rep.SlotsTracked)
+	}
+	want := []SanitizeFinding{
+		{Kind: SanOverflow, Home: 0, Threads: 2, Slots: 1, Index: 0, Count: 2, Frames: 1},
+		{Kind: SanUnderflow, Home: 0, Threads: 2, Slots: 1, Index: 0, Count: 1, Frames: 1},
+		{Kind: SanThreadNeverRan, Home: 0, Threads: 2, Slots: 1, Index: 1, Frames: 1},
+	}
+	if len(rep.Findings) != len(want) {
+		t.Fatalf("findings:\n%s\nwant %d findings", rep, len(want))
+	}
+	for i := range want {
+		if rep.Findings[i] != want[i] {
+			t.Errorf("finding %d = %+v, want %+v", i, rep.Findings[i], want[i])
+		}
+	}
+	// BeginSanitize is idempotent: re-attaching must not clear the ledger.
+	f.BeginSanitize()
+	rep2 := BuildSanitizeReport([]*Frame{f})
+	if len(rep2.Findings) != len(want) {
+		t.Fatal("re-attaching the ledger cleared recorded violations")
+	}
+}

@@ -82,6 +82,11 @@ type lnode struct {
 	tokensStolen uint64
 	syncs        uint64
 	busy         time.Duration
+	// sanFrames lists the frames first touched on this node's executor
+	// during a sanitized run. Appended only from the executor that owns
+	// the frame's queues (the adopter after a crash handoff); read by Run
+	// after wg.Wait, which orders the accesses.
+	sanFrames []*earth.Frame
 
 	// Fault counters are atomics: senders and timers update them from
 	// arbitrary goroutines.
@@ -122,6 +127,9 @@ type Runtime struct {
 	reassignRR  atomic.Int64
 	// coalOn caches cfg.Coalesce.Enabled for the per-operation hot path.
 	coalOn bool
+	// sanOn caches cfg.Sanitize: frames are ledgered on first engine
+	// contact and scanned at quiescence (see lnode.sanTrack).
+	sanOn bool
 }
 
 var _ earth.Runtime = (*Runtime)(nil)
@@ -130,7 +138,7 @@ var _ earth.Runtime = (*Runtime)(nil)
 // accepted for interface compatibility but not charged.
 func New(cfg earth.Config) *Runtime {
 	cfg = cfg.WithDefaults()
-	rt := &Runtime{cfg: cfg, tr: cfg.Tracer, coalOn: cfg.Coalesce.Enabled}
+	rt := &Runtime{cfg: cfg, tr: cfg.Tracer, coalOn: cfg.Coalesce.Enabled, sanOn: cfg.Sanitize}
 	rt.nodes = make([]*lnode, cfg.Nodes)
 	for i := range rt.nodes {
 		rt.nodes[i] = &lnode{
@@ -181,6 +189,7 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		n.redirect = -1
 		n.threadsRun, n.tokensRun, n.tokensStolen, n.syncs = 0, 0, 0, 0
 		n.busy = 0
+		n.sanFrames = n.sanFrames[:0]
 		n.faultsInjected.Store(0)
 		n.retries.Store(0)
 		n.recovered.Store(0)
@@ -239,6 +248,19 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 			FramesReplayed:   n.framesReplayed.Load(),
 			TokensReassigned: n.tokensReassigned.Load(),
 			DetectionLatency: sim.Time(n.detectionLatency.Load()),
+		}
+	}
+	if rt.sanOn {
+		var frames []*earth.Frame
+		for _, n := range rt.nodes {
+			frames = append(frames, n.sanFrames...)
+		}
+		st.Sanitize = earth.BuildSanitizeReport(frames)
+		if rt.tr != nil {
+			for _, fd := range st.Sanitize.Findings {
+				rt.tr.Event(earth.Event{Time: st.Elapsed, Node: fd.Home, Peer: earth.NoPeer,
+					Kind: earth.EvSanitize, Bytes: fd.Index, Dur: sim.Time(fd.Count)})
+			}
 		}
 	}
 	return st
@@ -744,9 +766,22 @@ func (n *lnode) decSlot(from earth.NodeID, f *earth.Frame, slot int) {
 		n.rt.tr.Event(earth.Event{Time: n.rt.now(), Node: n.id, Peer: from,
 			Kind: earth.EvSyncSignal})
 	}
+	n.sanTrack(f)
 	if fired, th := f.Dec(slot); fired {
 		n.rt.enqueue(n, item{body: f.ThreadBody(th), cause: earth.CauseSync})
 	}
+}
+
+// sanTrack attaches the sanitize ledger to f on its first engine contact
+// and records the frame for the end-of-run scan. All frame operations
+// run on the executor owning the frame's queues, so the attach needs no
+// lock.
+func (n *lnode) sanTrack(f *earth.Frame) {
+	if !n.rt.sanOn || f == nil || f.Sanitized() {
+		return
+	}
+	f.BeginSanitize()
+	n.sanFrames = append(n.sanFrames, f)
 }
 
 // ctx implements earth.Ctx on the live engine.
@@ -785,6 +820,7 @@ func (c *ctx) Spawn(f *earth.Frame, thread int) {
 	if f.Home != c.n.id && !c.rt.adopted(f.Home, c.n) {
 		panic(fmt.Sprintf("livert: Spawn of frame on node %d from node %d", f.Home, c.n.id))
 	}
+	c.n.sanTrack(f)
 	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread), cause: earth.CauseSpawn})
 }
 

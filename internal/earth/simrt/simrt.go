@@ -205,6 +205,9 @@ type node struct {
 	// spans records busy intervals for utilisation sampling; only
 	// maintained while a tracer with UtilSamplePeriod is installed.
 	spans []span
+	// sanFrames lists the frames first touched on this node's execution
+	// context during a sanitized run, for the end-of-run ledger scan.
+	sanFrames []*earth.Frame
 	// dispatchFn is the node's dispatch continuation, allocated once and
 	// reused for every reschedule of the dispatch chain.
 	dispatchFn func()
@@ -306,6 +309,9 @@ type Runtime struct {
 	tr        earth.Tracer // cached cfg.Tracer; nil disables all emission
 	// coalOn caches cfg.Coalesce.Enabled for the per-operation hot path.
 	coalOn bool
+	// sanOn caches cfg.Sanitize: frames are ledgered on first engine
+	// contact and scanned at quiescence (see sanTrack).
+	sanOn bool
 	// sampling is true when a tracer with UtilSamplePeriod is installed; it
 	// makes the Busy accrual points also record spans for window attribution.
 	sampling bool
@@ -380,6 +386,7 @@ func New(cfg earth.Config) *Runtime {
 		lookahead:     mc.MinRemoteLatency(),
 		tr:            cfg.Tracer,
 		coalOn:        cfg.Coalesce.Enabled,
+		sanOn:         cfg.Sanitize,
 		victimScratch: make([]*node, 0, cfg.Nodes),
 	}
 	for i := range rt.shards {
@@ -522,6 +529,7 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		n.rr = 0
 		n.seen = nil
 		n.spans = n.spans[:0]
+		n.sanFrames = n.sanFrames[:0]
 		n.stats = earth.NodeStats{}
 		if n.coal != nil {
 			n.coal.reset()
@@ -559,6 +567,19 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 	}
 	for i, n := range rt.nodes {
 		st.Nodes[i] = n.stats
+	}
+	if rt.sanOn {
+		var frames []*earth.Frame
+		for _, n := range rt.nodes {
+			frames = append(frames, n.sanFrames...)
+		}
+		st.Sanitize = earth.BuildSanitizeReport(frames)
+		if rt.tr != nil {
+			for _, fd := range st.Sanitize.Findings {
+				rt.emit(nil, earth.Event{Time: rt.maxExec, Node: fd.Home, Peer: earth.NoPeer,
+					Kind: earth.EvSanitize, Bytes: fd.Index, Dur: sim.Time(fd.Count)})
+			}
+		}
 	}
 	rt.flushTrace()
 	return st
@@ -1297,9 +1318,24 @@ func (rt *Runtime) decSlot(n *node, from earth.NodeID, at sim.Time, f *earth.Fra
 	if rt.tr != nil {
 		rt.emit(n.sh, earth.Event{Time: at, Node: n.id, Peer: from, Kind: earth.EvSyncSignal})
 	}
+	rt.sanTrack(n, f)
 	if fired, th := f.Dec(slot); fired {
 		rt.enqueue(n, item{body: f.ThreadBody(th), enq: at, cause: earth.CauseSync})
 	}
+}
+
+// sanTrack attaches the sanitize ledger to f on its first engine contact
+// and records the frame for the end-of-run scan. Every engine-mediated
+// frame operation runs on the frame's (current) home node's execution
+// context, so the attach is race-free even under shards; crash adoption
+// moves that context wholesale, and the Sanitized check keeps a frame
+// from registering twice across the move.
+func (rt *Runtime) sanTrack(n *node, f *earth.Frame) {
+	if !rt.sanOn || f == nil || f.Sanitized() {
+		return
+	}
+	f.BeginSanitize()
+	n.sanFrames = append(n.sanFrames, f)
 }
 
 // send charges the network for a message and returns its arrival time.
@@ -1384,6 +1420,7 @@ func (c *ctx) Spawn(f *earth.Frame, thread int) {
 		panic(fmt.Sprintf("simrt: Spawn of frame on node %d from node %d; use Invoke or Sync", f.Home, c.n.id))
 	}
 	c.cursor += c.rt.cfg.Costs.SpawnLocal
+	c.rt.sanTrack(c.n, f)
 	c.rt.enqueue(c.n, item{body: f.ThreadBody(thread), enq: c.cursor, cause: earth.CauseSpawn})
 }
 

@@ -398,6 +398,9 @@ func phaseRank(k earth.EventKind) uint8 {
 		return 5
 	case earth.EvSyncSignal:
 		return 6
+	case earth.EvSanitize:
+		// End-of-run scan results; after everything else at the makespan.
+		return 8
 	default: // EvUtilSample
 		return 7
 	}

@@ -60,6 +60,10 @@ type Stats struct {
 	Nodes []NodeStats
 	// Events is the number of simulator events dispatched (simrt only).
 	Events uint64
+	// Sanitize is the sync-contract scan of a Config.Sanitize run; nil
+	// otherwise (and omitted from JSON, so unsanitized artifacts stay
+	// byte-identical to earlier versions).
+	Sanitize *SanitizeReport
 }
 
 // TotalMsgs sums messages across nodes.
@@ -210,6 +214,7 @@ type statsJSON struct {
 	Replayed    uint64          `json:"frames_replayed,omitempty"`
 	Reassigned  uint64          `json:"tokens_reassigned,omitempty"`
 	Nodes       []nodeStatsJSON `json:"nodes"`
+	Sanitize    *SanitizeReport `json:"sanitize,omitempty"`
 }
 
 // MarshalJSON exports the run summary machine-readably: per-node
@@ -252,6 +257,7 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 		Replayed:    s.TotalReplayed(),
 		Reassigned:  s.TotalReassigned(),
 		Nodes:       nodes,
+		Sanitize:    s.Sanitize,
 	})
 }
 
@@ -265,6 +271,7 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 	}
 	s.Elapsed = w.ElapsedNS
 	s.Events = w.Events
+	s.Sanitize = w.Sanitize
 	s.Nodes = make([]NodeStats, len(w.Nodes))
 	for i, n := range w.Nodes {
 		s.Nodes[i] = NodeStats{
@@ -300,6 +307,13 @@ func (s *Stats) String() string {
 	}
 	if r, t := s.TotalReplayed(), s.TotalReassigned(); r > 0 || t > 0 {
 		fmt.Fprintf(&b, " replayed=%d reassigned=%d", r, t)
+	}
+	if s.Sanitize != nil {
+		if s.Sanitize.Clean() {
+			b.WriteString(" sanitize=clean")
+		} else {
+			fmt.Fprintf(&b, " sanitize=%d finding(s)", len(s.Sanitize.Findings))
+		}
 	}
 	return b.String()
 }
