@@ -10,7 +10,7 @@
 //	         [-critpath] [-debug-http addr]
 //	         [-sample DUR] [-runs N] [-workers W] [-coalesce]
 //	         [-sanitize] [-sanitize-json out.json]
-//	         [-faults PLAN] [-fault-seed S]
+//	         [-faults PLAN] [-fault-seed S] [-retry-lease DUR] [-retry-jitter J]
 //
 // -coalesce enables the batched wire path: same-destination small
 // messages issued within one engine step merge into a single wire
@@ -32,9 +32,19 @@
 // filtered by sequence numbers, bounded reordering, node pauses, link
 // degradation, and crash-stop node failures recovered by lease-based
 // detection, frame adoption and token re-dispatch — e.g.
-// crash=2@1ms). The realisation derives from -seed unless the plan spec
-// carries seed=N or -fault-seed pins it; two invocations with the same
-// -faults and -fault-seed produce byte-identical statistics.
+// crash=2@1ms). Network partitions (partition=0.1|2.3@1ms-3ms) cut the
+// machine into two groups for a window; a window outliving the
+// detection lease (-retry-lease) makes the majority wrongly declare the
+// minority dead, fence its epoch and adopt its work, while the minority
+// self-fences and rejoins at heal as a steal-only worker — stale-epoch
+// messages are rejected on receipt. corrupt=p flips payload bits
+// in-flight; per-message checksums detect them on the receiver and the
+// sender retransmits. The realisation derives from -seed unless the
+// plan spec carries seed=N or -fault-seed pins it; two invocations with
+// the same -faults and -fault-seed produce byte-identical statistics.
+// -retry-jitter spreads retransmit backoff by a seeded factor so the
+// storm after a partition heals doesn't stampede one link; it stays
+// deterministic under the simulator.
 //
 // With -runs N > 1 the simulation repeats on fresh runtimes seeded
 // seed, seed+7919, seed+2*7919, ... and reports the elapsed virtual
@@ -125,6 +135,10 @@ func main() {
 		`fault plan, e.g. "drop=0.05,dup=0.02,reorder=0.1,window=200us,pause=2@1ms-2ms,degrade=*@0s-5msx4"`)
 	faultSeed := flag.Int64("fault-seed", 0,
 		"pin the fault realisation (0: derive from -seed, so -runs sweeps realisations)")
+	retryLease := flag.Duration("retry-lease", 0,
+		"failure-detector lease before survivors declare a silent node dead (0: 5x the retry timeout)")
+	retryJitter := flag.Float64("retry-jitter", 0,
+		"seeded retransmit-backoff jitter fraction in [0,1) (0 disables)")
 	flag.Parse()
 
 	var costs earth.CostModel
@@ -168,9 +182,13 @@ func main() {
 	if *sanitizeJSON != "" {
 		*sanitize = true
 	}
+	if *retryJitter < 0 || *retryJitter >= 1 {
+		fail("-retry-jitter must be in [0,1), got %v", *retryJitter)
+	}
 	cfg := earth.Config{Nodes: *nodes, Costs: costs, Seed: *seed, Balancer: bal,
 		JitterPct: *jitter, Shards: *shards, Sanitize: *sanitize,
-		Coalesce: earth.CoalesceConfig{Enabled: *coalesce}}
+		Coalesce: earth.CoalesceConfig{Enabled: *coalesce},
+		Retry:    earth.RetryPolicy{Lease: sim.Time(retryLease.Nanoseconds()), Jitter: *retryJitter}}
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)
 		if err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos|crash|overhead]
+//	paperfigs [-exp all|table1|figure2|table2|figure4|figure5|table3|figure7|figure8|ablations|chaos|crash|partition|overhead]
 //	          [-runs N] [-nodes 1,2,4,8,11,14,16,20] [-seed S] [-workers W]
 //	          [-shards S] [-json out.json] [-faults PLAN] [-nocoalesce]
 //
@@ -15,6 +15,11 @@
 // deterministic node kills staggered across the run, reporting
 // convergence rate, detection latency, recovery effort and slowdown
 // against the clean baseline.
+//
+// -exp partition runs the partition sweep: every workload under network
+// partitions swept across the window-duration × detection-lease grid,
+// reporting wrong-verdict counts, epoch-fenced work lost and makespan
+// overhead — the cost envelope of fallible failure detection.
 //
 // -exp overhead re-runs every sweep workload traced, reconstructs the
 // causal DAG with internal/critpath, and attributes every nanosecond of
@@ -131,6 +136,8 @@ func main() {
 		reports = []*harness.Report{harness.FaultSweep(cfg, plan)}
 	case "crash":
 		reports = []*harness.Report{harness.CrashSweep(cfg)}
+	case "partition":
+		reports = []*harness.Report{harness.PartitionSweep(cfg)}
 	case "overhead":
 		reports = []*harness.Report{harness.Overhead(cfg)}
 	default:

@@ -106,6 +106,26 @@ func (c *mapCoalescer) flushAll(emit func(dst, bytes int)) {
 	}
 }
 
+// The rejoin-handshake idiom (a fenced executor parking on its wake
+// channel until the heal timer pokes it, as livert's partition protocol
+// uses) still fires without a directive — the safety argument that the
+// park/wake pair orders fence before rejoin belongs in the annotation.
+type fenceNode struct {
+	wake   chan any
+	halted bool
+}
+
+func rejoinHandshakeUnannotated(n *fenceNode, drain func()) {
+	go func() { // want `bare go statement outside the engine scheduler`
+		for range n.wake {
+			if n.halted {
+				continue
+			}
+			drain()
+		}
+	}()
+}
+
 func reasonlessDirective(m map[string]int) {
 	//detlint:allow // want `directive needs a reason`
 	for k := range m { // want `map iteration order`

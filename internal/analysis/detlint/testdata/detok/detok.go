@@ -152,3 +152,31 @@ func shardWorkers(shards []*shard) (stop func()) {
 		}
 	}
 }
+
+// The rejoin-handshake idiom: a partitioned node's executor parks on its
+// wake channel after self-fencing and the heal timer pokes it back to
+// life at the bumped epoch. The executor goroutine is annotated — the
+// park/wake pair totally orders self-fence before rejoin, and a parked
+// executor produces no output to reorder.
+type rejoinNode struct {
+	wake   chan any
+	halted bool
+	epoch  uint64
+}
+
+func rejoinHandshake(n *rejoinNode, drain func()) (heal func()) {
+	//detlint:allow the park/wake handshake totally orders self-fence before rejoin; a parked executor emits nothing
+	go func() {
+		for range n.wake {
+			if n.halted {
+				continue // still fenced: park again until the heal poke
+			}
+			drain()
+		}
+	}()
+	return func() {
+		n.halted = false
+		n.epoch++
+		n.wake <- nil
+	}
+}

@@ -55,6 +55,16 @@ const (
 	// EvBatchFlush mirrors the coalescer's batch-flush event: ok.go emits
 	// it behind the nil guard and misuse.go without one.
 	EvBatchFlush
+	// EvPartitionFence mirrors the wrong-verdict fence event of the
+	// partition protocol: ok.go emits it behind the nil guard, so the
+	// audit must stay quiet about it.
+	EvPartitionFence
+	// EvFenced mirrors the stale-epoch message rejection event: misuse.go
+	// emits it without the guard, which must fire the guard check only.
+	EvFenced
+	// EvRejoined mirrors the partition-heal rejoin event; declared without
+	// ever wiring the emission into an engine, the audit must flag it.
+	EvRejoined // want `trace-event constant EvRejoined is defined but never emitted`
 )
 
 // Event mirrors earth.Event, including the latency and peer attribution

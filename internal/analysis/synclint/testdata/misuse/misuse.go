@@ -65,3 +65,10 @@ func (e *engine) wrongGuard(other api.Tracer, now int64) {
 func (e *engine) unguardedFlush(now int64, dst, bytes int) {
 	e.tr.Event(api.Event{Time: now, Peer: dst, Bytes: bytes, Kind: api.EvBatchFlush}) // want `e.tr.Event emission without a nil-tracer guard`
 }
+
+// unguardedStaleReject mirrors rejecting a stale-epoch message without
+// the nil-tracer guard: every untraced partitioned run would crash at
+// the first fenced delivery.
+func (e *engine) unguardedStaleReject(now int64, src int) {
+	e.tr.Event(api.Event{Time: now, Peer: src, Kind: api.EvFenced}) // want `e.tr.Event emission without a nil-tracer guard`
+}

@@ -92,3 +92,13 @@ func (e *engine) flushBatch(now int64, dst, bytes, msgs int) {
 			Kind: api.EvBatchFlush, Dur: int64(msgs)})
 	}
 }
+
+// fencePeer mirrors the epoch-fencing adoption emission: a survivor
+// records the wrong verdict against its silent peer behind the nil
+// guard, with the detection lease attached as the duration.
+func (e *engine) fencePeer(now, lease int64, peer int) {
+	if e.tr != nil {
+		e.tr.Event(api.Event{Time: now, Peer: peer,
+			Kind: api.EvPartitionFence, Dur: lease})
+	}
+}

@@ -250,7 +250,12 @@ func buildIndex(events []earth.Event, nodes int, makespan sim.Time) []*nodeIdx {
 			if inRange(e.Peer) {
 				idx[e.Peer].posts = append(idx[e.Peer].posts, e)
 			}
-		case earth.EvTimedOut, earth.EvRetry, earth.EvRecovered, earth.EvFrameReplayed:
+		case earth.EvTimedOut, earth.EvRetry, earth.EvRecovered, earth.EvFrameReplayed,
+			earth.EvPartitionFence, earth.EvFenced, earth.EvRejoined, earth.EvCorrupt,
+			earth.EvPartitionStart, earth.EvPartitionHeal:
+			// Partition-protocol work counts as recovery overhead like the
+			// drop/crash machinery. A fenced node is never marked dead —
+			// it parks and rejoins, so its clock keeps running.
 			ni.recovery = append(ni.recovery, e.Time)
 		case earth.EvNodeDown:
 			// Detection and adoption work lands on the survivor; the dead

@@ -49,14 +49,21 @@ func decodeFuzzProgram(data []byte) fuzzProgram {
 
 // run executes the decoded program on rt and returns the accumulated
 // total plus whether the fan-in slot fired.
-func (p fuzzProgram) run(rt earth.Runtime) (total int, done bool) {
+func (p fuzzProgram) run(rt earth.Runtime) (int, bool) {
+	_, total, done := p.runStats(rt)
+	return total, done
+}
+
+// runStats is run plus the engine's stats, for fuzzers asserting on
+// fault counters.
+func (p fuzzProgram) runStats(rt earth.Runtime) (st *earth.Stats, total int, done bool) {
 	b := func(i int) int {
 		if len(p.data) == 0 {
 			return 0
 		}
 		return int(p.data[i%len(p.data)])
 	}
-	rt.Run(func(c earth.Ctx) {
+	st = rt.Run(func(c earth.Ctx) {
 		f := earth.NewFrame(0, 1, 1)
 		f.InitSync(0, p.leaves, 0, 0)
 		f.SetThread(0, func(earth.Ctx) { done = true })
@@ -82,7 +89,7 @@ func (p fuzzProgram) run(rt earth.Runtime) (total int, done bool) {
 		}
 		descend(c, p.depth, 0)
 	})
-	return total, done
+	return st, total, done
 }
 
 // FuzzFramePrograms: any byte-derived frame/sync-slot DAG must complete

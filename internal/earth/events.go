@@ -114,6 +114,39 @@ const (
 	// violation count, and Time the run's makespan (the scan happens at
 	// quiescence). A sanitized clean run emits none.
 	EvSanitize
+	// EvPartitionStart/EvPartitionHeal bracket one partition window as
+	// seen by one minority-side node: Node is the partitioned node, Dur
+	// the window length on the start event. Heal is emitted only for
+	// nodes that did not self-fence (fenced nodes emit EvRejoined
+	// instead, which carries the reconciliation accounting).
+	EvPartitionStart
+	EvPartitionHeal
+	// EvPartitionFence reports a wrong failure verdict: a partition
+	// outlived the detection lease, so the survivors declared Peer (a
+	// merely partitioned node) dead, bumped its incarnation epoch, and
+	// Node (the ring successor) adopted its frames and queued work. Dur
+	// is the detection latency (RetryPolicy.Lease). The adopted work
+	// itself is traced by the same EvFrameReplayed/EvWorkReassigned
+	// events a real crash produces, with Cause = CausePartition.
+	EvPartitionFence
+	// EvFenced reports a stale-epoch message rejected by the receiver's
+	// fencing check: Node is the rejecting receiver, Peer the sender
+	// whose incarnation epoch was stale (it had been declared dead while
+	// merely partitioned). The message's effect is discarded — adopted
+	// frame state is never touched by the old incarnation.
+	EvFenced
+	// EvRejoined reports a self-fenced node completing its reconciliation
+	// handshake when the partition heals: Node is the rejoining node, Dur
+	// how long it was fenced (heal minus fence instant). It rejoins at
+	// the bumped epoch as a steal-only worker; ownership of its adopted
+	// frames stays with the adopter.
+	EvRejoined
+	// EvCorrupt reports the receiver's checksum having caught one or more
+	// bit-flipped attempts of a message before its clean copy landed: Node
+	// is the receiver, Peer the sender, Dur the end-to-end issue-to-
+	// delivery latency the NACK+resend exchanges inflated. (EvRecovered
+	// stays reserved for drop recovery.)
+	EvCorrupt
 
 	numEventKinds
 )
@@ -148,6 +181,12 @@ var eventKindNames = [numEventKinds]string{
 	EvWorkReassigned: "work.reassigned",
 	EvBatchFlush:     "batch.flush",
 	EvSanitize:       "sanitize",
+	EvPartitionStart: "partition.start",
+	EvPartitionHeal:  "partition.heal",
+	EvPartitionFence: "partition.fence",
+	EvFenced:         "fenced",
+	EvRejoined:       "rejoined",
+	EvCorrupt:        "corrupt",
 }
 
 func (k EventKind) String() string {
@@ -183,22 +222,31 @@ const (
 	// CauseCrash qualifies EvFaultInjected for a crash-stop failure and
 	// the work re-dispatched because of one.
 	CauseCrash
+	// CausePartition qualifies partition-induced events: messages held at
+	// a cut link, work adopted after a wrong death verdict, threads
+	// re-dispatched from a fenced node's queues.
+	CausePartition
+	// CauseCorrupt qualifies EvFaultInjected and the recovery events that
+	// follow a checksum-detected payload corruption.
+	CauseCorrupt
 
 	numCauses
 )
 
 var causeNames = [numCauses]string{
-	CauseSpawn:   "spawn",
-	CauseSync:    "sync",
-	CauseInvoke:  "invoke",
-	CauseToken:   "token",
-	CauseSteal:   "steal",
-	CauseHandler: "handler",
-	CauseDrop:    "drop",
-	CauseDup:     "dup",
-	CauseDelay:   "delay",
-	CausePause:   "pause",
-	CauseCrash:   "crash",
+	CauseSpawn:     "spawn",
+	CauseSync:      "sync",
+	CauseInvoke:    "invoke",
+	CauseToken:     "token",
+	CauseSteal:     "steal",
+	CauseHandler:   "handler",
+	CauseDrop:      "drop",
+	CauseDup:       "dup",
+	CauseDelay:     "delay",
+	CausePause:     "pause",
+	CauseCrash:     "crash",
+	CausePartition: "partition",
+	CauseCorrupt:   "corrupt",
 }
 
 func (c Cause) String() string {

@@ -76,6 +76,16 @@ type lnode struct {
 	// can wait for the handoff point before draining.
 	dead   atomic.Bool
 	exited chan struct{}
+	// halted is set by the fence timer when a partition outlives the
+	// node's lease: the executor parks (it will resume at heal, unlike
+	// dead). fenced stays set for the rest of the run once the node has
+	// been fenced — ownership of its queues moved to the adopter
+	// permanently, and a rejoined node re-enters steal-only. epoch is the
+	// node's incarnation epoch, bumped at each fence; senders stamp it on
+	// every remote message and receivers reject stale stamps.
+	halted atomic.Bool
+	fenced atomic.Bool
+	epoch  atomic.Uint64
 
 	threadsRun   uint64
 	tokensRun    uint64
@@ -98,6 +108,11 @@ type lnode struct {
 	framesReplayed   atomic.Uint64
 	tokensReassigned atomic.Uint64
 	detectionLatency atomic.Int64
+	// Partition/fencing and integrity counters.
+	msgsFenced    atomic.Uint64
+	msgsCorrupted atomic.Uint64
+	wrongVerdicts atomic.Uint64
+	rejoins       atomic.Uint64
 }
 
 // Runtime is a real-concurrency EARTH machine.
@@ -125,6 +140,14 @@ type Runtime struct {
 	crashTimers []*time.Timer
 	crashWG     sync.WaitGroup
 	reassignRR  atomic.Int64
+	// hasPart gates the partition machinery (epoch stamping, cut-link
+	// holds, fence/heal timers); fences is the static wrong-verdict
+	// schedule (used so a node never adopts into a peer fencing at the
+	// same scheduled instant); jitterOn gates the seeded retransmit
+	// jitter draw.
+	hasPart  bool
+	fences   []faults.Fence
+	jitterOn bool
 	// coalOn caches cfg.Coalesce.Enabled for the per-operation hot path.
 	coalOn bool
 	// sanOn caches cfg.Sanitize: frames are ledgered on first engine
@@ -165,6 +188,16 @@ func New(cfg earth.Config) *Runtime {
 				panic("livert: crash plan kills every node; at least one must survive")
 			}
 		}
+		if cfg.Faults.HasPartition() {
+			rt.hasPart = true
+			rt.fences = cfg.Faults.PartitionFences(cfg.Nodes, rt.retry.Lease)
+			if len(rt.fences) > 0 {
+				if err := cfg.Faults.CheckFences(cfg.Nodes, rt.retry.Lease); err != nil {
+					panic("livert: " + err.Error())
+				}
+			}
+		}
+		rt.jitterOn = rt.retry.Jitter > 0
 	}
 	return rt
 }
@@ -197,7 +230,14 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		n.framesReplayed.Store(0)
 		n.tokensReassigned.Store(0)
 		n.detectionLatency.Store(0)
+		n.msgsFenced.Store(0)
+		n.msgsCorrupted.Store(0)
+		n.wrongVerdicts.Store(0)
+		n.rejoins.Store(0)
 		n.dead.Store(false)
+		n.halted.Store(false)
+		n.fenced.Store(false)
+		n.epoch.Store(0)
 		n.exited = make(chan struct{})
 	}
 	if rt.inj != nil {
@@ -225,6 +265,27 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 			}
 		}
 	}
+	if rt.hasPart {
+		rt.reassignRR.Store(0)
+		lease := rt.retry.Lease
+		for _, pt := range rt.plan.Partition {
+			pt := pt
+			fenced := pt.From+lease < pt.To
+			if rt.tr != nil {
+				rt.armCrashTimer(pt.From, func() { rt.partitionStart(pt) })
+			}
+			if fenced {
+				for _, x := range pt.Minority() {
+					if x >= len(rt.nodes) {
+						continue
+					}
+					x := x
+					rt.armCrashTimer(pt.From+lease, func() { rt.fenceNode(x) })
+				}
+			}
+			rt.armCrashTimer(pt.To, func() { rt.healPartition(pt, fenced) })
+		}
+	}
 	rt.enqueue(rt.nodes[0], item{body: main, cause: earth.CauseSpawn})
 	<-rt.done
 	wg.Wait()
@@ -248,6 +309,10 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 			FramesReplayed:   n.framesReplayed.Load(),
 			TokensReassigned: n.tokensReassigned.Load(),
 			DetectionLatency: sim.Time(n.detectionLatency.Load()),
+			MsgsFenced:       n.msgsFenced.Load(),
+			MsgsCorrupted:    n.msgsCorrupted.Load(),
+			WrongVerdicts:    n.wrongVerdicts.Load(),
+			Rejoins:          n.rejoins.Load(),
 		}
 	}
 	if rt.sanOn {
@@ -281,10 +346,10 @@ func (rt *Runtime) armCrashTimer(d sim.Time, fn func()) {
 	rt.crashMu.Unlock()
 }
 
-// reapCrashTimers stops every unfired crash/detection timer and waits
-// for in-flight callbacks to drain before Run assembles stats.
+// reapCrashTimers stops every unfired crash/detection/partition timer
+// and waits for in-flight callbacks to drain before Run assembles stats.
 func (rt *Runtime) reapCrashTimers() {
-	if rt.crashAt == nil {
+	if rt.crashAt == nil && !rt.hasPart {
 		return
 	}
 	rt.crashMu.Lock()
@@ -375,14 +440,161 @@ func (rt *Runtime) recoverNode(x int) {
 	}
 }
 
+// partitionStart marks the window opening for every minority-side node.
+// Armed only when a tracer is installed.
+func (rt *Runtime) partitionStart(pt faults.Partition) {
+	select {
+	case <-rt.done:
+		return
+	default:
+	}
+	now := rt.now()
+	for _, x := range pt.Minority() {
+		if x >= len(rt.nodes) {
+			continue
+		}
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: earth.NodeID(x), Peer: earth.NoPeer,
+				Kind: earth.EvPartitionStart, Dur: pt.To - pt.From, Cause: earth.CausePartition})
+		}
+	}
+}
+
+// fenceNode executes a wrong failure verdict one lease into a partition
+// window that outlives it: the survivors declare node x dead while x —
+// which has missed the same heartbeats — self-fences. The node's
+// incarnation epoch is bumped (every receiver will reject its stale
+// messages), its executor parks until the heal, and its queues drain to
+// the ring successor exactly as crash recovery does, with
+// CausePartition. Ownership of the drained queues never returns: the
+// redirect to the adopter is permanent and a rejoined node re-enters
+// steal-only.
+func (rt *Runtime) fenceNode(x int) {
+	select {
+	case <-rt.done:
+		return
+	default:
+	}
+	n := rt.nodes[x]
+	if n.dead.Load() || n.halted.Swap(true) {
+		return
+	}
+	n.fenced.Store(true)
+	n.epoch.Add(1)
+	n.poke()
+	// Same-instant fences race as concurrent timers here, so the adopter
+	// choice consults the static schedule too: never adopt into a peer
+	// whose own fence is scheduled at or before this one and unhealed.
+	at := rt.fenceAt(x)
+	s := earth.Adopter(earth.NodeID(x), len(rt.nodes), func(c earth.NodeID) bool {
+		return rt.nodes[c].dead.Load() || rt.nodes[c].fenced.Load() ||
+			rt.scheduledDown(int(c), at)
+	})
+	sn := rt.nodes[s]
+	n.detectionLatency.Store(int64(rt.retry.Lease))
+	sn.wrongVerdicts.Add(1)
+	now := rt.now()
+	if rt.tr != nil {
+		rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+			Kind: earth.EvPartitionFence, Dur: rt.retry.Lease, Cause: earth.CausePartition})
+	}
+	n.mu.Lock()
+	handlers, ready, tokens := n.handlers, n.ready, n.tokens
+	n.handlers, n.ready, n.tokens = nil, nil, nil
+	n.redirect = int(s)
+	n.mu.Unlock()
+	// Moves preserve the outstanding-work count, as in recoverNode. The
+	// executor may already have popped an item before the drain; it
+	// completes on the halted node (the same dispatch-boundary semantics
+	// a crash has).
+	for _, h := range handlers {
+		rt.pushHandler(sn, h)
+	}
+	for _, it := range ready {
+		it.enq = now
+		sn.framesReplayed.Add(1)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+				Kind: earth.EvFrameReplayed, Cause: earth.CausePartition})
+		}
+		rt.pushItem(sn, it)
+	}
+	for _, tk := range tokens {
+		t := rt.nextSurvivor()
+		tn := rt.nodes[t]
+		tn.tokensReassigned.Add(1)
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: t, Peer: earth.NodeID(x),
+				Kind: earth.EvWorkReassigned, Cause: earth.CausePartition})
+		}
+		rt.pushToken(tn, tk)
+	}
+}
+
+// fenceAt returns node x's scheduled fence instant (the earliest, if a
+// plan fences it repeatedly).
+func (rt *Runtime) fenceAt(x int) sim.Time {
+	for _, f := range rt.fences {
+		if f.Node == x {
+			return f.At
+		}
+	}
+	return 0
+}
+
+// scheduledDown reports whether node c has a fence scheduled at or
+// before instant at that has not healed by then — the wall-clock-free
+// stand-in for "c is fencing concurrently with this boundary".
+func (rt *Runtime) scheduledDown(c int, at sim.Time) bool {
+	for _, f := range rt.fences {
+		if f.Node == c && f.At <= at && at < f.Heal {
+			return true
+		}
+	}
+	return false
+}
+
+// healPartition fires at the window's end: fenced minority nodes rejoin
+// at their bumped epoch (steal-only — the adopter keeps their queues),
+// un-fenced ones just see their links restored.
+func (rt *Runtime) healPartition(pt faults.Partition, fenced bool) {
+	select {
+	case <-rt.done:
+		return
+	default:
+	}
+	now := rt.now()
+	for _, x := range pt.Minority() {
+		if x >= len(rt.nodes) {
+			continue
+		}
+		n := rt.nodes[x]
+		if fenced {
+			if n.dead.Load() || !n.halted.CompareAndSwap(true, false) {
+				continue
+			}
+			n.rejoins.Add(1)
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: now, Node: n.id, Peer: earth.NoPeer,
+					Kind: earth.EvRejoined, Dur: pt.To - pt.From - rt.retry.Lease,
+					Cause: earth.CausePartition})
+			}
+			n.poke()
+		} else if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: now, Node: n.id, Peer: earth.NoPeer,
+				Kind: earth.EvPartitionHeal, Cause: earth.CausePartition})
+		}
+	}
+}
+
 // nextSurvivor returns the balancer's next round-robin placement target
-// among nodes that have not crashed. Terminates because the engine
-// rejects plans that kill every node.
+// among nodes that have not crashed or been fenced. Terminates because
+// the engine rejects plans that leave no clean node.
 func (rt *Runtime) nextSurvivor() earth.NodeID {
 	p := len(rt.nodes)
 	for {
 		t := int(rt.reassignRR.Add(1)-1) % p
-		if !rt.nodes[t].dead.Load() {
+		if !rt.nodes[t].dead.Load() && !rt.nodes[t].fenced.Load() {
 			return earth.NodeID(t)
 		}
 	}
@@ -466,9 +678,9 @@ func (rt *Runtime) pushToken(n *lnode, tk ltoken) {
 }
 
 // adopted reports whether work homed on home now runs on n because crash
-// redirects route home's queues there.
+// or fence redirects route home's queues there.
 func (rt *Runtime) adopted(home earth.NodeID, n *lnode) bool {
-	if rt.crashAt == nil {
+	if rt.crashAt == nil && !rt.hasPart {
 		return false
 	}
 	ln := rt.nodes[home]
@@ -491,7 +703,7 @@ func (rt *Runtime) sendHandler(src earth.NodeID, dst *lnode, h earth.ThreadBody)
 		return
 	}
 	v, delay := rt.faultVerdict(src, dst.id)
-	h = rt.dedupBody(v, src, dst, h)
+	h = rt.fenceBody(src, rt.dedupBody(v, src, dst, h))
 	rt.deliverAfter(delay, func() { rt.enqueueHandler(dst, h) })
 	if v.Dup {
 		rt.deliverAfter(delay+rt.retry.AttemptTimeout(0), func() { rt.enqueueHandler(dst, h) })
@@ -520,7 +732,7 @@ func (rt *Runtime) sendItem(src earth.NodeID, dst *lnode, it item) {
 		return
 	}
 	v, delay := rt.faultVerdict(src, dst.id)
-	it.body = rt.dedupBody(v, src, dst, it.body)
+	it.body = rt.fenceBody(src, rt.dedupBody(v, src, dst, it.body))
 	rt.deliverAfter(delay, deliver)
 	if v.Dup {
 		rt.deliverAfter(delay+rt.retry.AttemptTimeout(0), deliver)
@@ -529,20 +741,62 @@ func (rt *Runtime) sendItem(src earth.NodeID, dst *lnode, it item) {
 
 // faultVerdict draws the fault verdict for one remote message from src
 // to dst, emits the matching fault events, charges the sender's counters
-// and returns the wall-clock delivery penalty (retransmit timeouts plus
-// reorder hold-back).
+// and returns the wall-clock delivery penalty (cut-link hold, retransmit
+// timeouts, checksum-NACK resends, reorder hold-back).
 func (rt *Runtime) faultVerdict(src, dst earth.NodeID) (faults.Verdict, sim.Time) {
 	v := rt.inj.Next(rt.retry.MaxRetries)
 	sn := rt.nodes[src]
 	issue := rt.now()
 	var delay sim.Time
+	if rt.hasPart {
+		if ub := rt.plan.PartitionUnblock(issue, int(src), int(dst)); ub > issue {
+			// The link is cut: every attempt times out until the heal.
+			// The hold is deterministic — no verdict draws are spent on it
+			// — and the retry chain caps at MaxRetries.
+			sn.faultsInjected.Add(1)
+			deadline, tries := issue, 0
+			for deadline < ub && tries < rt.retry.MaxRetries {
+				to := rt.retry.AttemptTimeout(tries)
+				deadline += to
+				if rt.tr != nil {
+					rt.tr.Event(earth.Event{Time: deadline, Node: src, Peer: dst,
+						Kind: earth.EvTimedOut, Dur: to, Cause: earth.CausePartition})
+					rt.tr.Event(earth.Event{Time: deadline, Node: src, Peer: dst,
+						Kind: earth.EvRetry, Cause: earth.CausePartition})
+				}
+				tries++
+			}
+			sn.retries.Add(uint64(tries))
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: dst,
+					Kind: earth.EvFaultInjected, Cause: earth.CausePartition, Dur: ub - issue})
+			}
+			delay = ub - issue
+		}
+	}
+	att := rt.retry.AttemptTimeout
+	if rt.jitterOn && (v.Drops > 0 || v.Corrupts > 0) {
+		// One seeded draw per jittered message desynchronises the
+		// retransmit backoff across the fleet.
+		scale := rt.retry.JitterScale(rt.inj.Float64())
+		att = func(a int) sim.Time {
+			to := sim.Time(float64(rt.retry.AttemptTimeout(a)) * scale)
+			if to < 1 {
+				to = 1
+			}
+			return to
+		}
+	}
+	attempt := 0
 	if v.Drops > 0 {
 		sn.faultsInjected.Add(1)
 		sn.retries.Add(uint64(v.Drops))
-		deadline := issue
+		deadline, pen := issue+delay, sim.Time(0)
 		for a := 0; a < v.Drops; a++ {
-			to := rt.retry.AttemptTimeout(a)
+			to := att(attempt)
+			attempt++
 			deadline += to
+			pen += to
 			if rt.tr != nil {
 				rt.tr.Event(earth.Event{Time: deadline, Node: src, Peer: dst,
 					Kind: earth.EvTimedOut, Dur: to, Cause: earth.CauseDrop})
@@ -552,9 +806,33 @@ func (rt *Runtime) faultVerdict(src, dst earth.NodeID) (faults.Verdict, sim.Time
 		}
 		if rt.tr != nil {
 			rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: dst,
-				Kind: earth.EvFaultInjected, Cause: earth.CauseDrop, Dur: deadline - issue})
+				Kind: earth.EvFaultInjected, Cause: earth.CauseDrop, Dur: pen})
 		}
-		delay = deadline - issue
+		delay += pen
+	}
+	if v.Corrupts > 0 {
+		// Each corrupted attempt is caught by the receiver's checksum and
+		// NACKed; the sender's resend continues the same backoff chain.
+		sn.faultsInjected.Add(1)
+		sn.retries.Add(uint64(v.Corrupts))
+		deadline, pen := issue+delay, sim.Time(0)
+		for a := 0; a < v.Corrupts; a++ {
+			to := att(attempt)
+			attempt++
+			deadline += to
+			pen += to
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: deadline, Node: src, Peer: dst,
+					Kind: earth.EvTimedOut, Dur: to, Cause: earth.CauseCorrupt})
+				rt.tr.Event(earth.Event{Time: deadline, Node: src, Peer: dst,
+					Kind: earth.EvRetry, Cause: earth.CauseCorrupt})
+			}
+		}
+		if rt.tr != nil {
+			rt.tr.Event(earth.Event{Time: issue, Node: src, Peer: dst,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseCorrupt, Dur: pen})
+		}
+		delay += pen
 	}
 	if v.Delay > 0 {
 		sn.faultsInjected.Add(1)
@@ -593,6 +871,40 @@ func (rt *Runtime) dedupBody(v faults.Verdict, src earth.NodeID, dst *lnode, h e
 				rt.tr.Event(earth.Event{Time: rt.now(), Node: dst.id, Peer: src,
 					Kind: earth.EvRecovered, Dur: rt.now() - issue, Cause: earth.CauseDrop})
 			}
+		}
+		if v.Corrupts > 0 {
+			// Receiver-side integrity accounting: the checksum caught this
+			// many bit-flipped attempts before the clean copy landed.
+			dst.msgsCorrupted.Add(uint64(v.Corrupts))
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: rt.now(), Node: dst.id, Peer: src,
+					Kind: earth.EvCorrupt, Dur: rt.now() - issue, Cause: earth.CauseCorrupt})
+			}
+		}
+		h(c)
+	}
+}
+
+// fenceBody wraps a remote delivery with the receiver-side incarnation-
+// epoch check: the sender's epoch is stamped at issue, and a message from
+// an incarnation the survivors have since declared dead is rejected (the
+// fencing NACK) with its effect discarded — adopted frame state is never
+// touched by a stale incarnation. The counter lands on the node whose
+// executor rejected the message (the adopter, if redirects moved it).
+func (rt *Runtime) fenceBody(src earth.NodeID, h earth.ThreadBody) earth.ThreadBody {
+	if !rt.hasPart {
+		return h
+	}
+	se := rt.nodes[src].epoch.Load()
+	return func(c earth.Ctx) {
+		if rt.nodes[src].epoch.Load() != se {
+			ln := rt.nodes[c.Node()]
+			ln.msgsFenced.Add(1)
+			if rt.tr != nil {
+				rt.tr.Event(earth.Event{Time: rt.now(), Node: ln.id, Peer: src,
+					Kind: earth.EvFenced, Cause: earth.CausePartition})
+			}
+			return
 		}
 		h(c)
 	}
@@ -682,6 +994,17 @@ func (n *lnode) loop(lctx context.Context) {
 	for {
 		if n.dead.Load() {
 			return
+		}
+		// A fenced node parks until the heal timer clears halted and
+		// pokes the wake channel (the rejoin handshake). Unlike dead,
+		// the executor stays alive to resume as a steal-only worker.
+		if n.halted.Load() {
+			select {
+			case <-n.rt.done:
+				return
+			case <-n.wake:
+				continue
+			}
 		}
 		it, ok := n.next()
 		if !ok {

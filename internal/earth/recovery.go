@@ -31,9 +31,37 @@ type RetryPolicy struct {
 	// heartbeat/ack timeout exposing the failure) and then re-routed to
 	// the successor. 0: 5× Timeout (1ms with the default Timeout), long
 	// enough that transient drop/backoff recovery never masquerades as a
-	// crash.
+	// crash. A network partition outliving the lease still produces a
+	// wrong verdict; the epoch-fencing protocol below exists to make
+	// that verdict safe.
 	Lease sim.Time
+	// Jitter spreads retransmit timeouts by a seeded uniform factor in
+	// [1-Jitter, 1+Jitter), so the synchronized retransmit storm after a
+	// partition heals doesn't stampede one link. Must be in [0,1);
+	// 0 (the default) disables it. The factor is drawn from the fault
+	// injector's RNG stream, one draw per faulted message, so jittered
+	// runs stay byte-reproducible under simrt.
+	Jitter float64
 }
+
+// Fencing and rejoin (the fallible-detector protocol):
+//
+// Every node carries a monotonically increasing incarnation epoch,
+// stamped on each message it sends. When the detector's verdict is
+// wrong — the lease expired but the node was merely partitioned — the
+// survivors still adopt its frames and tokens (they cannot tell), and
+// bump the node's epoch as they do. From that instant the old
+// incarnation is fenced: any of its messages still in flight (or
+// released when the partition heals) carries the stale epoch and is
+// rejected by the receiver with a fencing NACK (EvFenced), so adopted
+// frame state is never corrupted by a ghost. Symmetrically, the
+// partitioned node outlives its own lease without hearing an ack,
+// concludes the cluster has declared it dead, and self-fences: it halts,
+// discards local in-flight work, and waits out the partition. At heal
+// it runs a reconciliation handshake (EvRejoined) and re-enters at the
+// bumped epoch as a steal-only worker — ownership of everything it used
+// to home stays with the adopter, exactly as if it had crashed and a
+// fresh node had joined.
 
 // WithDefaults normalises the policy.
 func (p RetryPolicy) WithDefaults() RetryPolicy {
@@ -49,7 +77,18 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 	if p.Lease <= 0 {
 		p.Lease = 5 * p.Timeout
 	}
+	if p.Jitter < 0 || p.Jitter >= 1 || p.Jitter != p.Jitter {
+		p.Jitter = 0
+	}
 	return p
+}
+
+// JitterScale turns one uniform draw u in [0,1) into the retransmit
+// timeout multiplier 1 - Jitter + 2*Jitter*u, mean 1. With Jitter = 0
+// the scale is exactly 1 and the engines skip the draw entirely, so
+// policies from before jitter existed replay their exact random streams.
+func (p RetryPolicy) JitterScale(u float64) float64 {
+	return 1 - p.Jitter + 2*p.Jitter*u
 }
 
 // AttemptTimeout returns the ack timeout armed for the attempt-th

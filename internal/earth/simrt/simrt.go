@@ -283,6 +283,13 @@ type msg struct {
 	// leg); drops is how many modelled retransmissions preceded delivery.
 	seq   uint64
 	drops uint16
+	// corrupts is how many attempts arrived bit-flipped and were NACKed
+	// by the receiver's checksum before the clean copy.
+	corrupts uint16
+	// sendEpoch is the sender's incarnation epoch at issue (stamped only
+	// under partition plans). A receiver firing the message when the
+	// sender's epoch has advanced rejects it — the fencing NACK.
+	sendEpoch uint64
 	// dup marks both copies of a duplicated transmission (idempotent
 	// delivery suppresses the second at the original target's seen map).
 	dup bool
@@ -350,6 +357,25 @@ type Runtime struct {
 	detected   []bool
 	boundaries []boundary
 	reassignRR int
+	// Partition / fencing state (all nil or false without partition
+	// windows, so every fencing hook is a single check). hasPart gates
+	// epoch stamping and cut-link holds; fences is the precomputed wrong-
+	// verdict schedule; epochs is each node's incarnation epoch; halted
+	// marks nodes currently self-fenced; everFenced marks nodes whose
+	// state ownership has permanently transferred to their adopter (a
+	// rejoined node re-enters as a steal-only worker — flipping ownership
+	// back would let bodies already adopted spawn frames whose home
+	// suddenly looks alive again).
+	hasPart    bool
+	fences     []faults.Fence
+	epochs     []uint64
+	halted     []bool
+	everFenced []bool
+	// wireExtra is the per-message checksum cost (manna.ChecksumBytes)
+	// charged when the plan can corrupt payloads; jitterOn gates the
+	// seeded retransmit-jitter draw.
+	wireExtra int
+	jitterOn  bool
 	// Window progress: maxExec is the furthest executed instant (events and
 	// boundaries); bApplied counts applied boundaries toward Stats.Events;
 	// sampleNext is the next pending utilisation-sample boundary.
@@ -423,6 +449,10 @@ func New(cfg earth.Config) *Runtime {
 		if cfg.Faults.HasDegrade() {
 			rt.mach.SetLinkScale(cfg.Faults.LinkScale)
 		}
+		if cfg.Faults.HasCorrupt() {
+			rt.wireExtra = manna.ChecksumBytes
+		}
+		rt.jitterOn = rt.retry.Jitter > 0
 		if cfg.Faults.HasCrash() {
 			rt.crashAt = cfg.Faults.CrashSchedule(cfg.Nodes)
 			live := 0
@@ -436,7 +466,21 @@ func New(cfg earth.Config) *Runtime {
 			}
 			rt.dead = make([]bool, cfg.Nodes)
 			rt.detected = make([]bool, cfg.Nodes)
-			rt.boundaries = makeBoundaries(rt.crashAt, rt.retry.Lease)
+		}
+		if cfg.Faults.HasPartition() {
+			rt.hasPart = true
+			rt.epochs = make([]uint64, cfg.Nodes)
+			rt.fences = cfg.Faults.PartitionFences(cfg.Nodes, rt.retry.Lease)
+			if len(rt.fences) > 0 {
+				if err := cfg.Faults.CheckFences(cfg.Nodes, rt.retry.Lease); err != nil {
+					panic("simrt: " + err.Error())
+				}
+				rt.halted = make([]bool, cfg.Nodes)
+				rt.everFenced = make([]bool, cfg.Nodes)
+			}
+		}
+		if rt.crashAt != nil || len(rt.fences) > 0 {
+			rt.boundaries = makeBoundaries(rt.crashAt, rt.fences, rt.retry.Lease)
 		}
 	}
 	return rt
@@ -475,6 +519,8 @@ func (rt *Runtime) freeMsg(sh *shard, m *msg) {
 	m.cause = 0
 	m.seq = 0
 	m.drops = 0
+	m.corrupts = 0
+	m.sendEpoch = 0
 	m.dup = false
 	m.origTo = 0
 	m.arr0 = 0
@@ -540,6 +586,36 @@ func (rt *Runtime) Run(main earth.ThreadBody) *earth.Stats {
 		for i := range rt.dead {
 			rt.dead[i] = false
 			rt.detected[i] = false
+		}
+	}
+	if rt.hasPart {
+		rt.reassignRR = 0
+		for i := range rt.epochs {
+			rt.epochs[i] = 0
+		}
+		for i := range rt.halted {
+			rt.halted[i] = false
+			rt.everFenced[i] = false
+		}
+		if rt.tr != nil {
+			// The partition schedule is static, so its window events are
+			// pre-emitted here; the final canonical sort places them. Fenced
+			// windows trace their heal as EvRejoined (applyHeal) instead.
+			lease := rt.retry.Lease
+			for _, pt := range rt.plan.Partition {
+				fenced := pt.From+lease < pt.To
+				for _, x := range pt.Minority() {
+					if x >= len(rt.nodes) {
+						continue
+					}
+					rt.emit(nil, earth.Event{Time: pt.From, Node: earth.NodeID(x), Peer: earth.NoPeer,
+						Kind: earth.EvPartitionStart, Dur: pt.To - pt.From, Cause: earth.CausePartition})
+					if !fenced {
+						rt.emit(nil, earth.Event{Time: pt.To, Node: earth.NodeID(x), Peer: earth.NoPeer,
+							Kind: earth.EvPartitionHeal, Cause: earth.CausePartition})
+					}
+				}
+			}
 		}
 	}
 	rt.maxExec = 0
@@ -644,30 +720,146 @@ func (rt *Runtime) applyDetect(b boundary) {
 	// Return pooled tokens to the balancer for deterministic re-placement.
 	for n.tokens.len() > 0 {
 		tk := n.tokens.popFront()
-		rt.reassignToken(earth.NodeID(x), sn, tk, now)
+		rt.reassignToken(earth.NodeID(x), sn, tk, now, earth.CauseCrash)
+	}
+}
+
+// applyFence executes one wrong failure verdict at its window boundary:
+// the partition has outlived node x's detection lease, so the survivors —
+// unable to tell a partitioned node from a dead one — bump x's incarnation
+// epoch and the ring successor adopts its checkpointed frames and queued
+// work, exactly as applyDetect would for a real crash. Symmetrically x,
+// having outlived its own lease without hearing an ack, self-fences: it
+// halts until the partition heals. From this boundary on, any message
+// stamped with x's old epoch is rejected at its receiver (the fencing
+// NACK in fireMsg). Skipped when x already crashed — the crash machinery
+// owns that failover.
+func (rt *Runtime) applyFence(b boundary) {
+	x := b.node
+	if rt.dead != nil && rt.dead[x] {
+		return
+	}
+	rt.epochs[x]++
+	rt.halted[x] = true
+	rt.everFenced[x] = true
+	n := rt.nodes[x]
+	n.stats.DetectionLatency = rt.retry.Lease
+	// The adopter must itself be clean at this instant: a simultaneous
+	// fence (same partition, several minority nodes) has not applied its
+	// own boundary yet, so the permanent flags alone would let one
+	// fencing node adopt another's work for a single boundary.
+	s := earth.Adopter(earth.NodeID(x), len(rt.nodes), func(c earth.NodeID) bool {
+		return (rt.detected != nil && rt.detected[c]) ||
+			(rt.everFenced != nil && rt.everFenced[c]) ||
+			rt.fenceSpan(c, b.at) != nil
+	})
+	sn := rt.nodes[s]
+	sn.stats.WrongVerdicts++
+	now := b.at
+	if rt.tr != nil {
+		rt.emit(nil, earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+			Kind: earth.EvPartitionFence, Dur: rt.retry.Lease, Cause: earth.CausePartition})
+	}
+	n.hungry, n.stealing = false, false
+	for n.ready.len() > 0 {
+		it := n.ready.pop()
+		it.enq = now
+		sn.stats.FramesReplayed++
+		if rt.tr != nil {
+			rt.emit(nil, earth.Event{Time: now, Node: s, Peer: earth.NodeID(x),
+				Kind: earth.EvFrameReplayed, Cause: earth.CausePartition})
+		}
+		rt.enqueueAt(sn, it, now)
+	}
+	for n.tokens.len() > 0 {
+		tk := n.tokens.popFront()
+		rt.reassignToken(earth.NodeID(x), sn, tk, now, earth.CausePartition)
+	}
+}
+
+// applyHeal fires when a fenced node's partition heals: the node runs the
+// reconciliation handshake and re-enters at the bumped epoch as a
+// steal-only worker — resolve keeps routing its old frames to the adopter
+// (ownership moved permanently at the fence), but it executes new work
+// again. Skipped if the node crashed while fenced.
+func (rt *Runtime) applyHeal(b boundary) {
+	x := b.node
+	if (rt.dead != nil && rt.dead[x]) || !rt.halted[x] {
+		return
+	}
+	rt.halted[x] = false
+	n := rt.nodes[x]
+	n.stats.Rejoins++
+	if rt.tr != nil {
+		rt.emit(nil, earth.Event{Time: b.at, Node: n.id, Peer: earth.NoPeer,
+			Kind: earth.EvRejoined, Dur: b.at - b.ref, Cause: earth.CausePartition})
+	}
+	// Work that landed while halted (stage-1 remnants of pre-fence
+	// deliveries, app-addressed traffic) kicks the dispatch chain now;
+	// an empty node re-enters through the steal balancer instead.
+	if n.ready.len() > 0 || n.tokens.len() > 0 {
+		if !n.running {
+			n.running = true
+			n.sh.eng.At(b.at, n.dispatchFn)
+		}
+	} else if rt.cfg.Balancer == earth.BalanceSteal && !n.stealing {
+		n.hungry = true
 	}
 }
 
 // resolve maps a node to the live owner of its state: the node itself
 // while it is up (or crashed but undetected — the failure is not
 // observable before the lease expires), else its transitive adopter.
-// detected only changes at window boundaries, so mid-window reads from
-// concurrent shards see one frozen value.
+// Fenced nodes count as down here permanently (everFenced, not halted):
+// ownership moved to the adopter at the fence and never moves back, so
+// bodies the adopter already runs can keep spawning into frames homed on
+// the fenced node without the home flip-flopping under them. Both flags
+// only change at window boundaries, so mid-window reads from concurrent
+// shards see one frozen value.
 func (rt *Runtime) resolve(x earth.NodeID) earth.NodeID {
-	if rt.crashAt == nil {
+	if rt.detected == nil && rt.everFenced == nil {
 		return x
 	}
-	return earth.Adopter(x, len(rt.nodes), func(c earth.NodeID) bool { return rt.detected[c] })
+	return earth.Adopter(x, len(rt.nodes), func(c earth.NodeID) bool {
+		return (rt.detected != nil && rt.detected[c]) || (rt.everFenced != nil && rt.everFenced[c])
+	})
 }
 
-// reassignToken returns one of a dead node's pooled tokens to the load
+// downNow reports whether node x is currently unable to execute: crashed,
+// or self-fenced inside an active partition verdict. Unlike resolve's
+// predicate this one heals — a rejoined node executes again.
+func (rt *Runtime) downNow(x earth.NodeID) bool {
+	return (rt.dead != nil && rt.dead[x]) || (rt.halted != nil && rt.halted[x])
+}
+
+// fenceSpan returns the fence covering node c at time at, or nil. The
+// fence schedule is immutable after construction and tiny (one entry per
+// minority node per fenced window), so send paths on any shard can scan
+// it freely.
+func (rt *Runtime) fenceSpan(c earth.NodeID, at sim.Time) *faults.Fence {
+	for i := range rt.fences {
+		f := &rt.fences[i]
+		if f.Node == int(c) && at >= f.At && at < f.Heal {
+			return f
+		}
+	}
+	return nil
+}
+
+// reassignToken returns one of a down node's pooled tokens to the load
 // balancer: round-robin placement over surviving nodes, shipped from the
 // adopter (which holds the checkpointed args now) at normal network cost.
-// Runs only at detection boundaries, with every shard quiesced.
-func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token, now sim.Time) {
+// Runs only at detection/fence boundaries, with every shard quiesced.
+// Placement skips crashed and ever-fenced nodes — the latter permanently,
+// matching resolve's ownership rule.
+func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token, now sim.Time, cause earth.Cause) {
 	p := len(rt.nodes)
+	skip := func(t earth.NodeID) bool {
+		return (rt.dead != nil && rt.dead[t]) || (rt.everFenced != nil && rt.everFenced[t]) ||
+			rt.fenceSpan(t, now) != nil
+	}
 	t := earth.NodeID(rt.reassignRR % p)
-	for rt.dead[t] {
+	for skip(t) {
 		rt.reassignRR++
 		t = earth.NodeID(rt.reassignRR % p)
 	}
@@ -676,7 +868,7 @@ func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token, now sim.Tim
 	tn.stats.TokensReassigned++
 	if rt.tr != nil {
 		rt.emit(nil, earth.Event{Time: now, Node: t, Peer: x,
-			Kind: earth.EvWorkReassigned, Bytes: tk.argBytes, Cause: earth.CauseCrash})
+			Kind: earth.EvWorkReassigned, Bytes: tk.argBytes, Cause: cause})
 	}
 	if t == sn.id {
 		rt.enqueueAt(tn, item{body: tk.body, token: true, enq: now, cause: earth.CauseToken}, now)
@@ -694,54 +886,73 @@ func (rt *Runtime) reassignToken(x earth.NodeID, sn *node, tk token, now sim.Tim
 	rt.deliver(nil, now, arrival, m)
 }
 
-// walkCrash statically routes an arrival when a crash plan is active,
-// using only the immutable crash schedule and lease — no shard-local
-// state — so it can run on any shard at send time. A message headed to a
-// node that has crashed by its arrival is held until that node's lease
-// expires (the sender's missed heartbeats/acks are what expose the
-// failure) and re-routed to the adopter; the loop covers chained
-// failures. hop, when non-nil, observes each failover (post-hold time and
-// the dead node being abandoned) so the fire path can account them.
-func (rt *Runtime) walkCrash(a sim.Time, dst earth.NodeID, hop func(at sim.Time, x earth.NodeID)) (sim.Time, earth.NodeID) {
+// walkDown statically routes an arrival when a crash plan or fenced
+// partition is active, using only immutable schedules (crash times, fence
+// spans, lease) — no shard-local state — so it can run on any shard at
+// send time. A message headed to a node that has crashed by its arrival
+// is held until that node's lease expires (the sender's missed
+// heartbeats/acks are what expose the failure) and re-routed to the
+// adopter; a message arriving inside a node's fence span re-routes
+// immediately (the fence instant already sits one lease past the
+// partition's start), while one arriving after the heal routes to the
+// rejoined node normally — which is why this uses the bounded fence span
+// and not resolve's permanent ownership predicate. The loop covers
+// chained failovers. hop, when non-nil, observes each failover (post-hold
+// time and the down node being abandoned) so the fire path can account
+// them.
+func (rt *Runtime) walkDown(a sim.Time, dst earth.NodeID, hop func(at sim.Time, x earth.NodeID)) (sim.Time, earth.NodeID) {
 	lease := rt.retry.Lease
-	for rt.crashAt[dst] >= 0 && a >= rt.crashAt[dst] {
-		if td := rt.crashAt[dst] + lease; a < td {
-			a = td
+	downAt := func(c earth.NodeID, at sim.Time) bool {
+		if rt.crashAt != nil && rt.crashAt[c] >= 0 && at >= rt.crashAt[c]+lease {
+			return true
+		}
+		return rt.fenceSpan(c, at) != nil
+	}
+	for {
+		crashed := rt.crashAt != nil && rt.crashAt[dst] >= 0 && a >= rt.crashAt[dst]
+		if crashed {
+			if td := rt.crashAt[dst] + lease; a < td {
+				a = td
+			}
+		} else if rt.fenceSpan(dst, a) == nil {
+			return a, dst
 		}
 		x := dst
 		aa := a
-		dst = earth.Adopter(dst, len(rt.nodes), func(c earth.NodeID) bool {
-			return rt.crashAt[c] >= 0 && aa >= rt.crashAt[c]+lease
-		})
+		dst = earth.Adopter(dst, len(rt.nodes), func(c earth.NodeID) bool { return downAt(c, aa) })
 		if hop != nil {
 			hop(a, x)
 		}
 	}
-	return a, dst
 }
 
-// emitReroute reconstructs the failover hops of a crash-rerouted envelope
-// at delivery time and accounts the re-dispatched work: an in-flight
-// invoke re-instantiates its frame; an in-flight token (placed, stolen or
+// emitReroute reconstructs the failover hops of a rerouted envelope at
+// delivery time and accounts the re-dispatched work: an in-flight invoke
+// re-instantiates its frame; an in-flight token (placed, stolen or
 // granted) counts as a balancer re-assignment. Sync, put, get and post
 // legs re-route silently — the adopter owns the checkpointed frame state
-// they target. Stats and events land on the final target, which is the
+// they target. Each hop's cause records whether a crash or a fence
+// displaced it. Stats and events land on the final target, which is the
 // node whose shard is executing.
 func (rt *Runtime) emitReroute(sh *shard, m *msg) {
 	fn := rt.nodes[m.to]
-	rt.walkCrash(m.arr0, m.origTo, func(at sim.Time, x earth.NodeID) {
+	rt.walkDown(m.arr0, m.origTo, func(at sim.Time, x earth.NodeID) {
+		cause := earth.CauseCrash
+		if rt.fenceSpan(x, at) != nil {
+			cause = earth.CausePartition
+		}
 		switch {
 		case m.kind == msgStealGrant, m.kind == msgThread && m.cause == earth.CauseToken:
 			fn.stats.TokensReassigned++
 			if rt.tr != nil {
 				rt.emit(sh, earth.Event{Time: at, Node: m.to, Peer: x,
-					Kind: earth.EvWorkReassigned, Bytes: m.bytes, Cause: earth.CauseCrash})
+					Kind: earth.EvWorkReassigned, Bytes: m.bytes, Cause: cause})
 			}
 		case m.kind == msgThread:
 			fn.stats.FramesReplayed++
 			if rt.tr != nil {
 				rt.emit(sh, earth.Event{Time: at, Node: m.to, Peer: x,
-					Kind: earth.EvFrameReplayed, Cause: earth.CauseCrash})
+					Kind: earth.EvFrameReplayed, Cause: cause})
 			}
 		}
 	})
@@ -774,6 +985,13 @@ func (rt *Runtime) dispatch(n *node) {
 	// has completed, and nothing further dispatches. Queued state stays
 	// frozen until the detection boundary hands it to the adopter.
 	if rt.dead != nil && rt.dead[n.id] {
+		return
+	}
+	// A self-fenced node parks instead: unlike a crash it will resume at
+	// heal, so the chain must be restartable — running flips false and the
+	// heal boundary (or any post-heal enqueue) re-kicks it.
+	if rt.halted != nil && rt.halted[n.id] {
+		n.running = false
 		return
 	}
 	eng := n.sh.eng
@@ -814,8 +1032,7 @@ func (rt *Runtime) dispatch(n *node) {
 		// window barrier matches it against a victim. (Steal requests are
 		// barrier work because victim selection needs a consistent view of
 		// every pool, which mid-window shards do not have.)
-		if rt.cfg.Balancer == earth.BalanceSteal && !n.stealing &&
-			(rt.dead == nil || !rt.dead[n.id]) {
+		if rt.cfg.Balancer == earth.BalanceSteal && !n.stealing && !rt.downNow(n.id) {
 			n.hungry = true
 		}
 		return
@@ -925,14 +1142,71 @@ func (rt *Runtime) deliver(sh *shard, issue, arrival sim.Time, m *msg) {
 		m.issue = issue
 	}
 	sender := rt.nodes[m.from]
+	if rt.hasPart {
+		// Stamp the sender's incarnation epoch at issue. The receiver's
+		// fencing check in fireMsg compares it against the epoch current at
+		// arrival; epochs only advance at quiesced fence boundaries, so the
+		// comparison is a pure function of issue and fire times.
+		m.sendEpoch = rt.epochs[m.from]
+		if ub := rt.plan.PartitionUnblock(issue, int(m.from), int(m.to)); ub > issue {
+			// The link is cut: every transmission vanishes until the
+			// partition heals. Account the sender's retries deterministically
+			// (no RNG draws — the cut drops everything regardless of the
+			// plan's probabilities): backed-off timeouts fire until the retry
+			// budget runs out or an attempt lands past the heal. The
+			// effective issue shifts to the heal instant, which preserves the
+			// conservative lookahead (arrival - issue is unchanged and the
+			// hold only moves the arrival later).
+			sender.stats.FaultsInjected++
+			deadline := issue
+			tries := 0
+			for deadline < ub && tries < rt.retry.MaxRetries {
+				to := rt.retry.AttemptTimeout(tries)
+				deadline += to
+				tries++
+				if rt.tr != nil {
+					rt.emit(sh, earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+						Kind: earth.EvTimedOut, Dur: to, Bytes: m.bytes, Cause: earth.CausePartition})
+					rt.emit(sh, earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+						Kind: earth.EvRetry, Bytes: m.bytes, Cause: earth.CausePartition})
+				}
+			}
+			sender.stats.Retries += uint64(tries)
+			if rt.tr != nil {
+				rt.emit(sh, earth.Event{Time: issue, Node: m.from, Peer: m.to,
+					Kind: earth.EvFaultInjected, Cause: earth.CausePartition, Bytes: m.bytes,
+					Dur: ub - issue})
+			}
+			arrival = ub + (arrival - issue)
+			issue = ub
+		}
+	}
+	// att is the timeout of the attempt-th transmission. With jitter
+	// enabled, one uniform draw per faulted message scales every timeout in
+	// its backoff chain; the draw is gated on the verdict so un-faulted
+	// messages leave the random stream exactly as an unjittered run would.
+	att := rt.retry.AttemptTimeout
+	if rt.jitterOn && (v.Drops > 0 || v.Corrupts > 0) {
+		sc := rt.retry.JitterScale(rt.injs[m.from].Float64())
+		att = func(a int) sim.Time {
+			d := sim.Time(float64(rt.retry.AttemptTimeout(a)) * sc)
+			if d < 1 {
+				d = 1
+			}
+			return d
+		}
+	}
+	attempt := 0
+	deadline := issue
+	wire := arrival - issue
 	if v.Drops > 0 {
 		sender.stats.FaultsInjected++
 		sender.stats.Retries += uint64(v.Drops)
 		m.drops = uint16(v.Drops)
-		wire := arrival - issue
-		deadline := issue
+		start := deadline
 		for a := 0; a < v.Drops; a++ {
-			to := rt.retry.AttemptTimeout(a)
+			to := att(attempt)
+			attempt++
 			deadline += to
 			if rt.tr != nil {
 				rt.emit(sh, earth.Event{Time: deadline, Node: m.from, Peer: m.to,
@@ -944,8 +1218,37 @@ func (rt *Runtime) deliver(sh *shard, issue, arrival sim.Time, m *msg) {
 		if rt.tr != nil {
 			rt.emit(sh, earth.Event{Time: issue, Node: m.from, Peer: m.to,
 				Kind: earth.EvFaultInjected, Cause: earth.CauseDrop, Bytes: m.bytes,
-				Dur: deadline - issue})
+				Dur: deadline - start})
 		}
+	}
+	if v.Corrupts > 0 {
+		// Corrupted attempts continue the backoff chain after the drops:
+		// each one crosses the wire, fails the receiver's checksum, is
+		// NACKed, and costs the sender one more backed-off retransmit.
+		// Receiver-side detection is accounted at fire time (EvCorrupt),
+		// where the receiving shard owns the stats.
+		sender.stats.FaultsInjected++
+		sender.stats.Retries += uint64(v.Corrupts)
+		m.corrupts = uint16(v.Corrupts)
+		start := deadline
+		for a := 0; a < v.Corrupts; a++ {
+			to := att(attempt)
+			attempt++
+			deadline += to
+			if rt.tr != nil {
+				rt.emit(sh, earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+					Kind: earth.EvTimedOut, Dur: to, Bytes: m.bytes, Cause: earth.CauseCorrupt})
+				rt.emit(sh, earth.Event{Time: deadline, Node: m.from, Peer: m.to,
+					Kind: earth.EvRetry, Bytes: m.bytes, Cause: earth.CauseCorrupt})
+			}
+		}
+		if rt.tr != nil {
+			rt.emit(sh, earth.Event{Time: issue, Node: m.from, Peer: m.to,
+				Kind: earth.EvFaultInjected, Cause: earth.CauseCorrupt, Bytes: m.bytes,
+				Dur: deadline - start})
+		}
+	}
+	if attempt > 0 {
 		arrival = deadline + wire
 	}
 	if v.Delay > 0 {
@@ -985,8 +1288,8 @@ func (rt *Runtime) deliver(sh *shard, issue, arrival sim.Time, m *msg) {
 // end, so neither path can schedule into a shard's past.
 func (rt *Runtime) routeMsg(sh *shard, arrival sim.Time, m *msg) {
 	m.origTo = m.to
-	if rt.crashAt != nil {
-		a, dst := rt.walkCrash(arrival, m.to, nil)
+	if rt.crashAt != nil || len(rt.fences) > 0 {
+		a, dst := rt.walkDown(arrival, m.to, nil)
 		if dst != m.to {
 			m.rerouted = true
 			m.arr0 = arrival
@@ -1032,6 +1335,11 @@ func (rt *Runtime) cloneMsg(sh *shard, m *msg) *msg {
 	d.cause = m.cause
 	d.seq = m.seq
 	d.drops = 0
+	// The original copy (always first in virtual time) carries the corrupt
+	// accounting; the trailing duplicate is discarded at the seen map
+	// before the corrupt check runs.
+	d.corrupts = 0
+	d.sendEpoch = m.sendEpoch
 	d.dup = m.dup
 	// The clone shares the batch backing array; idempotent delivery
 	// guarantees the operations apply at most once.
@@ -1044,6 +1352,24 @@ func (rt *Runtime) cloneMsg(sh *shard, m *msg) *msg {
 func (rt *Runtime) fireMsg(m *msg) {
 	sh := rt.nodes[m.to].sh
 	if m.stage == 0 {
+		// The fencing NACK comes before every other delivery check: a
+		// message whose sender's incarnation epoch advanced while it was in
+		// flight is from an incarnation the cluster has declared dead, and
+		// its effect must never touch adopted state — not even the reroute
+		// and duplicate bookkeeping below (the work it carried is lost, not
+		// re-instantiated).
+		if rt.epochs != nil && m.sendEpoch != rt.epochs[m.from] {
+			n := rt.nodes[m.to]
+			n.stats.MsgsFenced++
+			if rt.tr != nil {
+				now := sh.eng.Now()
+				rt.emit(sh, earth.Event{Time: now, Node: m.to, Peer: m.from,
+					Kind: earth.EvFenced, Dur: now - m.issue, Bytes: m.bytes,
+					Cause: earth.CausePartition})
+			}
+			rt.freeMsg(sh, m)
+			return
+		}
 		// Account crash-stop failovers first, at arrival, before any
 		// delivery bookkeeping runs — mirroring the pre-computed routing
 		// done at send time.
@@ -1078,6 +1404,20 @@ func (rt *Runtime) fireMsg(m *msg) {
 				rt.emit(sh, earth.Event{Time: now, Node: m.to, Peer: m.from,
 					Kind: earth.EvRecovered, Dur: now - m.issue, Bytes: m.bytes,
 					Cause: earth.CauseDrop})
+			}
+		}
+		if m.corrupts > 0 {
+			// The receiver's checksum caught each corrupted attempt and
+			// NACKed it; account the detections here, on the receiving
+			// shard. Dur is the end-to-end issue-to-delivery latency the
+			// corruption inflated.
+			n := rt.nodes[m.to]
+			n.stats.MsgsCorrupted += uint64(m.corrupts)
+			if rt.tr != nil {
+				now := sh.eng.Now()
+				rt.emit(sh, earth.Event{Time: now, Node: m.to, Peer: m.from,
+					Kind: earth.EvCorrupt, Dur: now - m.issue, Bytes: m.bytes,
+					Cause: earth.CauseCorrupt})
 			}
 		}
 	}
@@ -1157,7 +1497,7 @@ func (rt *Runtime) fireMsg(m *msg) {
 		m.kind = msgGetResp
 		m.stage = 0
 		m.from, m.to = m.to, m.from
-		m.seq, m.drops = 0, 0
+		m.seq, m.drops, m.corrupts = 0, 0, 0
 		m.dup, m.rerouted, m.arr0 = false, false, 0
 		m.recvCost = rt.cfg.Costs.RecvCost(m.bytes, false)
 		now := sh.eng.Now()
@@ -1218,7 +1558,7 @@ func (rt *Runtime) fireMsg(m *msg) {
 		m.from, m.to = victim.id, thief
 		m.body = tk.body
 		m.bytes = tk.argBytes
-		m.seq, m.drops = 0, 0
+		m.seq, m.drops, m.corrupts = 0, 0, 0
 		m.dup, m.rerouted, m.arr0 = false, false, 0
 		m.recvCost = rt.cfg.Costs.RecvCost(tk.argBytes, false)
 		rt.deliver(sh, grantIssue, arrival, m)
@@ -1343,10 +1683,13 @@ func (rt *Runtime) sanTrack(n *node, f *earth.Frame) {
 // state (sender stats, the sender's NIC reservation, per-source machine
 // counters) belongs to src, so concurrent shards never contend.
 func (rt *Runtime) send(ready sim.Time, src, dst earth.NodeID, payload int) sim.Time {
+	// wireExtra charges the end-to-end checksum (manna.ChecksumBytes) on
+	// every transfer when the plan can corrupt payloads; it is 0 otherwise,
+	// so plans without corrupt= serialise exactly the pre-checksum format.
 	n := rt.nodes[src]
 	n.stats.MsgsSent++
-	n.stats.BytesSent += uint64(payload + msgHeader)
-	return rt.mach.Send(ready, int(src), int(dst), payload+msgHeader)
+	n.stats.BytesSent += uint64(payload + msgHeader + rt.wireExtra)
+	return rt.mach.Send(ready, int(src), int(dst), payload+msgHeader+rt.wireExtra)
 }
 
 // depositToken adds a token to n's pool. cursor is the depositing thread's
@@ -1572,6 +1915,12 @@ func (c *ctx) Post(nodeID earth.NodeID, argBytes int, handler earth.ThreadBody) 
 		m.from, m.to = c.n.id, nodeID
 		m.body = handler
 		m.recvCost = 0
+		if rt.hasPart {
+			// Local posts bypass deliver, so the fencing stamp happens here:
+			// without it a rejoined node's own posts would carry epoch 0 and
+			// self-fence forever.
+			m.sendEpoch = rt.epochs[c.n.id]
+		}
 		c.n.sh.eng.At(c.cursor, m.fire)
 		return
 	}

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"earth/internal/earth"
+	"earth/internal/faults"
 	"earth/internal/sim"
 )
 
@@ -71,35 +72,53 @@ type missNote struct {
 	thief earth.NodeID
 }
 
-// boundary is one instant of the precomputed crash-stop schedule. Windows
-// never simulate across a boundary: crashes and detections mutate state
-// machine-wide (routing, adoption, token reassignment), so they run on the
-// quiesced coordinator, at the same virtual instant for every shard count.
+// boundary is one instant of the precomputed failure schedule. Windows
+// never simulate across a boundary: crashes, detections, fences and heals
+// mutate state machine-wide (routing, adoption, token reassignment, epoch
+// bumps), so they run on the quiesced coordinator, at the same virtual
+// instant for every shard count.
 type boundary struct {
-	at     sim.Time
-	detect bool
-	node   int
+	at   sim.Time
+	kind uint8
+	node int
+	// ref is the boundary's reference instant: a heal carries its fence's
+	// At so EvRejoined can report how long the node was fenced.
+	ref sim.Time
 }
 
-// makeBoundaries expands a crash schedule into the sorted boundary list:
-// for each doomed node, its crash instant and its detection instant one
-// lease later. Crashes sort before detections at the same instant —
-// a node's failure exists before any survivor can have observed it.
-func makeBoundaries(crashAt []sim.Time, lease sim.Time) []boundary {
+const (
+	bCrash uint8 = iota
+	bDetect
+	bHeal
+	bFence
+)
+
+// makeBoundaries expands the crash and fence schedules into one sorted
+// boundary list: for each doomed node, its crash instant and its detection
+// instant one lease later; for each wrong partition verdict, its fence
+// instant (one lease past the partition start) and its heal. Within one
+// instant the kind order is crash < detect < heal < fence — a node's
+// failure exists before any survivor can have observed it, and a heal
+// completes before a back-to-back second window re-fences the node.
+func makeBoundaries(crashAt []sim.Time, fences []faults.Fence, lease sim.Time) []boundary {
 	var bs []boundary
 	for i, at := range crashAt {
 		if at < 0 {
 			continue
 		}
-		bs = append(bs, boundary{at: at, node: i})
-		bs = append(bs, boundary{at: at + lease, detect: true, node: i})
+		bs = append(bs, boundary{at: at, kind: bCrash, node: i})
+		bs = append(bs, boundary{at: at + lease, kind: bDetect, node: i})
+	}
+	for _, f := range fences {
+		bs = append(bs, boundary{at: f.At, kind: bFence, node: f.Node, ref: f.At})
+		bs = append(bs, boundary{at: f.Heal, kind: bHeal, node: f.Node, ref: f.At})
 	}
 	sort.Slice(bs, func(i, j int) bool {
 		if bs[i].at != bs[j].at {
 			return bs[i].at < bs[j].at
 		}
-		if bs[i].detect != bs[j].detect {
-			return !bs[i].detect
+		if bs[i].kind != bs[j].kind {
+			return bs[i].kind < bs[j].kind
 		}
 		return bs[i].node < bs[j].node
 	})
@@ -129,10 +148,15 @@ func (rt *Runtime) runWindows() {
 			if b.at > rt.maxExec {
 				rt.maxExec = b.at
 			}
-			if b.detect {
-				rt.applyDetect(b)
-			} else {
+			switch b.kind {
+			case bCrash:
 				rt.applyCrash(b)
+			case bDetect:
+				rt.applyDetect(b)
+			case bFence:
+				rt.applyFence(b)
+			case bHeal:
+				rt.applyHeal(b)
 			}
 			vnow = b.at
 			continue
@@ -205,7 +229,7 @@ func (rt *Runtime) barrier(vnow sim.Time) {
 		th := rt.nodes[note.thief]
 		th.stealing = false
 		if !th.running && th.ready.len() == 0 && th.tokens.len() == 0 &&
-			(rt.dead == nil || !rt.dead[th.id]) {
+			!rt.downNow(th.id) {
 			th.hungry = true
 		}
 	}
@@ -229,7 +253,7 @@ func (rt *Runtime) matchSteals(vnow sim.Time) {
 	for _, th := range rt.nodes {
 		if !th.hungry || th.stealing || th.running ||
 			th.ready.len() > 0 || th.tokens.len() > 0 ||
-			(rt.dead != nil && rt.dead[th.id]) {
+			rt.downNow(th.id) {
 			continue
 		}
 		v := rt.pickVictim(th)
@@ -382,7 +406,8 @@ func (rt *Runtime) runShards(end sim.Time) {
 // delivered message appears after the delivery that caused it).
 func phaseRank(k earth.EventKind) uint8 {
 	switch k {
-	case earth.EvNodeDown, earth.EvFrameReplayed, earth.EvWorkReassigned:
+	case earth.EvNodeDown, earth.EvFrameReplayed, earth.EvWorkReassigned,
+		earth.EvPartitionFence, earth.EvRejoined:
 		return 0
 	case earth.EvThreadRun:
 		return 1
@@ -391,7 +416,8 @@ func phaseRank(k earth.EventKind) uint8 {
 	case earth.EvPutSend, earth.EvGetSend, earth.EvInvokeSend, earth.EvPostSend,
 		earth.EvTokenSpawn, earth.EvStealRequest, earth.EvBatchFlush:
 		return 3
-	case earth.EvFaultInjected, earth.EvTimedOut, earth.EvRetry, earth.EvRecovered:
+	case earth.EvFaultInjected, earth.EvTimedOut, earth.EvRetry, earth.EvRecovered,
+		earth.EvFenced, earth.EvCorrupt, earth.EvPartitionStart, earth.EvPartitionHeal:
 		return 4
 	case earth.EvPutDeliver, earth.EvGetDeliver, earth.EvInvokeDeliver,
 		earth.EvTokenDeliver, earth.EvStealGrant, earth.EvStealMiss:

@@ -49,6 +49,20 @@ type NodeStats struct {
 	// DetectionLatency is the failure-detector latency for this node's
 	// own crash (crash-to-adoption); zero for nodes that stayed up.
 	DetectionLatency sim.Time
+	// MsgsFenced counts stale-epoch messages this node rejected: late
+	// traffic from a sender that had been declared dead (and its epoch
+	// bumped) while merely partitioned.
+	MsgsFenced uint64
+	// MsgsCorrupted counts transmissions whose checksum failed here,
+	// each answered with a NACK and recovered by retransmission.
+	MsgsCorrupted uint64
+	// WrongVerdicts counts wrong death declarations this node issued as
+	// the adopting successor: the "dead" peer was merely partitioned and
+	// later rejoined.
+	WrongVerdicts uint64
+	// Rejoins counts reconciliation handshakes this node completed after
+	// self-fencing during a partition that outlived its lease.
+	Rejoins uint64
 }
 
 // Stats summarises one run.
@@ -147,6 +161,42 @@ func (s *Stats) TotalReassigned() uint64 {
 	return n
 }
 
+// TotalFenced sums stale-epoch message rejections across nodes.
+func (s *Stats) TotalFenced() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].MsgsFenced
+	}
+	return n
+}
+
+// TotalCorrupted sums checksum-detected corruptions across nodes.
+func (s *Stats) TotalCorrupted() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].MsgsCorrupted
+	}
+	return n
+}
+
+// TotalWrongVerdicts sums wrong death declarations across nodes.
+func (s *Stats) TotalWrongVerdicts() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].WrongVerdicts
+	}
+	return n
+}
+
+// TotalRejoins sums post-partition reconciliation handshakes across nodes.
+func (s *Stats) TotalRejoins() uint64 {
+	var n uint64
+	for i := range s.Nodes {
+		n += s.Nodes[i].Rejoins
+	}
+	return n
+}
+
 // BusyFraction returns busy/elapsed clamped to [0,1]. The clamp matters
 // under simrt, where Synchronization-Unit/handler time runs concurrently
 // with the execution unit and a saturated node's Busy can exceed the
@@ -194,6 +244,10 @@ type nodeStatsJSON struct {
 	FramesReplayed   uint64   `json:"frames_replayed,omitempty"`
 	TokensReassigned uint64   `json:"tokens_reassigned,omitempty"`
 	DetectionLatency sim.Time `json:"detection_latency_ns,omitempty"`
+	MsgsFenced       uint64   `json:"msgs_fenced,omitempty"`
+	MsgsCorrupted    uint64   `json:"msgs_corrupted,omitempty"`
+	WrongVerdicts    uint64   `json:"wrong_verdicts,omitempty"`
+	Rejoins          uint64   `json:"rejoins,omitempty"`
 }
 
 // statsJSON is the wire form of Stats: per-node counters plus derived
@@ -213,6 +267,10 @@ type statsJSON struct {
 	DupsDropped uint64          `json:"dups_dropped,omitempty"`
 	Replayed    uint64          `json:"frames_replayed,omitempty"`
 	Reassigned  uint64          `json:"tokens_reassigned,omitempty"`
+	Fenced      uint64          `json:"msgs_fenced,omitempty"`
+	Corrupted   uint64          `json:"msgs_corrupted,omitempty"`
+	Wrong       uint64          `json:"wrong_verdicts,omitempty"`
+	Rejoins     uint64          `json:"rejoins,omitempty"`
 	Nodes       []nodeStatsJSON `json:"nodes"`
 	Sanitize    *SanitizeReport `json:"sanitize,omitempty"`
 }
@@ -239,6 +297,10 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 			FramesReplayed:   n.FramesReplayed,
 			TokensReassigned: n.TokensReassigned,
 			DetectionLatency: n.DetectionLatency,
+			MsgsFenced:       n.MsgsFenced,
+			MsgsCorrupted:    n.MsgsCorrupted,
+			WrongVerdicts:    n.WrongVerdicts,
+			Rejoins:          n.Rejoins,
 		}
 		dups += n.DupsDropped
 	}
@@ -256,6 +318,10 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 		DupsDropped: dups,
 		Replayed:    s.TotalReplayed(),
 		Reassigned:  s.TotalReassigned(),
+		Fenced:      s.TotalFenced(),
+		Corrupted:   s.TotalCorrupted(),
+		Wrong:       s.TotalWrongVerdicts(),
+		Rejoins:     s.TotalRejoins(),
 		Nodes:       nodes,
 		Sanitize:    s.Sanitize,
 	})
@@ -289,6 +355,10 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 			FramesReplayed:   n.FramesReplayed,
 			TokensReassigned: n.TokensReassigned,
 			DetectionLatency: n.DetectionLatency,
+			MsgsFenced:       n.MsgsFenced,
+			MsgsCorrupted:    n.MsgsCorrupted,
+			WrongVerdicts:    n.WrongVerdicts,
+			Rejoins:          n.Rejoins,
 		}
 	}
 	return nil
@@ -307,6 +377,12 @@ func (s *Stats) String() string {
 	}
 	if r, t := s.TotalReplayed(), s.TotalReassigned(); r > 0 || t > 0 {
 		fmt.Fprintf(&b, " replayed=%d reassigned=%d", r, t)
+	}
+	if w, j := s.TotalWrongVerdicts(), s.TotalRejoins(); w > 0 || j > 0 {
+		fmt.Fprintf(&b, " wrong_verdicts=%d fenced=%d rejoins=%d", w, s.TotalFenced(), j)
+	}
+	if c := s.TotalCorrupted(); c > 0 {
+		fmt.Fprintf(&b, " corrupted=%d", c)
 	}
 	if s.Sanitize != nil {
 		if s.Sanitize.Clean() {

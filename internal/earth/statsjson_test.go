@@ -16,8 +16,10 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		Elapsed: 3 * sim.Millisecond,
 		Nodes: []NodeStats{
 			{Busy: sim.Millisecond, ThreadsRun: 5, MsgsSent: 4, BytesSent: 512, Syncs: 2,
-				FaultsInjected: 3, Retries: 2, Recovered: 1},
-			{Busy: 2 * sim.Millisecond, TokensRun: 7, TokensStolen: 2, DupsDropped: 4},
+				FaultsInjected: 3, Retries: 2, Recovered: 1,
+				MsgsFenced: 6, MsgsCorrupted: 2, WrongVerdicts: 1},
+			{Busy: 2 * sim.Millisecond, TokensRun: 7, TokensStolen: 2, DupsDropped: 4,
+				Rejoins: 1, DetectionLatency: sim.Millisecond},
 		},
 		Events: 123,
 	}
@@ -51,7 +53,8 @@ func TestStatsJSONOmitsZeroFaultFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"faults", "retries", "recovered", "dups_dropped"} {
+	for _, key := range []string{"faults", "retries", "recovered", "dups_dropped",
+		"msgs_fenced", "msgs_corrupted", "wrong_verdicts", "rejoins"} {
 		if strings.Contains(string(b), key) {
 			t.Errorf("clean stats JSON contains %q:\n%s", key, b)
 		}

@@ -19,6 +19,8 @@
 //	degrade=*@0-5msx4          all links 4x slower in [0,5ms)
 //	degrade=3@1ms-2msx8        links touching node 3, 8x slower
 //	crash=2@1ms                node 2 fails permanently (crash-stop) at 1ms
+//	partition=0.1|2.3@1ms-2ms  links between {0,1} and {2,3} cut in [1ms,2ms)
+//	corrupt=0.01               1% of transmissions arrive bit-flipped
 //
 // The package depends only on internal/sim, so every layer above it
 // (manna, earth, the engines, the harness) can import it freely.
@@ -27,6 +29,7 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -61,6 +64,75 @@ type Crash struct {
 	At   sim.Time
 }
 
+// Partition schedules a network partition: during [From,To) every link
+// between Groups[0] and Groups[1] drops everything, while links inside a
+// group (and links touching nodes in neither group) stay up. A partition
+// strictly longer than the failure-detection lease makes the detector's
+// verdict wrong on both sides: the majority side (the larger group, ties
+// broken toward the group holding the lowest node id; unlisted nodes
+// always count as majority) declares the minority dead and adopts its
+// work at a bumped incarnation epoch, while each minority node outlives
+// its own lease, self-fences, and rejoins at the new epoch when the
+// partition heals. Group node lists are kept sorted ascending.
+type Partition struct {
+	From, To sim.Time
+	Groups   [2][]int
+}
+
+// covers reports whether the partition window contains time at.
+func (pt Partition) covers(at sim.Time) bool { return at >= pt.From && at < pt.To }
+
+// side returns which group node belongs to: 0, 1, or -1 when unlisted.
+func (pt Partition) side(node int) int {
+	for g, nodes := range pt.Groups {
+		for _, n := range nodes {
+			if n == node {
+				return g
+			}
+		}
+	}
+	return -1
+}
+
+// cuts reports whether the partition severs the src-dst link (regardless
+// of time): the endpoints sit in opposite groups.
+func (pt Partition) cuts(src, dst int) bool {
+	a, b := pt.side(src), pt.side(dst)
+	return a >= 0 && b >= 0 && a != b
+}
+
+// minority returns the index of the group that self-fences when the
+// partition outlives the lease: the smaller group, ties broken so the
+// group holding the lowest node id survives as majority.
+func (pt Partition) minority() int {
+	la, lb := len(pt.Groups[0]), len(pt.Groups[1])
+	if la != lb {
+		if la < lb {
+			return 0
+		}
+		return 1
+	}
+	// Node lists are sorted; the side with the smaller leading id wins.
+	if pt.Groups[0][0] < pt.Groups[1][0] {
+		return 1
+	}
+	return 0
+}
+
+// Minority returns the nodes on the partition's minority side — the ones
+// that self-fence when the window outlives the detection lease. The
+// engines use it to schedule partition-window trace events and (under
+// livert) the self-fence timers.
+func (pt Partition) Minority() []int { return pt.Groups[pt.minority()] }
+
+// Fence is one wrong failure verdict produced by a partition that
+// outlives the detection lease: Node (a minority-side node) is declared
+// dead and self-fences at At = From+lease, and rejoins at Heal = To.
+type Fence struct {
+	Node     int
+	At, Heal sim.Time
+}
+
 // Plan is a declarative fault schedule. The zero value injects nothing.
 type Plan struct {
 	// Seed feeds the injector's RNG. 0 defers to the runtime's seed, so a
@@ -90,12 +162,18 @@ type Plan struct {
 	// Crash lists crash-stop failures: each named node halts permanently
 	// at its scheduled time and its work fails over to survivors.
 	Crash []Crash
+	// Corrupt is the per-transmission probability in [0,1) that a payload
+	// arrives bit-flipped. Receivers detect it by checksum, NACK, and the
+	// sender retransmits through the same backoff path as a drop.
+	Corrupt float64
+	// Partition lists network-partition windows; see Partition.
+	Partition []Partition
 }
 
 // Enabled reports whether the plan can inject anything at all.
 func (p *Plan) Enabled() bool {
-	return p != nil && (p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 ||
-		len(p.Degrade) > 0 || len(p.Pause) > 0 || len(p.Crash) > 0)
+	return p != nil && (p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 || p.Corrupt > 0 ||
+		len(p.Degrade) > 0 || len(p.Pause) > 0 || len(p.Crash) > 0 || len(p.Partition) > 0)
 }
 
 // HasDegrade reports whether any link-degradation window is configured.
@@ -106,6 +184,117 @@ func (p *Plan) HasPause() bool { return p != nil && len(p.Pause) > 0 }
 
 // HasCrash reports whether any crash-stop failure is scheduled.
 func (p *Plan) HasCrash() bool { return p != nil && len(p.Crash) > 0 }
+
+// HasPartition reports whether any partition window is scheduled.
+func (p *Plan) HasPartition() bool { return p != nil && len(p.Partition) > 0 }
+
+// HasCorrupt reports whether payload corruption is configured.
+func (p *Plan) HasCorrupt() bool { return p != nil && p.Corrupt > 0 }
+
+// PartitionUnblock returns, for a message issued at time at from src to
+// dst, the time the severing partition heals and the message can re-enter
+// the network — or at itself when no partition cuts the link at issue
+// time. Overlap validation guarantees at most one partition cuts a given
+// link at a given instant, so the answer is order-independent.
+func (p *Plan) PartitionUnblock(at sim.Time, src, dst int) sim.Time {
+	if p != nil {
+		for _, pt := range p.Partition {
+			if pt.covers(at) && pt.cuts(src, dst) {
+				return pt.To
+			}
+		}
+	}
+	return at
+}
+
+// PartitionFences flattens the partition list into the wrong failure
+// verdicts a machine of the given size will suffer under the given
+// detection lease: one Fence per minority-side node of every partition
+// that outlives the lease (To > From+lease), sorted by (At, Node).
+// Partitions naming nodes outside the machine contribute no fences for
+// those nodes, so one plan can drive machines of several sizes.
+func (p *Plan) PartitionFences(nodes int, lease sim.Time) []Fence {
+	if p == nil {
+		return nil
+	}
+	var fences []Fence
+	for _, pt := range p.Partition {
+		if lease < 0 || pt.From+lease >= pt.To {
+			continue
+		}
+		for _, n := range pt.Groups[pt.minority()] {
+			if n < nodes {
+				fences = append(fences, Fence{Node: n, At: pt.From + lease, Heal: pt.To})
+			}
+		}
+	}
+	sort.Slice(fences, func(i, j int) bool {
+		if fences[i].At != fences[j].At {
+			return fences[i].At < fences[j].At
+		}
+		return fences[i].Node < fences[j].Node
+	})
+	return fences
+}
+
+// CheckFences rejects plans whose partitions (under the given machine
+// size and lease) would at some instant have every node simultaneously
+// self-fenced or crashed, leaving no survivor to adopt anything —
+// mirroring the kill-all-nodes crash rejection. The engines call this at
+// construction time, once the lease is known.
+func (p *Plan) CheckFences(nodes int, lease sim.Time) error {
+	fences := p.PartitionFences(nodes, lease)
+	if len(fences) == 0 {
+		return nil
+	}
+	crashAt := p.CrashSchedule(nodes)
+	for _, f := range fences {
+		// Instant f.At: who is up? Fenced nodes are down in [At, Heal);
+		// crashed nodes are down from their crash time on.
+		alive := 0
+		for n := 0; n < nodes; n++ {
+			if crashAt[n] >= 0 && crashAt[n] <= f.At {
+				continue
+			}
+			down := false
+			for _, g := range fences {
+				if g.Node == n && g.At <= f.At && f.At < g.Heal {
+					down = true
+					break
+				}
+			}
+			if !down {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return fmt.Errorf("faults: at %v every node is fenced or crashed; no survivor left to adopt (lease %v)",
+				time.Duration(f.At), time.Duration(lease))
+		}
+	}
+	// State ownership transfers permanently at a fence (a rejoined node
+	// re-enters steal-only), so beyond the instant-by-instant check above,
+	// at least one node must never crash and never be fenced at all — else
+	// sequential partitions would eventually leave the adoption ring with
+	// no everlasting owner to resolve to.
+	for n := 0; n < nodes; n++ {
+		if crashAt[n] >= 0 {
+			continue
+		}
+		fenced := false
+		for _, g := range fences {
+			if g.Node == n {
+				fenced = true
+				break
+			}
+		}
+		if !fenced {
+			return nil
+		}
+	}
+	return fmt.Errorf("faults: every node is eventually fenced or crashed; ownership transfer at a fence is permanent, so at least one node must stay clean (lease %v)",
+		time.Duration(lease))
+}
 
 // CrashSchedule flattens the crash list into a per-node schedule for a
 // machine of the given size: entry n is the time node n crashes, or -1
@@ -143,6 +332,9 @@ func (p *Plan) Validate() error {
 	if err := check("reorder", p.Reorder); err != nil {
 		return err
 	}
+	if err := check("corrupt", p.Corrupt); err != nil {
+		return err
+	}
 	if p.Window < 0 {
 		return fmt.Errorf("faults: negative reorder window %v", p.Window)
 	}
@@ -168,6 +360,44 @@ func (p *Plan) Validate() error {
 			if sameNode && w.From < v.To && v.From < w.To {
 				return fmt.Errorf("faults: pause windows %s and %s overlap; merge them into one window",
 					pauseSpec(v), pauseSpec(w))
+			}
+		}
+	}
+	for i, pt := range p.Partition {
+		if pt.To <= pt.From {
+			return fmt.Errorf("faults: partition window [%v,%v) is empty", pt.From, pt.To)
+		}
+		seen := map[int]int{}
+		for g, nodes := range pt.Groups {
+			if len(nodes) == 0 {
+				return fmt.Errorf("faults: partition %s: both groups need at least one node", partitionSpec(pt))
+			}
+			for _, n := range nodes {
+				if n < 0 {
+					return fmt.Errorf("faults: partition %s: groups need concrete nodes, got %d", partitionSpec(pt), n)
+				}
+				if og, dup := seen[n]; dup {
+					if og == g {
+						return fmt.Errorf("faults: partition %s: node %d listed twice", partitionSpec(pt), n)
+					}
+					return fmt.Errorf("faults: partition %s: node %d is in both groups", partitionSpec(pt), n)
+				}
+				seen[n] = g
+			}
+		}
+		// Two time-overlapping partitions cutting the same link would make
+		// PartitionUnblock depend on list order; reject them outright.
+		for _, qt := range p.Partition[:i] {
+			if pt.From >= qt.To || qt.From >= pt.To {
+				continue
+			}
+			for _, a := range pt.Groups[0] {
+				for _, b := range pt.Groups[1] {
+					if qt.cuts(a, b) {
+						return fmt.Errorf("faults: partitions %s and %s overlap in time and both cut link %d-%d; merge or separate them",
+							partitionSpec(qt), partitionSpec(pt), a, b)
+					}
+				}
 			}
 		}
 	}
@@ -231,6 +461,7 @@ func (p *Plan) String() string {
 	add("drop", p.Drop)
 	add("dup", p.Dup)
 	add("reorder", p.Reorder)
+	add("corrupt", p.Corrupt)
 	if p.Window > 0 {
 		parts = append(parts, fmt.Sprintf("window=%v", time.Duration(p.Window)))
 	}
@@ -253,10 +484,28 @@ func (p *Plan) String() string {
 	for _, c := range p.Crash {
 		parts = append(parts, fmt.Sprintf("crash=%d@%v", c.Node, time.Duration(c.At)))
 	}
+	for _, pt := range p.Partition {
+		parts = append(parts, "partition="+partitionSpec(pt))
+	}
 	if len(parts) == 0 {
 		return "none"
 	}
 	return strings.Join(parts, ",")
+}
+
+// partitionSpec renders one partition window in the Parse grammar
+// (shared by String and the validation error messages).
+func partitionSpec(pt Partition) string {
+	group := func(nodes []int) string {
+		ss := make([]string, len(nodes))
+		for i, n := range nodes {
+			ss[i] = strconv.Itoa(n)
+		}
+		return strings.Join(ss, ".")
+	}
+	return fmt.Sprintf("%s|%s@%v-%v",
+		group(pt.Groups[0]), group(pt.Groups[1]),
+		time.Duration(pt.From), time.Duration(pt.To))
 }
 
 // pauseSpec renders one pause window in the Parse grammar (shared by
@@ -309,6 +558,12 @@ func Parse(spec string) (*Plan, error) {
 			var c Crash
 			c, err = parseCrash(val)
 			p.Crash = append(p.Crash, c)
+		case "corrupt":
+			p.Corrupt, err = parseProb(key, val)
+		case "partition":
+			var pt Partition
+			pt, err = parsePartition(val)
+			p.Partition = append(p.Partition, pt)
 		default:
 			return nil, fmt.Errorf("faults: unknown key %q", key)
 		}
@@ -399,6 +654,46 @@ func parseCrash(val string) (Crash, error) {
 	return Crash{Node: n, At: at}, nil
 }
 
+// parsePartition parses "<a>.<b>|<c>.<d>@<from>-<to>": two dot-separated
+// node groups split by "|", then the window. Group lists are sorted
+// ascending so String renders a canonical form.
+func parsePartition(val string) (Partition, error) {
+	var pt Partition
+	groupsPart, span, ok := strings.Cut(val, "@")
+	if !ok {
+		return pt, fmt.Errorf("faults: partition=%q: want <groupA>|<groupB>@<from>-<to>", val)
+	}
+	ga, gb, ok := strings.Cut(groupsPart, "|")
+	if !ok {
+		return pt, fmt.Errorf("faults: partition=%q: want two groups separated by |", val)
+	}
+	for g, part := range []string{ga, gb} {
+		for _, field := range strings.Split(part, ".") {
+			n, err := strconv.Atoi(field)
+			if err != nil || n < 0 {
+				return pt, fmt.Errorf("faults: partition=%q: bad node %q (want dot-separated concrete nodes)", val, field)
+			}
+			pt.Groups[g] = append(pt.Groups[g], n)
+		}
+		sort.Ints(pt.Groups[g])
+	}
+	fromPart, toPart, ok := strings.Cut(span, "-")
+	if !ok {
+		return pt, fmt.Errorf("faults: partition=%q: want <from>-<to>", val)
+	}
+	var err error
+	if pt.From, err = parseDur("partition", fromPart); err != nil {
+		return pt, err
+	}
+	if pt.To, err = parseDur("partition", toPart); err != nil {
+		return pt, err
+	}
+	if pt.To <= pt.From {
+		return pt, fmt.Errorf("faults: partition=%q: window is empty", val)
+	}
+	return pt, nil
+}
+
 // cutLast cuts s around the last occurrence of sep.
 func cutLast(s, sep string) (before, after string, found bool) {
 	i := strings.LastIndex(s, sep)
@@ -420,10 +715,16 @@ type Verdict struct {
 	Dup bool
 	// Delay is extra in-network latency (reorder-window hold-back).
 	Delay sim.Time
+	// Corrupts is how many transmission attempts arrived bit-flipped
+	// before a clean one: the receiver's checksum catches each, NACKs,
+	// and the sender retransmits — so like Drops, each corrupted attempt
+	// costs one retransmit timeout, but the loss is detected at the
+	// receiver rather than inferred by the sender.
+	Corrupts int
 }
 
 // Faulted reports whether the verdict perturbs the message at all.
-func (v Verdict) Faulted() bool { return v.Drops > 0 || v.Dup || v.Delay > 0 }
+func (v Verdict) Faulted() bool { return v.Drops > 0 || v.Dup || v.Delay > 0 || v.Corrupts > 0 }
 
 // Injector owns a plan's random stream and per-run delivery bookkeeping.
 // It is safe for concurrent use (livert calls it from every executor);
@@ -516,7 +817,26 @@ func (in *Injector) Next(maxDrops int) Verdict {
 	if p.Reorder > 0 && in.rng.Float64() < p.Reorder {
 		v.Delay = sim.Time(in.rng.Int63n(int64(p.window()))) + 1
 	}
+	// Corruption draws come last, gated on the knob, so plans without
+	// corrupt= replay the exact pre-existing random stream (goldens from
+	// earlier fault modes stay byte-identical). The drop budget left after
+	// actual drops caps corrupted attempts: both consume retransmits.
+	if p.Corrupt > 0 {
+		for v.Corrupts < maxDrops-v.Drops && in.rng.Float64() < p.Corrupt {
+			v.Corrupts++
+		}
+	}
 	return v
+}
+
+// Float64 draws one uniform variate in [0,1) from the injector's stream.
+// The engines use it for seeded retry jitter (RetryPolicy.Jitter): the
+// draw interleaves with verdict draws in message-issue order, so jittered
+// chaos runs stay byte-reproducible under simrt.
+func (in *Injector) Float64() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
 }
 
 // FirstDelivery reports whether this is the first arrival of sequence

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"slices"
+
+	"earth/internal/earth"
+	"earth/internal/earth/simrt"
+	"earth/internal/faults"
+	"earth/internal/sim"
+)
+
+// This file implements the partition sweep: every chaos-sweep workload
+// re-run under network partitions whose duration is swept against the
+// failure-detection lease. The grid deliberately straddles the detector's
+// blind spot: a window shorter than the lease must be absorbed by the
+// retry machinery (zero wrong verdicts, result convergence), while a
+// window longer than the lease forces wrong death declarations, epoch-
+// fenced adoption on the majority side and self-fence-plus-rejoin on the
+// minority — costing work (fenced messages are discarded, so results may
+// diverge) but never termination. Like the other sweeps, the whole grid
+// is deterministic and byte-identical regardless of Workers.
+
+// partDurFracs sweeps the partition window length as a fraction of the
+// workload's clean makespan.
+var partDurFracs = []float64{0.3, 1.0}
+
+// partLeaseFracs sweeps the detection lease as a fraction of the clean
+// makespan: the short lease is outlived by every window in partDurFracs
+// (wrong verdicts), the long one only by the longest.
+var partLeaseFracs = []float64{0.05, 0.6}
+
+// partitionPlan cuts the machine into majority {0..nodes-3} and minority
+// {nodes-2, nodes-1}, with the window phase varied per run.
+func partitionPlan(nodes, run int, dur sim.Time, clean sim.Time, seed int64) *faults.Plan {
+	var groups [2][]int
+	for n := 0; n < nodes-2; n++ {
+		groups[0] = append(groups[0], n)
+	}
+	groups[1] = []int{nodes - 2, nodes - 1}
+	from := sim.Time((0.1 + 0.07*float64(run)) * float64(clean))
+	return &faults.Plan{Seed: seed + int64(run)*7919,
+		Partition: []faults.Partition{{From: from, To: from + dur, Groups: groups}}}
+}
+
+// PartitionSweep runs every workload on one machine size across the
+// partition-duration × detection-lease grid, cfg.Runs window phasings
+// per cell, and reports wrong-verdict counts, work lost to fencing and
+// makespan overhead against the clean baseline.
+func PartitionSweep(cfg Config) *Report {
+	cfg = cfg.WithDefaults()
+	nodes := max(5, slices.Max(cfg.Nodes))
+	wls := faultWorkloads(cfg.Seed)
+
+	type cell struct {
+		fp             string
+		elapsed        sim.Time
+		wrong, rejoins uint64
+		fenced         uint64
+	}
+	grid := len(partDurFracs) * len(partLeaseFracs)
+	per := 1 + grid*cfg.Runs // index 0 clean, then dur-major × lease × run
+	cells := make([]cell, len(wls)*per)
+	forEachCell(cfg.Workers, len(wls), func(wi int) {
+		fp, st := wls[wi].run(simrt.New(earth.Config{Nodes: nodes, Seed: cfg.Seed, Shards: cfg.Shards}))
+		cells[wi*per] = cell{fp: fp, elapsed: st.Elapsed}
+	})
+	forEachCell(cfg.Workers, len(wls)*grid*cfg.Runs, func(i int) {
+		run := i % cfg.Runs
+		li := i / cfg.Runs % len(partLeaseFracs)
+		di := i / (cfg.Runs * len(partLeaseFracs)) % len(partDurFracs)
+		wi := i / (cfg.Runs * len(partLeaseFracs) * len(partDurFracs))
+		clean := cells[wi*per].elapsed
+		dur := sim.Time(partDurFracs[di] * float64(clean))
+		lease := sim.Time(partLeaseFracs[li] * float64(clean))
+		plan := partitionPlan(nodes, run, dur, clean, cfg.Seed)
+		fp, st := wls[wi].run(simrt.New(earth.Config{
+			Nodes: nodes, Seed: cfg.Seed, Faults: plan, Shards: cfg.Shards,
+			Retry: earth.RetryPolicy{Lease: lease},
+		}))
+		cells[wi*per+1+(di*len(partLeaseFracs)+li)*cfg.Runs+run] = cell{
+			fp: fp, elapsed: st.Elapsed,
+			wrong: st.TotalWrongVerdicts(), rejoins: st.TotalRejoins(),
+			fenced: st.TotalFenced(),
+		}
+	})
+
+	r := &Report{ID: "Partition", Title: fmt.Sprintf(
+		"Partition sweep: window duration × detection lease (fractions of clean makespan) on %d nodes, %d phasings per cell",
+		nodes, cfg.Runs)}
+	for wi, wl := range wls {
+		clean := cells[wi*per]
+		for di, df := range partDurFracs {
+			for li, lf := range partLeaseFracs {
+				conv := 0
+				var wrong, rejoins, fenced uint64
+				var sumSlow float64
+				for run := 0; run < cfg.Runs; run++ {
+					c := cells[wi*per+1+(di*len(partLeaseFracs)+li)*cfg.Runs+run]
+					if c.fp == clean.fp {
+						conv++
+					}
+					if clean.elapsed > 0 {
+						sumSlow += float64(c.elapsed) / float64(clean.elapsed)
+					}
+					wrong += c.wrong
+					rejoins += c.rejoins
+					fenced += c.fenced
+				}
+				r.add("%-20s dur=%.2f lease=%.2f  converged %2d/%-2d  wrong=%-3d rejoins=%-3d lost-msgs=%-4d  mean slowdown %.2fx",
+					wl.name, df, lf, conv, cfg.Runs, wrong, rejoins, fenced,
+					sumSlow/float64(cfg.Runs))
+			}
+		}
+	}
+	return r
+}

@@ -130,6 +130,15 @@ func (c Config) MinRemoteLatency() sim.Time {
 // charge on every transfer.
 const HeaderBytes = 16
 
+// ChecksumBytes is the wire cost of the end-to-end integrity checksum a
+// message (or one coalesced batch — the batch shares one checksum like it
+// shares one header) carries when the fault plan can corrupt payloads
+// (corrupt= in the -faults grammar). Plans without corruption pay
+// nothing, so every pre-existing golden is untouched; plans with it
+// charge the serialisation of these extra bytes on each transfer, which
+// is how the paper-style accounting sees the integrity tax.
+const ChecksumBytes = 4
+
 // BatchCost returns the wire time of one coalesced batch of n messages
 // carrying payloadBytes of summed payload from src to dst: a single
 // per-message header plus the summed serialisation, instead of n full
